@@ -1,0 +1,70 @@
+// Ablation: match-FIFO depth (the §III.C FIFO group).
+//
+// Sweeps the per-column FIFO depth and reports cycles, stall counts and the
+// observed high-water mark — how much decoupling the matching pipeline needs
+// between fetch engines and the MUX.
+//
+// Usage: bench_ablation_fifo_depth [sample=0] [cin=16] [cout=16]
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/accelerator.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "quant/qsubconv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esca;  // NOLINT(google-build-using-namespace): bench main
+
+  const Config args = Config::from_args(argc, argv);
+  const auto sample = static_cast<std::size_t>(args.get_int("sample", 0));
+  const int cin = static_cast<int>(args.get_int("cin", 16));
+  const int cout = static_cast<int>(args.get_int("cout", 16));
+
+  std::printf("ESCA bench: ablation — FIFO group depth (Sub-Conv %d->%d)\n\n", cin, cout);
+
+  const sparse::SparseTensor geometry = bench::shapenet_tensor(sample);
+  sparse::SparseTensor x(geometry.spatial_extent(), cin);
+  Rng rng(bench::kSeed);
+  for (const Coord3& c : geometry.coords()) {
+    const auto row = x.add_site(c);
+    for (int ch = 0; ch < cin; ++ch) {
+      x.set_feature(static_cast<std::size_t>(row), ch, rng.uniform_f(-1.0F, 1.0F));
+    }
+  }
+  nn::SubmanifoldConv3d conv(cin, cout, 3);
+  conv.init_kaiming(rng);
+  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
+  const auto fy = conv.forward(x);
+  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
+  const auto layer =
+      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "fifo");
+  const auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
+
+  Table table("Ablation: per-column FIFO depth — paper-style design point is 16");
+  table.header({"Depth", "Cycles", "Fetch stalls", "Scan stalls", "MUX idle", "High water",
+                "GOPS"});
+
+  for (const int depth : {1, 2, 4, 8, 16, 32}) {
+    core::ArchConfig cfg;
+    cfg.fifo_depth = depth;
+    core::Accelerator accel{cfg};
+    const core::LayerRunResult r = accel.run_layer(layer, qx);
+    table.row({std::to_string(depth), str::with_commas(r.stats.total_cycles),
+               str::with_commas(r.stats.sdmu.fetch_stall_cycles),
+               str::with_commas(r.stats.sdmu.scan_stall_cycles),
+               str::with_commas(r.stats.sdmu.mux_idle_cycles),
+               std::to_string(r.stats.sdmu.fifo_high_water),
+               str::fixed(r.stats.effective_gops, 2)});
+  }
+  table.print();
+
+  std::printf(
+      "\nReading: depth 1-2 throttles the fetch engines (stalls propagate to the\n"
+      "scan); past the observed high-water mark extra depth buys nothing. All\n"
+      "depths produce identical (bit-exact) outputs — only timing changes.\n");
+  return 0;
+}

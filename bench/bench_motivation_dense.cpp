@@ -1,0 +1,92 @@
+// Motivation experiment (paper §I–II, Fig. 2): what happens when a dense
+// CNN accelerator with the *same MAC budget and clock* as ESCA is pointed
+// at an SSCN layer.
+//
+// Three engines on the identical workload:
+//   1. dense full-grid      — convolve all 192^3 sites (Fig. 2(a) semantics)
+//   2. dense active-tiles   — a tiling DMA skips empty 8^3 tiles but every
+//                             kept site is convolved (output still dilates)
+//   3. ESCA (cycle sim)     — matching-based submanifold execution
+//
+// Usage: bench_motivation_dense [sample=0] [cin=16] [cout=16]
+#include <cstdio>
+
+#include "baseline/dense_accel_model.hpp"
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/accelerator.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "quant/qsubconv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esca;  // NOLINT(google-build-using-namespace): bench main
+
+  const Config args = Config::from_args(argc, argv);
+  const auto sample = static_cast<std::size_t>(args.get_int("sample", 0));
+  const int cin = static_cast<int>(args.get_int("cin", 16));
+  const int cout = static_cast<int>(args.get_int("cout", 16));
+
+  std::printf(
+      "ESCA bench: motivation — dense accelerator vs ESCA on one Sub-Conv layer\n"
+      "(equal budgets: 256 MACs @ 270 MHz)\n\n");
+
+  const sparse::SparseTensor geometry = bench::shapenet_tensor(sample);
+  sparse::SparseTensor x(geometry.spatial_extent(), cin);
+  Rng rng(bench::kSeed);
+  for (const Coord3& c : geometry.coords()) {
+    const auto row = x.add_site(c);
+    for (int ch = 0; ch < cin; ++ch) {
+      x.set_feature(static_cast<std::size_t>(row), ch, rng.uniform_f(-1.0F, 1.0F));
+    }
+  }
+  nn::SubmanifoldConv3d conv(cin, cout, 3);
+  conv.init_kaiming(rng);
+  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
+  const auto fy = conv.forward(x);
+  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
+  const auto layer =
+      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "mot");
+  const auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
+
+  core::Accelerator accel{core::ArchConfig{}};
+  const core::LayerRunResult esca = accel.run_layer(layer, qx);
+  const std::int64_t useful = esca.stats.mac_ops;
+
+  const baseline::DenseAccelRun full = baseline::model_dense_full_grid(
+      x.spatial_extent(), 3, cin, cout, useful);
+  const baseline::DenseAccelRun tiled = baseline::model_dense_active_tiles(
+      esca.stats.zero_removing.active_tiles, core::ArchConfig{}.tile_size, 3, cin, cout,
+      useful);
+
+  Table table("Dense accelerator degradation on SSCN (equal MAC budget)");
+  table.header({"Engine", "Scheduled MACs", "Useful MACs", "Time", "Eff. GOPS",
+                "Useful fraction", "Slowdown vs ESCA"});
+  auto add_row = [&table, &esca](const std::string& name, std::int64_t scheduled,
+                                 std::int64_t useful_macs, double seconds, double gops,
+                                 double frac) {
+    table.row({name, str::with_commas(scheduled), str::with_commas(useful_macs),
+               units::seconds(seconds), str::fixed(gops, 3), str::percent(frac, 3),
+               str::format("%.1fx", seconds / esca.stats.total_seconds)});
+  };
+  add_row(full.mode, full.scheduled_macs, full.useful_macs, full.seconds,
+          full.effective_gops, full.utilization_of_useful);
+  add_row(tiled.mode, tiled.scheduled_macs, tiled.useful_macs, tiled.seconds,
+          tiled.effective_gops, tiled.utilization_of_useful);
+  add_row("ESCA (cycle sim)", esca.stats.mac_ops, esca.stats.mac_ops,
+          esca.stats.total_seconds, esca.stats.effective_gops, 1.0);
+  table.print();
+
+  std::printf(
+      "\nReading: at %.4f%% density, a dense engine schedules ~%.0fx more MACs than\n"
+      "are useful even after tile skipping — the degradation the paper's §I cites\n"
+      "as the reason CNN accelerators cannot serve SSCN, and the gap the SDMU's\n"
+      "matching operation closes.\n",
+      100.0 * static_cast<double>(x.size()) /
+          static_cast<double>(x.spatial_extent().volume()),
+      1.0 / std::max(tiled.utilization_of_useful, 1e-12));
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces Table I: analysis of the zero removing strategy.
+//
+// Sweep tile sizes {4, 8, 12, 16}^3 over ShapeNet-like and NYU-like samples
+// voxelized at 192^3 and report active tiles / all tiles / removing ratio,
+// alongside the paper's published numbers.
+//
+// Usage: bench_table1_zero_removing [samples=8] [resolution=192]
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/zero_removing.hpp"
+
+namespace {
+
+using namespace esca;  // NOLINT(google-build-using-namespace): bench main
+
+struct PaperRow {
+  int tile;
+  std::int64_t active;
+  std::int64_t all;
+  double ratio;
+};
+
+constexpr PaperRow kPaperShapeNet[] = {
+    {4, 198, 110592, 0.9982}, {8, 42, 13824, 0.9969}, {12, 23, 4096, 0.9943},
+    {16, 14, 1728, 0.9918}};
+constexpr PaperRow kPaperNyu[] = {
+    {4, 161, 110592, 0.9985}, {8, 33, 13824, 0.9976}, {12, 19, 4096, 0.9953},
+    {16, 9, 1728, 0.9948}};
+
+void run_dataset(const std::string& name, const std::vector<sparse::SparseTensor>& tensors,
+                 const PaperRow* paper_rows) {
+  Table table("TABLE I (" + name + "): ANALYSIS OF ZERO REMOVING STRATEGY");
+  table.header({"Tile Size", "Active Tiles (ours, mean)", "All Tiles", "Removing Ratio (ours)",
+                "Active (paper)", "Ratio (paper)"});
+
+  for (int i = 0; i < 4; ++i) {
+    const PaperRow& paper = paper_rows[i];
+    RunningStat active;
+    RunningStat ratio;
+    std::int64_t all_tiles = 0;
+    for (const auto& t : tensors) {
+      core::ZeroRemovingStats stats;
+      (void)core::ZeroRemoving({paper.tile, paper.tile, paper.tile}).apply(t, &stats);
+      active.add(static_cast<double>(stats.active_tiles));
+      ratio.add(stats.removing_ratio);
+      all_tiles = stats.total_tiles;
+    }
+    table.row({str::format("%dx%dx%d", paper.tile, paper.tile, paper.tile),
+               str::fixed(active.mean(), 1), str::with_commas(all_tiles),
+               str::percent(ratio.mean(), 2), std::to_string(paper.active),
+               str::percent(paper.ratio, 2)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const auto samples = static_cast<std::size_t>(cfg.get_int("samples", 8));
+  const int resolution = static_cast<int>(cfg.get_int("resolution", bench::kPaperResolution));
+
+  std::printf("ESCA bench: Table I — tile-based zero removing (%zu samples/dataset, %d^3)\n\n",
+              samples, resolution);
+
+  std::vector<sparse::SparseTensor> shapenet;
+  std::vector<sparse::SparseTensor> nyu;
+  RunningStat shapenet_sparsity;
+  RunningStat nyu_sparsity;
+  for (std::size_t i = 0; i < samples; ++i) {
+    shapenet.push_back(bench::shapenet_tensor(i, resolution));
+    nyu.push_back(bench::nyu_tensor(i, resolution));
+    const double voxels = static_cast<double>(resolution) * resolution * resolution;
+    shapenet_sparsity.add(1.0 - static_cast<double>(shapenet.back().size()) / voxels);
+    nyu_sparsity.add(1.0 - static_cast<double>(nyu.back().size()) / voxels);
+  }
+  std::printf("dataset sparsity: ShapeNet-like %s (paper: ~99.9%%), NYU-like %s\n\n",
+              str::percent(shapenet_sparsity.mean(), 3).c_str(),
+              str::percent(nyu_sparsity.mean(), 3).c_str());
+
+  run_dataset("ShapeNet-like", shapenet, kPaperShapeNet);
+  run_dataset("NYU-like", nyu, kPaperNyu);
+
+  std::printf(
+      "Note: datasets are synthetic substitutes (DESIGN.md §2); the reproduced\n"
+      "content is the trend — >99%% of tiles removed at every size, finer tiles\n"
+      "removing more, ShapeNet-like > NYU-like active tiles.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Table II: FPGA frequency and resource utilization.
+//
+// The analytic resource model maps the default ESCA configuration onto the
+// ZCU102 and prints totals + utilization percentages next to the paper's
+// Vivado report. DSP and BRAM counts are structural; LUT/FF are calibrated
+// first-order estimates (see resource_model.hpp).
+//
+// Usage: bench_table2_resources [ic=16] [oc=16] [fifo_depth=16]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/arch_config.hpp"
+#include "core/resource_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esca;  // NOLINT(google-build-using-namespace): bench main
+
+  const Config args = Config::from_args(argc, argv);
+  core::ArchConfig cfg;
+  cfg.ic_parallel = static_cast<int>(args.get_int("ic", cfg.ic_parallel));
+  cfg.oc_parallel = static_cast<int>(args.get_int("oc", cfg.oc_parallel));
+  cfg.fifo_depth = static_cast<int>(args.get_int("fifo_depth", cfg.fifo_depth));
+
+  const core::ResourceModel model(cfg);
+  const core::ResourceReport r = model.estimate();
+
+  std::printf("ESCA bench: Table II — resource utilization on %s at %.0f MHz\n\n",
+              r.device.name.c_str(), cfg.frequency_hz / 1e6);
+
+  Table breakdown("Per-module resource breakdown (model)");
+  breakdown.header({"Module", "LUT", "FF", "BRAM36", "DSP"});
+  for (const auto& m : r.modules) {
+    breakdown.row({m.name, str::fixed(m.lut, 0), str::fixed(m.ff, 0),
+                   str::fixed(m.bram36, 1), str::fixed(m.dsp, 0)});
+  }
+  breakdown.print();
+  std::printf("\n");
+
+  Table table("TABLE II: FPGA FREQUENCY AND RESOURCE UTILIZATION");
+  table.header({"", "Frequency (MHz)", "LUT", "FF", "BRAM", "DSP"});
+  table.row({"ours (model)", str::fixed(cfg.frequency_hz / 1e6, 0),
+             str::format("%.0f (%s)", r.total_lut(), str::percent(r.lut_fraction(), 2).c_str()),
+             str::format("%.0f (%s)", r.total_ff(), str::percent(r.ff_fraction(), 2).c_str()),
+             str::format("%.1f (%s)", r.total_bram36(),
+                         str::percent(r.bram_fraction(), 2).c_str()),
+             str::format("%.0f (%s)", r.total_dsp(),
+                         str::percent(r.dsp_fraction(), 2).c_str())});
+  table.row({"paper (Vivado)", "270", "17614 (6.43%)", "12142 (2.22%)", "365.5 (40.08%)",
+             "256 (10.16%)"});
+  table.print();
+
+  std::printf("\nfits device: %s\n", r.fits() ? "yes" : "NO — configuration over budget");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared workload builders for the benchmark harnesses.
+//
+// The paper's evaluation setup (§IV.A): feature maps voxelized to 192^3,
+// SS U-Net with 3x3x3 Sub-Conv kernels, INT8 weights / INT16 activations,
+// ESCA at 270 MHz with 16x16 compute parallelism and 8^3 tiles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/layer_compiler.hpp"
+#include "datasets/nyu_like.hpp"
+#include "datasets/shapenet_like.hpp"
+#include "nn/unet.hpp"
+#include "sparse/sparse_tensor.hpp"
+#include "voxel/voxelizer.hpp"
+
+namespace esca::bench {
+
+inline constexpr int kPaperResolution = 192;
+inline constexpr std::uint64_t kSeed = 20221014;  // arXiv submission date
+
+/// One ShapeNet-like sample voxelized at the paper's resolution.
+inline sparse::SparseTensor shapenet_tensor(std::size_t index,
+                                            int resolution = kPaperResolution) {
+  const datasets::ShapeNetLikeDataset ds({}, kSeed);
+  const voxel::VoxelGrid grid = voxel::voxelize(ds.sample(index), {resolution, false});
+  return sparse::SparseTensor::from_voxel_grid(grid, 1);
+}
+
+/// One NYU-like sample voxelized at the paper's resolution.
+inline sparse::SparseTensor nyu_tensor(std::size_t index, int resolution = kPaperResolution) {
+  const datasets::NyuLikeDataset ds({}, kSeed + 1);
+  const voxel::VoxelGrid grid = voxel::voxelize(ds.sample(index), {resolution, false});
+  return sparse::SparseTensor::from_voxel_grid(grid, 1);
+}
+
+/// The benchmark network: SS U-Net with m = 16 (paper §IV.A).
+inline nn::SSUNetConfig benchmark_unet_config() {
+  nn::SSUNetConfig cfg;
+  cfg.in_channels = 1;
+  cfg.base_planes = 16;
+  cfg.levels = 3;
+  cfg.reps_per_level = 2;
+  cfg.num_classes = 16;
+  cfg.kernel_size = 3;
+  return cfg;
+}
+
+struct NetworkWorkload {
+  std::vector<nn::TraceEntry> trace;
+  core::CompiledNetwork compiled;
+};
+
+/// Trace + quantize the benchmark network on a dataset sample.
+inline NetworkWorkload benchmark_network(const sparse::SparseTensor& input) {
+  const nn::SSUNet net(benchmark_unet_config(), kSeed);
+  NetworkWorkload w;
+  (void)net.forward(input, &w.trace);
+  w.compiled = core::LayerCompiler::compile(w.trace);
+  return w;
+}
+
+}  // namespace esca::bench

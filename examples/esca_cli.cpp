@@ -1,0 +1,174 @@
+// esca_cli — command-line front end to the library.
+//
+//   esca_cli stats    in=<cloud.{ply,xyz}> [resolution=192]
+//       voxelize a cloud and print occupancy/tile statistics
+//   esca_cli run      in=<cloud.{ply,xyz}> [cin=1] [cout=16] [resolution=192]
+//       run one quantized Sub-Conv layer on the simulated accelerator
+//   esca_cli resources [ic=16] [oc=16]
+//       print the Table II resource estimate for a configuration
+//   esca_cli generate  out=<cloud.ply> [kind=shapenet|nyu] [index=0]
+//       write a synthetic dataset sample (PLY) for use with the above
+//
+// The first positional argument is the subcommand; the rest are key=value.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/accelerator.hpp"
+#include "core/resource_model.hpp"
+#include "core/zero_removing.hpp"
+#include "datasets/nyu_like.hpp"
+#include "datasets/shapenet_like.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "pointcloud/io.hpp"
+#include "pointcloud/ply.hpp"
+#include "quant/qsubconv.hpp"
+#include "sparse/sparse_tensor.hpp"
+#include "voxel/voxelizer.hpp"
+
+namespace {
+
+using namespace esca;  // NOLINT(google-build-using-namespace): CLI main
+
+pc::PointCloud load_cloud(const std::string& path) {
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".ply") {
+    return pc::read_ply_file(path);
+  }
+  return pc::read_xyz_file(path);
+}
+
+sparse::SparseTensor load_tensor(const Config& args, int channels) {
+  const std::string in = args.get_string("in", "");
+  ESCA_REQUIRE(!in.empty(), "missing in=<cloud.{ply,xyz}>");
+  pc::PointCloud cloud = load_cloud(in);
+  cloud.normalize_unit_cube();
+  const auto resolution = static_cast<std::int32_t>(args.get_int("resolution", 192));
+  const voxel::VoxelGrid grid = voxel::voxelize(cloud, {resolution, false});
+  sparse::SparseTensor geometry = sparse::SparseTensor::from_voxel_grid(grid, 1);
+  if (channels == 1) return geometry;
+  sparse::SparseTensor x(geometry.spatial_extent(), channels);
+  Rng rng(7);
+  for (const Coord3& c : geometry.coords()) {
+    const auto row = x.add_site(c);
+    for (int ch = 0; ch < channels; ++ch) {
+      x.set_feature(static_cast<std::size_t>(row), ch, rng.uniform_f(-1.0F, 1.0F));
+    }
+  }
+  return x;
+}
+
+int cmd_stats(const Config& args) {
+  const sparse::SparseTensor t = load_tensor(args, 1);
+  const auto extent = t.spatial_extent();
+  std::printf("sites: %zu of %lld (%.5f%% density)\n", t.size(),
+              static_cast<long long>(extent.volume()),
+              100.0 * static_cast<double>(t.size()) / static_cast<double>(extent.volume()));
+
+  Table table("Tile statistics");
+  table.header({"Tile", "Active", "All", "Removing ratio"});
+  for (const int size : {4, 8, 12, 16}) {
+    core::ZeroRemovingStats stats;
+    (void)core::ZeroRemoving({size, size, size}).apply(t, &stats);
+    table.row({str::format("%d^3", size), std::to_string(stats.active_tiles),
+               str::with_commas(stats.total_tiles), str::percent(stats.removing_ratio, 2)});
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_run(const Config& args) {
+  const int cin = static_cast<int>(args.get_int("cin", 1));
+  const int cout = static_cast<int>(args.get_int("cout", 16));
+  const sparse::SparseTensor x = load_tensor(args, cin);
+
+  Rng rng(11);
+  nn::SubmanifoldConv3d conv(cin, cout, 3);
+  conv.init_kaiming(rng);
+  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
+  const auto fy = conv.forward(x);
+  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
+  const auto layer =
+      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "cli");
+  const auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
+
+  core::Accelerator accel{core::ArchConfig{}};
+  const core::LayerRunResult r = accel.run_layer(layer, qx);
+  const bool exact = r.output == layer.forward(qx);
+  std::printf("sites %lld | tiles %lld | matches %lld | cycles %lld | %s | %.2f GOPS | %s\n",
+              static_cast<long long>(r.stats.sites),
+              static_cast<long long>(r.stats.zero_removing.active_tiles),
+              static_cast<long long>(r.stats.sdmu.matches),
+              static_cast<long long>(r.stats.total_cycles),
+              units::seconds(r.stats.total_seconds).c_str(), r.stats.effective_gops,
+              exact ? "bit-exact" : "MISMATCH");
+  return exact ? 0 : 1;
+}
+
+int cmd_resources(const Config& args) {
+  core::ArchConfig cfg;
+  cfg.ic_parallel = static_cast<int>(args.get_int("ic", cfg.ic_parallel));
+  cfg.oc_parallel = static_cast<int>(args.get_int("oc", cfg.oc_parallel));
+  const core::ResourceReport r = core::ResourceModel(cfg).estimate();
+  std::printf("%s: LUT %.0f (%s) | FF %.0f (%s) | BRAM %.1f (%s) | DSP %.0f (%s) | %s\n",
+              r.device.name.c_str(), r.total_lut(), str::percent(r.lut_fraction(), 2).c_str(),
+              r.total_ff(), str::percent(r.ff_fraction(), 2).c_str(), r.total_bram36(),
+              str::percent(r.bram_fraction(), 2).c_str(), r.total_dsp(),
+              str::percent(r.dsp_fraction(), 2).c_str(), r.fits() ? "fits" : "DOES NOT FIT");
+  return 0;
+}
+
+int cmd_generate(const Config& args) {
+  const std::string out = args.get_string("out", "");
+  ESCA_REQUIRE(!out.empty(), "missing out=<cloud.ply>");
+  const std::string kind = args.get_string("kind", "shapenet");
+  const auto index = static_cast<std::size_t>(args.get_int("index", 0));
+
+  pc::PointCloud cloud;
+  if (kind == "shapenet") {
+    cloud = datasets::ShapeNetLikeDataset({}, 20221014).sample(index);
+  } else if (kind == "nyu") {
+    cloud = datasets::NyuLikeDataset({}, 20221015).sample(index);
+  } else {
+    ESCA_REQUIRE(false, "kind must be 'shapenet' or 'nyu', got '" << kind << "'");
+  }
+  pc::write_ply_file(out, cloud, pc::PlyFormat::kBinaryLittleEndian);
+  std::printf("wrote %zu points to %s (%s sample %zu)\n", cloud.size(), out.c_str(),
+              kind.c_str(), index);
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: esca_cli <stats|run|resources|generate> [key=value ...]\n"
+      "  stats     in=<cloud.{ply,xyz}> [resolution=192]\n"
+      "  run       in=<cloud.{ply,xyz}> [cin=1] [cout=16] [resolution=192]\n"
+      "  resources [ic=16] [oc=16]\n"
+      "  generate  out=<cloud.ply> [kind=shapenet|nyu] [index=0]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  try {
+    const Config args = Config::from_args(argc - 1, argv + 1);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "resources") return cmd_resources(args);
+    if (command == "generate") return cmd_generate(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,61 @@
+#include "baseline/cpu_baseline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/init.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/rulebook.hpp"
+
+namespace esca::baseline {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+CpuRunResult time_cpu_subconv(const sparse::SparseTensor& input, int out_channels,
+                              int kernel_size, int repeats) {
+  ESCA_REQUIRE(repeats >= 1, "repeats must be >= 1");
+
+  Rng rng(0x5eedULL);
+  const auto volume = static_cast<std::size_t>(kernel_size) * kernel_size * kernel_size;
+  std::vector<float> weights(volume * static_cast<std::size_t>(input.channels()) *
+                             static_cast<std::size_t>(out_channels));
+  nn::kaiming_uniform(weights, static_cast<int>(volume) * input.channels(), rng);
+
+  CpuRunResult best;
+  best.total_seconds = 1e30;
+
+  for (int run = 0; run < repeats; ++run) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const sparse::RuleBook rb = sparse::build_submanifold_rulebook(input, kernel_size);
+    const double rb_s = seconds_since(t0);
+
+    sparse::SparseTensor output = input.zeros_like(out_channels);
+    const auto t1 = std::chrono::steady_clock::now();
+    sparse::apply_rulebook(input, rb, weights, output);
+    const double compute_s = seconds_since(t1);
+
+    const double total = rb_s + compute_s;
+    if (total < best.total_seconds) {
+      best.rulebook_seconds = rb_s;
+      best.compute_seconds = compute_s;
+      best.total_seconds = total;
+      best.macs = sparse::rulebook_macs(rb, input.channels(), out_channels);
+    }
+  }
+  best.effective_gops =
+      best.total_seconds > 0.0
+          ? 2.0 * static_cast<double>(best.macs) / best.total_seconds / 1e9
+          : 0.0;
+  return best;
+}
+
+}  // namespace esca::baseline

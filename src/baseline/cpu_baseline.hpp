@@ -1,0 +1,25 @@
+// Measured CPU baseline: rulebook-based gather-GEMM-scatter Sub-Conv, the
+// execution strategy of SparseConvNet-style CPU backends. Wall-clock timing
+// on the build machine complements the analytic Xeon model in Fig. 10.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::baseline {
+
+struct CpuRunResult {
+  double rulebook_seconds{0.0};
+  double compute_seconds{0.0};
+  double total_seconds{0.0};
+  std::int64_t macs{0};
+  double effective_gops{0.0};
+};
+
+/// Time one Sub-Conv layer (random weights) end to end; the minimum over
+/// `repeats` runs is reported (standard practice for wall-clock microtiming).
+CpuRunResult time_cpu_subconv(const sparse::SparseTensor& input, int out_channels,
+                              int kernel_size, int repeats = 5);
+
+}  // namespace esca::baseline

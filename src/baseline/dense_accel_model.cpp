@@ -1,0 +1,56 @@
+#include "baseline/dense_accel_model.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::baseline {
+namespace {
+
+DenseAccelRun finish(DenseAccelRun run, const DenseAccelConfig& config) {
+  ESCA_REQUIRE(config.pe_array_macs > 0 && config.frequency_hz > 0 &&
+                   config.utilization > 0 && config.utilization <= 1.0,
+               "bad dense accelerator config");
+  const double macs_per_second =
+      static_cast<double>(config.pe_array_macs) * config.frequency_hz * config.utilization;
+  run.seconds = static_cast<double>(run.scheduled_macs) / macs_per_second;
+  run.effective_gops =
+      run.seconds > 0.0 ? 2.0 * static_cast<double>(run.useful_macs) / run.seconds / 1e9
+                        : 0.0;
+  run.utilization_of_useful =
+      run.scheduled_macs > 0
+          ? static_cast<double>(run.useful_macs) / static_cast<double>(run.scheduled_macs)
+          : 0.0;
+  return run;
+}
+
+}  // namespace
+
+DenseAccelRun model_dense_full_grid(const Coord3& grid_extent, int kernel_size,
+                                    int in_channels, int out_channels,
+                                    std::int64_t useful_macs, const DenseAccelConfig& config) {
+  ESCA_REQUIRE(kernel_size >= 1 && in_channels > 0 && out_channels > 0,
+               "bad dense workload");
+  DenseAccelRun run;
+  run.mode = "dense full-grid";
+  run.scheduled_macs = grid_extent.volume() * static_cast<std::int64_t>(kernel_size) *
+                       kernel_size * kernel_size * in_channels * out_channels;
+  run.useful_macs = useful_macs;
+  return finish(run, config);
+}
+
+DenseAccelRun model_dense_active_tiles(std::int64_t active_tiles, const Coord3& tile_size,
+                                       int kernel_size, int in_channels, int out_channels,
+                                       std::int64_t useful_macs,
+                                       const DenseAccelConfig& config) {
+  ESCA_REQUIRE(active_tiles >= 0, "active_tiles must be non-negative");
+  ESCA_REQUIRE(kernel_size >= 1 && in_channels > 0 && out_channels > 0,
+               "bad dense workload");
+  DenseAccelRun run;
+  run.mode = "dense active-tiles";
+  run.scheduled_macs = active_tiles * tile_size.volume() *
+                       static_cast<std::int64_t>(kernel_size) * kernel_size * kernel_size *
+                       in_channels * out_channels;
+  run.useful_macs = useful_macs;
+  return finish(run, config);
+}
+
+}  // namespace esca::baseline

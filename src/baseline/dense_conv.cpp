@@ -1,0 +1,87 @@
+#include "baseline/dense_conv.hpp"
+
+#include "common/check.hpp"
+#include "sparse/rulebook.hpp"
+
+namespace esca::baseline {
+
+float DenseTensor::at(const Coord3& c, int channel) const {
+  ESCA_ASSERT(in_bounds(c, extent), "dense access out of bounds");
+  return values[static_cast<std::size_t>(linear_index(c, extent)) *
+                    static_cast<std::size_t>(channels) +
+                static_cast<std::size_t>(channel)];
+}
+
+void DenseTensor::set(const Coord3& c, int channel, float v) {
+  ESCA_ASSERT(in_bounds(c, extent), "dense access out of bounds");
+  values[static_cast<std::size_t>(linear_index(c, extent)) *
+             static_cast<std::size_t>(channels) +
+         static_cast<std::size_t>(channel)] = v;
+}
+
+DenseTensor densify(const sparse::SparseTensor& sparse_tensor) {
+  const Coord3 extent = sparse_tensor.spatial_extent();
+  ESCA_REQUIRE(extent.volume() * sparse_tensor.channels() <= (64LL << 20),
+               "grid too large to densify (" << extent << "); use dense_conv_macs instead");
+  DenseTensor dense{extent, sparse_tensor.channels(), {}};
+  dense.values.assign(static_cast<std::size_t>(extent.volume()) *
+                          static_cast<std::size_t>(sparse_tensor.channels()),
+                      0.0F);
+  for (std::size_t row = 0; row < sparse_tensor.size(); ++row) {
+    const auto f = sparse_tensor.features(row);
+    for (int c = 0; c < sparse_tensor.channels(); ++c) {
+      dense.set(sparse_tensor.coord(row), c, f[static_cast<std::size_t>(c)]);
+    }
+  }
+  return dense;
+}
+
+DenseTensor dense_conv3d(const DenseTensor& input, std::span<const float> weights,
+                         int kernel_size, int out_channels) {
+  ESCA_REQUIRE(kernel_size >= 1 && kernel_size % 2 == 1, "kernel must be odd");
+  const int volume = kernel_size * kernel_size * kernel_size;
+  ESCA_REQUIRE(weights.size() == static_cast<std::size_t>(volume) *
+                                     static_cast<std::size_t>(input.channels) *
+                                     static_cast<std::size_t>(out_channels),
+               "weight size mismatch");
+
+  DenseTensor out{input.extent, out_channels, {}};
+  out.values.assign(static_cast<std::size_t>(input.extent.volume()) *
+                        static_cast<std::size_t>(out_channels),
+                    0.0F);
+
+  for (std::int32_t z = 0; z < input.extent.z; ++z) {
+    for (std::int32_t y = 0; y < input.extent.y; ++y) {
+      for (std::int32_t x = 0; x < input.extent.x; ++x) {
+        const Coord3 p{x, y, z};
+        for (int o = 0; o < volume; ++o) {
+          const Coord3 q = p + sparse::kernel_offset(o, kernel_size);
+          if (!in_bounds(q, input.extent)) continue;
+          const float* w = weights.data() + static_cast<std::size_t>(o) *
+                                                static_cast<std::size_t>(input.channels) *
+                                                static_cast<std::size_t>(out_channels);
+          for (int ci = 0; ci < input.channels; ++ci) {
+            const float a = input.at(q, ci);
+            if (a == 0.0F) continue;
+            for (int co = 0; co < out_channels; ++co) {
+              out.values[static_cast<std::size_t>(linear_index(p, input.extent)) *
+                             static_cast<std::size_t>(out_channels) +
+                         static_cast<std::size_t>(co)] +=
+                  a * w[static_cast<std::size_t>(ci) * static_cast<std::size_t>(out_channels) +
+                        static_cast<std::size_t>(co)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t dense_conv_macs(const Coord3& extent, int kernel_size, int in_channels,
+                             int out_channels) {
+  return extent.volume() * static_cast<std::int64_t>(kernel_size) * kernel_size * kernel_size *
+         in_channels * out_channels;
+}
+
+}  // namespace esca::baseline

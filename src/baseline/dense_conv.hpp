@@ -1,0 +1,43 @@
+// Dense 3-D convolution baseline.
+//
+// What a sparsity-blind engine does with a voxelized point cloud: treat the
+// whole grid as dense and convolve every site. Two pieces:
+//  * a real implementation for small extents (used by tests to validate the
+//    sparse gold model: on dense-compatible inputs the results must agree);
+//  * an op-count model for large grids (running 192^3 dense conv is exactly
+//    the waste the paper's Fig. 2(a) describes — we count it, not burn it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::baseline {
+
+/// Dense tensor on a small grid: features[site][channel], x-fastest site
+/// order (see esca::linear_index).
+struct DenseTensor {
+  Coord3 extent;
+  int channels{1};
+  std::vector<float> values;
+
+  float at(const Coord3& c, int channel) const;
+  void set(const Coord3& c, int channel, float v);
+};
+
+DenseTensor densify(const sparse::SparseTensor& sparse_tensor);
+
+/// Direct dense 3-D convolution with zero padding, weights laid out
+/// [K^3][Cin][Cout] (same convention as the sparse layers).
+DenseTensor dense_conv3d(const DenseTensor& input, std::span<const float> weights,
+                         int kernel_size, int out_channels);
+
+/// MAC count a dense engine performs on this geometry (every site, every
+/// tap) — the denominator of the paper's computational-efficiency argument.
+std::int64_t dense_conv_macs(const Coord3& extent, int kernel_size, int in_channels,
+                             int out_channels);
+
+}  // namespace esca::baseline

@@ -1,0 +1,67 @@
+#include "baseline/device_models.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace esca::baseline {
+
+DeviceRunModel model_gpu_subconv(const SubConvWorkload& w, const GpuModelConfig& cfg) {
+  ESCA_REQUIRE(w.sites >= 0 && w.rules >= 0, "workload counts must be non-negative");
+  ESCA_REQUIRE(w.in_channels > 0 && w.out_channels > 0, "channels must be positive");
+
+  // Host-side matching: probe the coordinate hash for every (site, offset).
+  const double rulebook_s =
+      static_cast<double>(w.sites) * w.kernel_volume * cfg.rulebook_probe_s;
+
+  // Device-side: one gather/GEMM/scatter triple per kernel offset.
+  const double launch_s =
+      static_cast<double>(w.kernel_volume) * cfg.kernels_per_offset * cfg.kernel_launch_s;
+
+  const double flop = 2.0 * static_cast<double>(w.macs());
+  const double gemm_s = flop / (cfg.peak_fp32_flops * cfg.small_gemm_efficiency);
+
+  // Gather reads Cin floats per rule, scatter writes Cout floats per rule.
+  const double traffic_bytes =
+      static_cast<double>(w.rules) * (w.in_channels + w.out_channels) * 4.0;
+  const double mem_s = traffic_bytes / cfg.mem_bandwidth;
+
+  DeviceRunModel m;
+  m.device = "Tesla P100 (model)";
+  m.seconds = rulebook_s + launch_s + std::max(gemm_s, mem_s);
+  m.power_w = cfg.idle_power_w + (cfg.tdp_w - cfg.idle_power_w) * cfg.utilization_power_fraction;
+  m.effective_gops = m.seconds > 0.0 ? flop / m.seconds / 1e9 : 0.0;
+  return m;
+}
+
+DeviceRunModel model_cpu_subconv(const SubConvWorkload& w, const CpuModelConfig& cfg) {
+  ESCA_REQUIRE(w.sites >= 0 && w.rules >= 0, "workload counts must be non-negative");
+  ESCA_REQUIRE(w.in_channels > 0 && w.out_channels > 0, "channels must be positive");
+
+  const double rulebook_s =
+      static_cast<double>(w.sites) * w.kernel_volume * cfg.rulebook_probe_s;
+
+  const double flop = 2.0 * static_cast<double>(w.macs());
+  const double compute_s = flop / cfg.effective_flops;
+  const double traffic_bytes =
+      static_cast<double>(w.rules) * (w.in_channels + w.out_channels) * 4.0;
+  const double mem_s = traffic_bytes / cfg.mem_bandwidth;
+
+  DeviceRunModel m;
+  m.device = "Xeon Gold 6148 (model)";
+  m.seconds = rulebook_s + std::max(compute_s, mem_s);
+  m.power_w = cfg.idle_power_w + (cfg.tdp_w - cfg.idle_power_w) * cfg.utilization_power_fraction;
+  m.effective_gops = m.seconds > 0.0 ? flop / m.seconds / 1e9 : 0.0;
+  return m;
+}
+
+DeviceRunModel reference_opointnet_fpga() {
+  DeviceRunModel m;
+  m.device = "Zynq XC7Z045, O-PointNet [19] (quoted)";
+  m.seconds = 0.0;  // the paper quotes throughput/power only
+  m.power_w = 2.15;
+  m.effective_gops = 1.21;
+  return m;
+}
+
+}  // namespace esca::baseline

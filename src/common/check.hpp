@@ -1,0 +1,75 @@
+// Runtime checking macros and error types.
+//
+// Conventions (C++ Core Guidelines I.5/I.6/E.x):
+//  - ESCA_REQUIRE  : precondition on a public API; throws esca::InvalidArgument.
+//  - ESCA_CHECK    : internal invariant; throws esca::InternalError. Always on,
+//                    including release builds (the simulator must never produce
+//                    silently-wrong hardware statistics).
+//  - ESCA_ASSERT   : debug-only sanity check (compiled out in NDEBUG).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace esca {
+
+/// Thrown when a caller violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+ public:
+  explicit InvalidArgument(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant is violated (a bug in this library).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for environment/IO problems (missing file, parse error, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+template <typename Ex>
+[[noreturn]] inline void throw_failure(const char* kind, const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Ex(os.str());
+}
+
+}  // namespace detail
+}  // namespace esca
+
+#define ESCA_REQUIRE(cond, msg)                                                       \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::ostringstream esca_require_os_;                                            \
+      esca_require_os_ << msg; /* NOLINT */                                           \
+      ::esca::detail::throw_failure<::esca::InvalidArgument>(                         \
+          "precondition", #cond, __FILE__, __LINE__, esca_require_os_.str());         \
+    }                                                                                 \
+  } while (false)
+
+#define ESCA_CHECK(cond, msg)                                                         \
+  do {                                                                                \
+    if (!(cond)) {                                                                    \
+      std::ostringstream esca_check_os_;                                              \
+      esca_check_os_ << msg; /* NOLINT */                                             \
+      ::esca::detail::throw_failure<::esca::InternalError>(                           \
+          "invariant", #cond, __FILE__, __LINE__, esca_check_os_.str());              \
+    }                                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define ESCA_ASSERT(cond, msg) \
+  do {                         \
+  } while (false)
+#else
+#define ESCA_ASSERT(cond, msg) ESCA_CHECK(cond, msg)
+#endif

@@ -1,0 +1,46 @@
+// Minimal leveled logger writing to stderr.
+//
+// Kept deliberately small: benches print their own tables; the logger exists
+// for diagnostics (simulator warnings, dataset generation progress).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace esca::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_level(Level level);
+Level level();
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+  ~LineLogger() { write(level_, os_.str()); }
+
+  template <typename T>
+  LineLogger& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace esca::log
+
+#define ESCA_LOG_DEBUG ::esca::log::detail::LineLogger(::esca::log::Level::kDebug)
+#define ESCA_LOG_INFO ::esca::log::detail::LineLogger(::esca::log::Level::kInfo)
+#define ESCA_LOG_WARN ::esca::log::detail::LineLogger(::esca::log::Level::kWarn)
+#define ESCA_LOG_ERROR ::esca::log::detail::LineLogger(::esca::log::Level::kError)

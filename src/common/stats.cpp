@@ -1,0 +1,60 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace esca {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi) {
+  ESCA_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  ESCA_REQUIRE(buckets > 0, "Histogram: needs at least one bucket");
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+std::string Histogram::to_string(const std::string& label) const {
+  std::ostringstream os;
+  os << label << " (n=" << total_ << ")\n";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double frac = total_ > 0 ? static_cast<double>(counts_[i]) / static_cast<double>(total_) : 0.0;
+    os << "  [" << str::fixed(bucket_lo(i), 1) << ", " << str::fixed(bucket_hi(i), 1)
+       << "): " << counts_[i] << " (" << str::percent(frac, 1) << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace esca

@@ -1,0 +1,73 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace esca::str {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  const auto* ws = " \t\r\n";
+  const std::size_t b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const std::size_t e = s.find_last_not_of(ws);
+  return std::string(s.substr(b, e - b + 1));
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+std::string fixed(double v, int digits) { return format("%.*f", digits, v); }
+
+std::string percent(double fraction, int digits) {
+  return format("%.*f%%", digits, fraction * 100.0);
+}
+
+std::string with_commas(std::int64_t v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace esca::str

@@ -1,0 +1,30 @@
+// Small string helpers used by config parsing and table printing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace esca::str {
+
+/// Split on a delimiter; empty fields are kept.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Fixed-point decimal with `digits` fraction digits, e.g. 3.14159 -> "3.14".
+std::string fixed(double v, int digits);
+
+/// "99.82%"-style percentage with `digits` fraction digits.
+std::string percent(double fraction, int digits = 2);
+
+/// Thousands separators: 110592 -> "110,592".
+std::string with_commas(std::int64_t v);
+
+}  // namespace esca::str

@@ -1,0 +1,70 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace esca {
+
+Table& Table::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+Table& Table::separator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.is_separator) widen(r.cells);
+  }
+
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) os << " | ";
+    }
+    return os.str();
+  };
+  auto render_sep = [&widths]() {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      os << std::string(widths[i], '-');
+      if (i + 1 < widths.size()) os << "-+-";
+    }
+    return os.str();
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    os << render_row(header_) << '\n' << render_sep() << '\n';
+  }
+  for (const auto& r : rows_) {
+    os << (r.is_separator ? render_sep() : render_row(r.cells)) << '\n';
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+void Table::print() const { print(std::cout); }
+
+}  // namespace esca

@@ -1,0 +1,41 @@
+// ASCII table printer: every bench prints paper-style tables through this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace esca {
+
+/// Column-aligned ASCII table with a title row, e.g.
+///
+///   == TABLE I: ANALYSIS OF ZERO REMOVING STRATEGY ==
+///   Tile Size | Active Tiles | All Tiles | Removing Ratio
+///   ----------+--------------+-----------+---------------
+///   4x4x4     | 198          | 110,592   | 99.82%
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells);
+  Table& row(std::vector<std::string> cells);
+  /// Horizontal separator between row groups.
+  Table& separator();
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator{false};
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace esca

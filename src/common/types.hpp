@@ -1,0 +1,86 @@
+// Fundamental value types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <ostream>
+#include <tuple>
+
+namespace esca {
+
+/// Integer 3-D coordinate (voxel index / tile index / kernel offset).
+struct Coord3 {
+  std::int32_t x{0};
+  std::int32_t y{0};
+  std::int32_t z{0};
+
+  constexpr Coord3() = default;
+  constexpr Coord3(std::int32_t xx, std::int32_t yy, std::int32_t zz) : x(xx), y(yy), z(zz) {}
+
+  friend constexpr bool operator==(const Coord3&, const Coord3&) = default;
+  friend constexpr auto operator<=>(const Coord3& a, const Coord3& b) {
+    return std::tie(a.z, a.y, a.x) <=> std::tie(b.z, b.y, b.x);
+  }
+
+  constexpr Coord3 operator+(const Coord3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Coord3 operator-(const Coord3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Coord3 operator*(std::int32_t s) const { return {x * s, y * s, z * s}; }
+
+  /// Component-wise integer division (rounds toward negative infinity).
+  constexpr Coord3 floordiv(std::int32_t s) const {
+    auto fd = [](std::int32_t v, std::int32_t d) {
+      std::int32_t q = v / d;
+      if ((v % d != 0) && ((v < 0) != (d < 0))) --q;
+      return q;
+    };
+    return {fd(x, s), fd(y, s), fd(z, s)};
+  }
+
+  /// Number of cells in a box of this extent.
+  constexpr std::int64_t volume() const {
+    return static_cast<std::int64_t>(x) * static_cast<std::int64_t>(y) *
+           static_cast<std::int64_t>(z);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Coord3& c) {
+  return os << '(' << c.x << ',' << c.y << ',' << c.z << ')';
+}
+
+/// 64-bit mix hash for coordinates (splitmix-style avalanche).
+struct Coord3Hash {
+  std::size_t operator()(const Coord3& c) const noexcept {
+    auto mix = [](std::uint64_t v) {
+      v += 0x9e3779b97f4a7c15ULL;
+      v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+      return v ^ (v >> 31);
+    };
+    std::uint64_t h = mix(static_cast<std::uint32_t>(c.x));
+    h = mix(h ^ static_cast<std::uint32_t>(c.y));
+    h = mix(h ^ static_cast<std::uint32_t>(c.z));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Linearize a coordinate inside an extent, x-fastest ("column-major over z").
+constexpr std::int64_t linear_index(const Coord3& c, const Coord3& extent) {
+  return (static_cast<std::int64_t>(c.z) * extent.y + c.y) * extent.x + c.x;
+}
+
+/// Inverse of linear_index.
+constexpr Coord3 delinearize(std::int64_t idx, const Coord3& extent) {
+  const auto x = static_cast<std::int32_t>(idx % extent.x);
+  idx /= extent.x;
+  const auto y = static_cast<std::int32_t>(idx % extent.y);
+  idx /= extent.y;
+  return {x, y, static_cast<std::int32_t>(idx)};
+}
+
+/// True if c lies in [0, extent) on every axis.
+constexpr bool in_bounds(const Coord3& c, const Coord3& extent) {
+  return c.x >= 0 && c.y >= 0 && c.z >= 0 && c.x < extent.x && c.y < extent.y && c.z < extent.z;
+}
+
+}  // namespace esca

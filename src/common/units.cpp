@@ -1,0 +1,39 @@
+#include "common/units.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace esca::units {
+
+std::string bytes(std::int64_t n) {
+  const double v = static_cast<double>(n);
+  if (n >= kGiB) return str::format("%.2f GiB", v / static_cast<double>(kGiB));
+  if (n >= kMiB) return str::format("%.2f MiB", v / static_cast<double>(kMiB));
+  if (n >= kKiB) return str::format("%.2f KiB", v / static_cast<double>(kKiB));
+  return str::format("%lld B", static_cast<long long>(n));
+}
+
+std::string ops_per_second(double ops) {
+  if (ops >= kGiga) return str::format("%.2f GOPS", ops / kGiga);
+  if (ops >= kMega) return str::format("%.2f MOPS", ops / kMega);
+  if (ops >= kKilo) return str::format("%.2f KOPS", ops / kKilo);
+  return str::format("%.2f OPS", ops);
+}
+
+std::string frequency(double hz) {
+  if (hz >= kGiga) return str::format("%.2f GHz", hz / kGiga);
+  if (hz >= kMega) return str::format("%.1f MHz", hz / kMega);
+  if (hz >= kKilo) return str::format("%.1f kHz", hz / kKilo);
+  return str::format("%.1f Hz", hz);
+}
+
+std::string seconds(double s) {
+  const double abs = std::fabs(s);
+  if (abs >= 1.0) return str::format("%.3f s", s);
+  if (abs >= 1e-3) return str::format("%.3f ms", s * 1e3);
+  if (abs >= 1e-6) return str::format("%.3f us", s * 1e6);
+  return str::format("%.1f ns", s * 1e9);
+}
+
+}  // namespace esca::units

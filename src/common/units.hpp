@@ -1,0 +1,29 @@
+// Unit helpers: byte sizes, rates, and human-readable formatting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace esca::units {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+/// "1.50 MiB"-style rendering.
+std::string bytes(std::int64_t n);
+
+/// "17.73 GOPS"-style rendering of an ops/second rate.
+std::string ops_per_second(double ops);
+
+/// "270.0 MHz"-style rendering.
+std::string frequency(double hz);
+
+/// "3.21 ms"-style rendering of seconds.
+std::string seconds(double s);
+
+}  // namespace esca::units

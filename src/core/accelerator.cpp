@@ -1,0 +1,152 @@
+#include "core/accelerator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/logging.hpp"
+#include "core/computing_core.hpp"
+
+namespace esca::core {
+
+double LayerRunStats::array_utilization(int parallelism) const {
+  if (total_cycles <= 0 || parallelism <= 0) return 0.0;
+  return static_cast<double>(mac_ops) /
+         (static_cast<double>(parallelism) * static_cast<double>(total_cycles));
+}
+
+Accelerator::Accelerator(ArchConfig config) : config_(config), dram_(config.dram) {
+  config_.validate();
+}
+
+LayerRunResult Accelerator::run_layer(const quant::QuantizedSubConv& layer,
+                                      const quant::QSparseTensor& input,
+                                      const RunOptions& options) {
+  ESCA_REQUIRE(input.channels() == layer.in_channels(),
+               "input channels " << input.channels() << " != layer " << layer.in_channels());
+  ESCA_REQUIRE(layer.kernel_size() == config_.kernel_size,
+               "layer kernel " << layer.kernel_size() << " != architecture kernel "
+                               << config_.kernel_size);
+
+  LayerRunStats st;
+  st.layer_name = layer.name();
+  st.in_channels = layer.in_channels();
+  st.out_channels = layer.out_channels();
+  st.sites = static_cast<std::int64_t>(input.size());
+
+  // Geometry (coordinate set) shared by the matching pipeline.
+  sparse::SparseTensor geometry(input.spatial_extent(), 1);
+  for (const Coord3& c : input.coords()) geometry.add_site(c);
+
+  // --- §III.A zero removing ---------------------------------------------------
+  const ZeroRemoving zr(config_.tile_size);
+  const voxel::TileGrid tiles = zr.apply(geometry, &st.zero_removing);
+
+  // --- §III.B encoding ----------------------------------------------------------
+  const TileEncoder encoder(config_);
+  const std::vector<EncodedTile> encoded = encoder.encode(geometry, tiles, &st.encoding);
+
+  // --- buffer capacity / DRAM traffic -----------------------------------------
+  const std::int64_t weight_bytes = layer.weight_bytes();
+  if (weight_bytes > config_.weight_buffer_bytes) ++st.buffer_spills;
+  const auto act_bytes_per_site = static_cast<std::int64_t>(layer.in_channels()) * 2;
+  const auto out_bytes_per_site = static_cast<std::int64_t>(layer.out_channels()) * 2;
+  for (const EncodedTile& t : encoded) {
+    if (t.stored_sites() * act_bytes_per_site > config_.activation_buffer_bytes) {
+      ++st.buffer_spills;
+    }
+    if ((t.mask_bits() + 7) / 8 > config_.mask_buffer_bytes) ++st.buffer_spills;
+  }
+  if (st.buffer_spills > 0) {
+    ESCA_LOG_WARN << "layer '" << layer.name() << "': " << st.buffer_spills
+                  << " tile working sets exceed on-chip buffers (double-streamed)";
+  }
+
+  st.dram_bytes_in = st.encoding.mask_bytes + st.encoding.stored_sites * act_bytes_per_site +
+                     (options.weights_resident ? 0 : weight_bytes);
+  st.dram_bytes_out = st.encoding.core_sites * out_bytes_per_site;
+  // Spilled tiles stream their working set twice.
+  st.dram_bytes_in += st.buffer_spills * act_bytes_per_site;
+  dram_.record_read(st.dram_bytes_in);
+  dram_.record_write(st.dram_bytes_out);
+
+  // --- per-tile SDMU + CC -------------------------------------------------------
+  const Sdmu sdmu(config_);
+  const ComputingCore cc(config_);
+  const int ccpm = cc.cycles_per_match(layer.in_channels(), layer.out_channels());
+
+  quant::QSparseTensor output(input.spatial_extent(), layer.out_channels(),
+                              quant::QuantParams{layer.out_scale()});
+  for (const Coord3& c : input.coords()) output.add_site(c);
+
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(layer.out_channels()));
+  std::int64_t covered_sites = 0;
+
+  for (const EncodedTile& tile : encoded) {
+    SdmuResult tile_result = sdmu.simulate_tile(tile, geometry, ccpm);
+    st.sdmu.merge(tile_result.stats);
+
+    for (const MatchGroup& group : tile_result.groups) {
+      std::fill(acc.begin(), acc.end(), 0);
+      const GroupComputeResult gr = cc.process_group(group, input, layer, acc);
+      st.cc_cycles += gr.cycles;
+      st.mac_ops += gr.mac_ops;
+      cc.writeback(acc, layer,
+                   output.features(static_cast<std::size_t>(group.out_row)));
+      ++covered_sites;
+
+      // Energy accounting for this group.
+      energy_.add_mac(gr.mac_ops);
+      energy_.add_bram_read(static_cast<std::int64_t>(group.matches.size()) *
+                            ((layer.in_channels() + 3) / 4));  // 72b act words
+      energy_.add_bram_read(static_cast<std::int64_t>(group.matches.size()) *
+                            ((static_cast<std::int64_t>(layer.in_channels()) *
+                              layer.out_channels() + 8) / 9));  // 72b weight words
+      energy_.add_bram_write((layer.out_channels() + 3) / 4);
+    }
+  }
+  ESCA_CHECK(covered_sites == st.sites,
+             "not every site produced an output group: " << covered_sites << " vs "
+                                                         << st.sites);
+
+  st.total_cycles = st.sdmu.cycles;
+  energy_.add_logic_cycles(st.total_cycles);
+  energy_.add_dram_bytes(st.dram_bytes_in + st.dram_bytes_out);
+
+  // --- timing -------------------------------------------------------------------
+  st.compute_seconds = static_cast<double>(st.total_cycles) / config_.frequency_hz;
+  st.dram_seconds = dram_.transfer_seconds(st.dram_bytes_in) +
+                    dram_.transfer_seconds(st.dram_bytes_out);
+  st.total_seconds = config_.overlap_dram ? std::max(st.compute_seconds, st.dram_seconds)
+                                          : st.compute_seconds + st.dram_seconds;
+  st.effective_gops =
+      st.total_seconds > 0.0
+          ? 2.0 * static_cast<double>(st.mac_ops) / st.total_seconds / 1e9
+          : 0.0;
+
+  return LayerRunResult{std::move(output), std::move(st)};
+}
+
+std::int64_t NetworkRunStats::total_cycles() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.total_cycles;
+  return n;
+}
+
+std::int64_t NetworkRunStats::total_mac_ops() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.mac_ops;
+  return n;
+}
+
+double NetworkRunStats::total_seconds() const {
+  double s = 0.0;
+  for (const auto& l : layers) s += l.total_seconds;
+  return s;
+}
+
+double NetworkRunStats::effective_gops() const {
+  const double s = total_seconds();
+  return s > 0.0 ? 2.0 * static_cast<double>(total_mac_ops()) / s / 1e9 : 0.0;
+}
+
+}  // namespace esca::core

@@ -1,0 +1,94 @@
+// ESCA top level (paper §III.E, Fig. 9): main controller + SDMU + computing
+// core + on-chip buffers + off-chip DRAM.
+//
+// run_layer() executes one quantized Sub-Conv layer the way the hardware
+// does — zero removing, tile encoding, per-tile SDMU matching and CC
+// compute — and returns both the INT16 output tensor (bit-exact vs. the
+// quant::QuantizedSubConv gold model) and the full cycle/traffic statistics
+// used by the performance benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/encoding.hpp"
+#include "core/sdmu.hpp"
+#include "core/zero_removing.hpp"
+#include "quant/qsubconv.hpp"
+#include "quant/qtensor.hpp"
+#include "sim/dram.hpp"
+#include "sim/energy.hpp"
+
+namespace esca::core {
+
+struct LayerRunStats {
+  std::string layer_name;
+  int in_channels{0};
+  int out_channels{0};
+  std::int64_t sites{0};
+
+  ZeroRemovingStats zero_removing;
+  EncodingStats encoding;
+  SdmuStats sdmu;  ///< aggregated over tiles (cycles include CC drain)
+
+  std::int64_t cc_cycles{0};   ///< array-occupied cycles (matches x blocks)
+  std::int64_t mac_ops{0};     ///< effective MACs
+  std::int64_t total_cycles{0};
+
+  std::int64_t dram_bytes_in{0};
+  std::int64_t dram_bytes_out{0};
+  std::int64_t buffer_spills{0};  ///< tiles whose working set exceeded a buffer
+
+  double compute_seconds{0.0};
+  double dram_seconds{0.0};
+  double total_seconds{0.0};
+  double effective_gops{0.0};  ///< 2 * mac_ops / total_seconds
+
+  /// MAC-array utilization: mac_ops / (parallelism * total_cycles).
+  double array_utilization(int parallelism) const;
+};
+
+struct LayerRunResult {
+  quant::QSparseTensor output;
+  LayerRunStats stats;
+};
+
+/// Execution options for one layer invocation.
+struct RunOptions {
+  /// Weights already reside in the on-chip weight buffer (steady-state /
+  /// batch execution): no weight DRAM transfer is charged.
+  bool weights_resident{false};
+};
+
+class Accelerator {
+ public:
+  explicit Accelerator(ArchConfig config);
+
+  const ArchConfig& config() const { return config_; }
+
+  LayerRunResult run_layer(const quant::QuantizedSubConv& layer,
+                           const quant::QSparseTensor& input, const RunOptions& options = {});
+
+  /// Energy accumulated across every run_layer() call (power-model input).
+  const sim::EnergyMeter& energy() const { return energy_; }
+  sim::EnergyMeter& energy() { return energy_; }
+
+ private:
+  ArchConfig config_;
+  sim::DramModel dram_;
+  sim::EnergyMeter energy_;
+};
+
+/// Sum a set of per-layer stats into network totals.
+struct NetworkRunStats {
+  std::vector<LayerRunStats> layers;
+
+  std::int64_t total_cycles() const;
+  std::int64_t total_mac_ops() const;
+  double total_seconds() const;
+  double effective_gops() const;
+};
+
+}  // namespace esca::core

@@ -1,0 +1,128 @@
+#include "core/encoding.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::core {
+
+EncodedTile::EncodedTile(Coord3 tile_coord, Coord3 core_origin, Coord3 core_size,
+                         int kernel_radius)
+    : tile_coord_(tile_coord),
+      core_origin_(core_origin),
+      core_size_(core_size),
+      radius_(kernel_radius) {
+  ESCA_REQUIRE(core_size.x > 0 && core_size.y > 0 && core_size.z > 0,
+               "tile core size must be positive");
+  ESCA_REQUIRE(kernel_radius >= 0, "kernel radius must be non-negative");
+  padded_size_ = core_size + Coord3{2 * radius_, 2 * radius_, 2 * radius_};
+  const auto words =
+      (static_cast<std::size_t>(mask_bits()) + 63) / 64;
+  mask_.assign(words, 0);
+  prefix_.assign(static_cast<std::size_t>(columns()) * static_cast<std::size_t>(depth() + 1),
+                 0);
+}
+
+bool EncodedTile::mask_at(int col, int z) const {
+  ESCA_ASSERT(col >= 0 && col < columns() && z >= 0 && z < depth(), "mask index out of range");
+  const auto bit = static_cast<std::size_t>(col) * static_cast<std::size_t>(depth()) +
+                   static_cast<std::size_t>(z);
+  return (mask_[bit / 64] >> (bit % 64)) & 1U;
+}
+
+void EncodedTile::set_mask(int col, int z) {
+  ESCA_ASSERT(col >= 0 && col < columns() && z >= 0 && z < depth(), "mask index out of range");
+  const auto bit = static_cast<std::size_t>(col) * static_cast<std::size_t>(depth()) +
+                   static_cast<std::size_t>(z);
+  mask_[bit / 64] |= (1ULL << (bit % 64));
+}
+
+std::int32_t EncodedTile::column_prefix(int col, int z) const {
+  ESCA_ASSERT(col >= 0 && col < columns() && z >= 0 && z <= depth(),
+              "prefix index out of range");
+  return prefix_[static_cast<std::size_t>(col) * static_cast<std::size_t>(depth() + 1) +
+                 static_cast<std::size_t>(z)];
+}
+
+void EncodedTile::finalize(std::vector<std::int32_t> column_start,
+                           std::vector<std::int32_t> site_rows,
+                           std::int32_t core_active_count) {
+  ESCA_CHECK(column_start.size() == static_cast<std::size_t>(columns()) + 1,
+             "column_start size mismatch");
+  column_start_ = std::move(column_start);
+  site_rows_ = std::move(site_rows);
+  core_active_count_ = core_active_count;
+  // Build the per-column running counts (index A source).
+  for (int col = 0; col < columns(); ++col) {
+    std::int32_t acc = 0;
+    for (int z = 0; z <= depth(); ++z) {
+      prefix_[static_cast<std::size_t>(col) * static_cast<std::size_t>(depth() + 1) +
+              static_cast<std::size_t>(z)] = acc;
+      if (z < depth() && mask_at(col, z)) ++acc;
+    }
+  }
+  // The stored activation layout must agree with the mask.
+  ESCA_CHECK(column_start_.back() == static_cast<std::int32_t>(site_rows_.size()),
+             "column_start does not cover site_rows");
+}
+
+TileEncoder::TileEncoder(const ArchConfig& config) : config_(config) { config_.validate(); }
+
+std::vector<EncodedTile> TileEncoder::encode(const sparse::SparseTensor& geometry,
+                                             const voxel::TileGrid& tiles,
+                                             EncodingStats* stats) const {
+  const int radius = config_.kernel_radius();
+  std::vector<EncodedTile> encoded;
+  encoded.reserve(tiles.tiles().size());
+
+  for (const voxel::Tile& tile : tiles.tiles()) {
+    EncodedTile et(tile.tile_coord, tile.origin, tiles.shape().size, radius);
+    const Coord3 porigin = et.padded_origin();
+    const Coord3 psize = et.padded_size();
+
+    std::vector<std::int32_t> column_start(static_cast<std::size_t>(et.columns()) + 1, 0);
+    std::vector<std::int32_t> site_rows;
+    std::int32_t core_active = 0;
+
+    // Column-major sweep; inside a column ascending z — the exact order the
+    // valid-data buffer is filled in (paper Fig. 4).
+    for (int x = 0; x < psize.x; ++x) {
+      for (int y = 0; y < psize.y; ++y) {
+        const int col = et.column_of(x, y);
+        column_start[static_cast<std::size_t>(col)] =
+            static_cast<std::int32_t>(site_rows.size());
+        for (int z = 0; z < psize.z; ++z) {
+          const Coord3 global = porigin + Coord3{x, y, z};
+          if (!in_bounds(global, geometry.spatial_extent())) continue;
+          const std::int32_t row = geometry.find(global);
+          if (row < 0) continue;
+          et.set_mask(col, z);
+          site_rows.push_back(row);
+          const bool in_core = x >= radius && x < radius + et.core_size().x && y >= radius &&
+                               y < radius + et.core_size().y && z >= radius &&
+                               z < radius + et.core_size().z;
+          if (in_core) ++core_active;
+        }
+      }
+    }
+    column_start.back() = static_cast<std::int32_t>(site_rows.size());
+    // column_start must be a prefix: fix columns that had no sites after
+    // them (we set starts eagerly above, so fill any gaps monotonically).
+    for (std::size_t c = static_cast<std::size_t>(et.columns()); c > 0; --c) {
+      if (column_start[c - 1] > column_start[c]) column_start[c - 1] = column_start[c];
+    }
+
+    const std::int64_t stored = static_cast<std::int64_t>(site_rows.size());
+    et.finalize(std::move(column_start), std::move(site_rows), core_active);
+
+    if (stats != nullptr) {
+      stats->tiles += 1;
+      stats->mask_bytes += (et.mask_bits() + 7) / 8;
+      stats->stored_sites += stored;
+      stats->core_sites += core_active;
+      stats->halo_duplicates += stored - core_active;
+    }
+    encoded.push_back(std::move(et));
+  }
+  return encoded;
+}
+
+}  // namespace esca::core

@@ -1,0 +1,52 @@
+#include "core/fifo_group.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace esca::core {
+
+FifoGroup::FifoGroup(int columns, std::size_t depth) {
+  ESCA_REQUIRE(columns > 0, "FIFO group needs at least one column");
+  fifos_.reserve(static_cast<std::size_t>(columns));
+  for (int c = 0; c < columns; ++c) fifos_.emplace_back(depth);
+}
+
+bool FifoGroup::all_empty() const {
+  return std::all_of(fifos_.begin(), fifos_.end(),
+                     [](const sim::Fifo<Match>& f) { return f.empty(); });
+}
+
+std::size_t FifoGroup::total_size() const {
+  std::size_t n = 0;
+  for (const auto& f : fifos_) n += f.size();
+  return n;
+}
+
+std::size_t FifoGroup::high_water() const {
+  std::size_t hw = 0;
+  for (const auto& f : fifos_) hw = std::max(hw, f.high_water());
+  return hw;
+}
+
+std::int64_t FifoGroup::total_push_stalls() const {
+  std::int64_t n = 0;
+  for (const auto& f : fifos_) n += f.push_stalls();
+  return n;
+}
+
+std::int64_t FifoGroup::total_pushed() const {
+  std::int64_t n = 0;
+  for (const auto& f : fifos_) n += f.total_pushed();
+  return n;
+}
+
+void FifoGroup::reset_stats() {
+  for (auto& f : fifos_) f.reset_stats();
+}
+
+void FifoGroup::clear() {
+  for (auto& f : fifos_) f.clear();
+}
+
+}  // namespace esca::core

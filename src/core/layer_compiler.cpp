@@ -1,0 +1,69 @@
+#include "core/layer_compiler.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::core {
+
+std::int64_t CompiledNetwork::total_macs() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers) n += l.gold_macs;
+  return n;
+}
+
+CompiledNetwork LayerCompiler::compile(const std::vector<nn::TraceEntry>& trace) {
+  CompiledNetwork network;
+  for (const nn::TraceEntry& entry : trace) {
+    if (entry.kind != nn::LayerKind::kSubmanifoldConv) continue;
+    ESCA_CHECK(entry.subconv != nullptr, "trace entry '" << entry.name
+                                                         << "' missing conv pointer");
+
+    const float in_scale = quant::calibrate(entry.input.abs_max(), quant::kInt16Max).scale;
+    const float out_scale = quant::calibrate(entry.output.abs_max(), quant::kInt16Max).scale;
+
+    quant::QuantizedSubConv qlayer = quant::QuantizedSubConv::from_float(
+        *entry.subconv, entry.bn, entry.relu, in_scale, out_scale, entry.name);
+    quant::QSparseTensor qinput =
+        quant::QSparseTensor::from_float(entry.input, quant::QuantParams{in_scale});
+    quant::QSparseTensor gold = qlayer.forward(qinput);
+
+    network.layers.push_back(CompiledLayer{std::move(qlayer), std::move(qinput),
+                                           std::move(gold), entry.macs});
+  }
+  return network;
+}
+
+NetworkRunStats run_network(Accelerator& accelerator, const CompiledNetwork& network,
+                            bool verify) {
+  NetworkRunStats stats;
+  for (const CompiledLayer& cl : network.layers) {
+    LayerRunResult result = accelerator.run_layer(cl.layer, cl.input);
+    if (verify) {
+      ESCA_CHECK(result.output == cl.gold_output,
+                 "accelerator output diverges from integer gold model in layer '"
+                     << cl.layer.name() << "'");
+    }
+    stats.layers.push_back(std::move(result.stats));
+  }
+  return stats;
+}
+
+NetworkRunStats run_network_batch(Accelerator& accelerator, const CompiledNetwork& network,
+                                  int batch, bool verify) {
+  ESCA_REQUIRE(batch >= 1, "batch must be >= 1");
+  NetworkRunStats stats;
+  for (int frame = 0; frame < batch; ++frame) {
+    RunOptions options;
+    options.weights_resident = frame > 0;
+    for (const CompiledLayer& cl : network.layers) {
+      LayerRunResult result = accelerator.run_layer(cl.layer, cl.input, options);
+      if (verify) {
+        ESCA_CHECK(result.output == cl.gold_output,
+                   "batch run diverges from gold in layer '" << cl.layer.name() << "'");
+      }
+      stats.layers.push_back(std::move(result.stats));
+    }
+  }
+  return stats;
+}
+
+}  // namespace esca::core

@@ -1,0 +1,52 @@
+// Layer compiler: lowers a traced float SS U-Net onto the accelerator.
+//
+// For every Sub-Conv layer in a nn::SSUNet trace it
+//   1. calibrates INT16 activation scales from the float input/output,
+//   2. quantizes the layer (folding its BatchNorm and ReLU),
+//   3. quantizes the recorded float input, and
+//   4. precomputes the integer gold output for bit-exactness checks.
+// The non-Sub-Conv layers (strided/inverse convs, head) stay on the host in
+// this design, exactly as in the paper (the accelerator targets the
+// Sub-Conv layer).
+#pragma once
+
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "nn/unet.hpp"
+#include "quant/qsubconv.hpp"
+#include "quant/qtensor.hpp"
+
+namespace esca::core {
+
+struct CompiledLayer {
+  quant::QuantizedSubConv layer;
+  quant::QSparseTensor input;
+  quant::QSparseTensor gold_output;
+  std::int64_t gold_macs{0};  ///< rulebook MACs from the float trace
+};
+
+struct CompiledNetwork {
+  std::vector<CompiledLayer> layers;
+
+  std::int64_t total_macs() const;
+};
+
+class LayerCompiler {
+ public:
+  /// Compile every Sub-Conv entry of a forward trace.
+  static CompiledNetwork compile(const std::vector<nn::TraceEntry>& trace);
+};
+
+/// Execute a compiled network layer by layer; verifies each layer's output
+/// against the integer gold model when `verify` is set (throws on mismatch).
+NetworkRunStats run_network(Accelerator& accelerator, const CompiledNetwork& network,
+                            bool verify = true);
+
+/// Steady-state batch execution: the first frame pays the weight DRAM
+/// transfers, subsequent frames run with weights resident on chip. Returns
+/// one aggregated stats entry per (layer, frame) in execution order.
+NetworkRunStats run_network_batch(Accelerator& accelerator, const CompiledNetwork& network,
+                                  int batch, bool verify = false);
+
+}  // namespace esca::core

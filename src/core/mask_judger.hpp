@@ -1,0 +1,34 @@
+// Mask judger (paper §III.C): decides per SRF whether the center site is
+// active, i.e. whether a match group must be fetched at all.
+#pragma once
+
+#include <cstdint>
+
+#include "core/encoding.hpp"
+
+namespace esca::core {
+
+enum class SrfState : std::uint8_t {
+  kActive,     ///< center mask bit is 1: fetch the match group
+  kNonActive,  ///< center is 0: skip the fetch-activations step
+};
+
+class MaskJudger {
+ public:
+  /// Judge the SRF centered at padded coords (cx, cy, cz) of the tile.
+  static SrfState judge(const EncodedTile& tile, int cx, int cy, int cz);
+
+  std::int64_t judged() const { return judged_; }
+  std::int64_t active() const { return active_; }
+  std::int64_t skipped() const { return judged_ - active_; }
+
+  /// Stateful variant that keeps running statistics.
+  SrfState judge_counted(const EncodedTile& tile, int cx, int cy, int cz);
+  void reset_stats();
+
+ private:
+  std::int64_t judged_{0};
+  std::int64_t active_{0};
+};
+
+}  // namespace esca::core

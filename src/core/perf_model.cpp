@@ -1,0 +1,38 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/dram.hpp"
+
+namespace esca::core {
+
+PerfModel::PerfModel(const ArchConfig& config) : config_(config) { config_.validate(); }
+
+PerfEstimate PerfModel::estimate_layer(std::int64_t active_tiles, std::int64_t matches,
+                                       int in_channels, int out_channels) const {
+  ESCA_REQUIRE(active_tiles >= 0 && matches >= 0, "counts must be non-negative");
+  ESCA_REQUIRE(in_channels > 0 && out_channels > 0, "channels must be positive");
+
+  const int ic_blocks = (in_channels + config_.ic_parallel - 1) / config_.ic_parallel;
+  const int oc_blocks = (out_channels + config_.oc_parallel - 1) / config_.oc_parallel;
+  const std::int64_t ccpm = static_cast<std::int64_t>(ic_blocks) * oc_blocks;
+
+  PerfEstimate e;
+  e.scan_cycles = active_tiles * config_.tile_size.volume() * config_.mask_read_cycles;
+  e.drain_cycles = matches * ccpm;
+  e.total_cycles = std::max(e.scan_cycles, e.drain_cycles) +
+                   active_tiles * config_.pipeline_fill_cycles;
+  e.scan_bound = e.scan_cycles >= e.drain_cycles;
+  e.seconds = static_cast<double>(e.total_cycles) / config_.frequency_hz;
+  const double macs = static_cast<double>(matches) * in_channels * out_channels;
+  e.effective_gops = e.seconds > 0.0 ? 2.0 * macs / e.seconds / 1e9 : 0.0;
+  return e;
+}
+
+double PerfModel::dram_seconds(std::int64_t bytes_in, std::int64_t bytes_out) const {
+  const sim::DramModel dram(config_.dram);
+  return dram.transfer_seconds(bytes_in) + dram.transfer_seconds(bytes_out);
+}
+
+}  // namespace esca::core

@@ -1,0 +1,32 @@
+#include "core/power_model.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::core {
+
+PowerModel::PowerModel(const ArchConfig& config, PowerModelConstants constants)
+    : config_(config), constants_(constants) {
+  config_.validate();
+}
+
+PowerReport PowerModel::estimate(const sim::EnergyMeter& energy, double seconds,
+                                 double bram36_in_use) const {
+  ESCA_REQUIRE(seconds > 0.0, "elapsed time must be positive");
+
+  PowerReport r;
+  r.static_w = constants_.static_w + bram36_in_use * constants_.bram_static_w_per_unit;
+  r.clock_w = constants_.clock_w_per_mhz * (config_.frequency_hz / 1e6);
+
+  const double mac_j = energy.component_joules("dsp_mac");
+  const double logic_j = energy.component_joules("logic");
+  const double bram_j =
+      energy.component_joules("bram_read") + energy.component_joules("bram_write");
+  const double dram_j = energy.component_joules("dram");
+
+  r.compute_w = (mac_j + logic_j) / seconds;
+  r.memory_w = (bram_j + dram_j) / seconds;
+  r.total_w = r.static_w + r.clock_w + r.compute_w + r.memory_w;
+  return r;
+}
+
+}  // namespace esca::core

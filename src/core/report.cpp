@@ -1,0 +1,50 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace esca::core {
+
+std::string layer_report_table(const NetworkRunStats& stats, const std::string& title) {
+  Table table(title);
+  table.header({"Layer", "Cin", "Cout", "Sites", "Tiles", "Matches", "Cycles", "Time (us)",
+                "GOPS"});
+  for (const auto& l : stats.layers) {
+    table.row({l.layer_name, std::to_string(l.in_channels), std::to_string(l.out_channels),
+               std::to_string(l.sites), std::to_string(l.zero_removing.active_tiles),
+               str::with_commas(l.sdmu.matches), str::with_commas(l.total_cycles),
+               str::fixed(l.total_seconds * 1e6, 1), str::fixed(l.effective_gops, 2)});
+  }
+  table.separator();
+  table.row({"total", "", "", "", "", "", str::with_commas(stats.total_cycles()),
+             str::fixed(stats.total_seconds() * 1e6, 1),
+             str::fixed(stats.effective_gops(), 2)});
+  return table.to_string();
+}
+
+void write_layer_csv(std::ostream& os, const NetworkRunStats& stats) {
+  os << "layer,cin,cout,sites,active_tiles,matches,mac_ops,cycles,scan_stalls,fetch_stalls,"
+        "mux_idle,dram_bytes_in,dram_bytes_out,seconds,effective_gops\n";
+  for (const auto& l : stats.layers) {
+    os << l.layer_name << ',' << l.in_channels << ',' << l.out_channels << ',' << l.sites
+       << ',' << l.zero_removing.active_tiles << ',' << l.sdmu.matches << ',' << l.mac_ops
+       << ',' << l.total_cycles << ',' << l.sdmu.scan_stall_cycles << ','
+       << l.sdmu.fetch_stall_cycles << ',' << l.sdmu.mux_idle_cycles << ','
+       << l.dram_bytes_in << ',' << l.dram_bytes_out << ',' << l.total_seconds << ','
+       << l.effective_gops << '\n';
+  }
+  os << "total,,,,,," << stats.total_mac_ops() << ',' << stats.total_cycles() << ",,,,,,"
+     << stats.total_seconds() << ',' << stats.effective_gops() << '\n';
+}
+
+void write_layer_csv_file(const std::string& path, const NetworkRunStats& stats) {
+  std::ofstream os(path);
+  ESCA_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  write_layer_csv(os, stats);
+}
+
+}  // namespace esca::core

@@ -1,0 +1,21 @@
+// Reporting utilities: render accelerator run statistics as tables or CSV
+// (for spreadsheets / plotting scripts).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/accelerator.hpp"
+
+namespace esca::core {
+
+/// Column-aligned per-layer table (same content as the CSV).
+std::string layer_report_table(const NetworkRunStats& stats, const std::string& title);
+
+/// CSV with one row per layer: name, channels, sites, tiles, matches,
+/// cycles, stalls, DRAM bytes, time and effective GOPS. Includes a header
+/// row and a final "total" row.
+void write_layer_csv(std::ostream& os, const NetworkRunStats& stats);
+void write_layer_csv_file(const std::string& path, const NetworkRunStats& stats);
+
+}  // namespace esca::core

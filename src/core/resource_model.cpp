@@ -1,0 +1,145 @@
+#include "core/resource_model.hpp"
+
+#include "common/check.hpp"
+#include "sim/bram.hpp"
+
+namespace esca::core {
+namespace {
+
+// LUT/FF calibration constants (fitted once against the paper's Table II;
+// see header). All costs are per-instance first-order estimates.
+constexpr double kLutPerAdderTreeStage = 22.0;   ///< per IC adder in a CU
+constexpr double kLutPerAccumulator = 60.0;      ///< per-OC 48-bit accumulate
+constexpr double kLutPerDspGlue = 8.0;           ///< operand mux/align per DSP
+constexpr double kLutPerColumnDecoder = 320.0;   ///< state idx + addr gen + fetch
+constexpr double kLutMaskJudger = 150.0;
+constexpr double kLutMux = 600.0;
+constexpr double kLutPerBufferController = 220.0;
+constexpr double kLutMainController = 1800.0;
+constexpr double kLutDramInterface = 1400.0;
+constexpr double kLutMisc = 700.0;
+
+constexpr double kFfPerDsp = 4.0;            ///< pipeline regs around each DSP
+constexpr double kFfPerAccumulator = 48.0;   ///< accumulator register
+constexpr double kFfPerCuInput = 240.0;      ///< per-CU operand regs (16 acts + weights)
+constexpr double kFfPerColumnDecoder = 200.0;
+constexpr double kFfPerFifo = 24.0;          ///< pointers + status
+constexpr double kFfPerBufferController = 64.0;
+constexpr double kFfMainController = 1200.0;
+constexpr double kFfDramInterface = 2200.0;
+constexpr double kFfMisc = 600.0;
+
+/// Shallow FIFOs synthesize to LUTRAM, not BRAM.
+constexpr std::int64_t kFifoBramDepthThreshold = 64;
+
+double buffer_bram(const std::string& name, std::int64_t bytes, std::int64_t word_bits,
+                   bool double_buffered) {
+  sim::BramSpec spec;
+  spec.name = name;
+  spec.word_bits = word_bits;
+  spec.depth = (bytes * 8 + word_bits - 1) / word_bits;
+  const double count = sim::bram36_count(spec);
+  return double_buffered ? 2.0 * count : count;
+}
+
+}  // namespace
+
+DeviceCapacity zcu102() {
+  // XCZU9EG: 274 080 LUT, 548 160 FF, 912 BRAM36 (1824 BRAM18), 2520 DSP48E2.
+  return DeviceCapacity{"ZCU102 (XCZU9EG)", 274080.0, 548160.0, 912.0, 2520.0};
+}
+
+double ResourceReport::total_lut() const {
+  double n = 0;
+  for (const auto& m : modules) n += m.lut;
+  return n;
+}
+double ResourceReport::total_ff() const {
+  double n = 0;
+  for (const auto& m : modules) n += m.ff;
+  return n;
+}
+double ResourceReport::total_bram36() const {
+  double n = 0;
+  for (const auto& m : modules) n += m.bram36;
+  return n;
+}
+double ResourceReport::total_dsp() const {
+  double n = 0;
+  for (const auto& m : modules) n += m.dsp;
+  return n;
+}
+
+bool ResourceReport::fits() const {
+  return total_lut() <= device.lut && total_ff() <= device.ff &&
+         total_bram36() <= device.bram36 && total_dsp() <= device.dsp;
+}
+
+ResourceModel::ResourceModel(const ArchConfig& config, DeviceCapacity device)
+    : config_(config), device_(std::move(device)) {
+  config_.validate();
+}
+
+ResourceReport ResourceModel::estimate() const {
+  ResourceReport report;
+  report.device = device_;
+
+  const double ic = config_.ic_parallel;
+  const double oc = config_.oc_parallel;
+  const double k2 = config_.k2();
+  const double dsps = ic * oc;  // one DSP48E2 per INT8xINT16 MAC
+
+  // --- computing core ---------------------------------------------------------
+  ModuleResources cc{"computing core", 0, 0, 0, dsps};
+  cc.lut = oc * ((ic - 1.0) * kLutPerAdderTreeStage + kLutPerAccumulator) +
+           dsps * kLutPerDspGlue;
+  cc.ff = dsps * kFfPerDsp + oc * kFfPerAccumulator + oc * kFfPerCuInput;
+  report.modules.push_back(cc);
+
+  // --- SDMU --------------------------------------------------------------------
+  ModuleResources sdmu{"SDMU (judger/decoder/mux)", 0, 0, 0, 0};
+  sdmu.lut = k2 * kLutPerColumnDecoder + kLutMaskJudger + kLutMux;
+  sdmu.ff = k2 * kFfPerColumnDecoder + k2 * kFfPerFifo;
+  // Match FIFOs: ic_parallel INT16 activations + weight/index sideband.
+  // Shallow FIFOs (the default depth 16) map to LUTRAM; deep ones to BRAM.
+  {
+    const std::int64_t fifo_width = config_.ic_parallel * 16 + 16;
+    if (config_.fifo_depth > kFifoBramDepthThreshold) {
+      sim::BramSpec fifo_spec{"match fifo", fifo_width, config_.fifo_depth, 1};
+      sdmu.bram36 = k2 * sim::bram36_count(fifo_spec);
+    } else {
+      // RAM32M-style LUTRAM: ~1 LUT per 2 bits of storage capacity / 32 deep.
+      sdmu.lut += k2 * static_cast<double>(fifo_width) *
+                  static_cast<double>(config_.fifo_depth) / 32.0;
+    }
+  }
+  report.modules.push_back(sdmu);
+
+  // --- buffers -------------------------------------------------------------------
+  ModuleResources buffers{"on-chip buffers", 0, 0, 0, 0};
+  buffers.lut = 4.0 * kLutPerBufferController;
+  buffers.ff = 4.0 * kFfPerBufferController;
+  // Activation/output buffers are ping-pong (double buffered) so tile (i+1)
+  // streams in while tile i computes; weight and mask buffers are single.
+  buffers.bram36 += buffer_bram("activation", config_.activation_buffer_bytes,
+                                config_.ic_parallel * 16, /*double_buffered=*/true);
+  buffers.bram36 += buffer_bram("output", config_.output_buffer_bytes,
+                                config_.oc_parallel * 16, /*double_buffered=*/true);
+  buffers.bram36 += buffer_bram("weight", config_.weight_buffer_bytes,
+                                config_.ic_parallel * config_.oc_parallel * 8,
+                                /*double_buffered=*/false);
+  buffers.bram36 += buffer_bram("mask", config_.mask_buffer_bytes,
+                                /*word_bits=*/config_.k2(), /*double_buffered=*/false);
+  report.modules.push_back(buffers);
+
+  // --- control + memory interface --------------------------------------------------
+  report.modules.push_back(ModuleResources{"main controller",
+                                           kLutMainController + kLutMisc,
+                                           kFfMainController + kFfMisc, 0, 0});
+  report.modules.push_back(
+      ModuleResources{"DRAM interface", kLutDramInterface, kFfDramInterface, 0, 0});
+
+  return report;
+}
+
+}  // namespace esca::core

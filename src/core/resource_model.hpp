@@ -1,0 +1,66 @@
+// FPGA resource model (reproduces Table II).
+//
+// DSP and BRAM counts are *structural*: one DSP48E2 per INT8xINT16 MAC and a
+// deterministic width/depth -> BRAM36 mapping for every buffer. LUT/FF are
+// first-order per-module estimates whose constants were calibrated once
+// against the paper's Vivado report (17 614 LUT / 12 142 FF at the default
+// configuration); their value is how they *scale* with the architecture
+// parameters, which is what the ablation benches exercise. See DESIGN.md §2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+
+namespace esca::core {
+
+struct DeviceCapacity {
+  std::string name;
+  double lut{0};
+  double ff{0};
+  double bram36{0};
+  double dsp{0};
+};
+
+/// Xilinx Zynq UltraScale+ ZCU102 (XCZU9EG) capacities.
+DeviceCapacity zcu102();
+
+struct ModuleResources {
+  std::string name;
+  double lut{0};
+  double ff{0};
+  double bram36{0};
+  double dsp{0};
+};
+
+struct ResourceReport {
+  std::vector<ModuleResources> modules;
+  DeviceCapacity device;
+
+  double total_lut() const;
+  double total_ff() const;
+  double total_bram36() const;
+  double total_dsp() const;
+
+  double lut_fraction() const { return total_lut() / device.lut; }
+  double ff_fraction() const { return total_ff() / device.ff; }
+  double bram_fraction() const { return total_bram36() / device.bram36; }
+  double dsp_fraction() const { return total_dsp() / device.dsp; }
+
+  /// True when every resource fits the device.
+  bool fits() const;
+};
+
+class ResourceModel {
+ public:
+  explicit ResourceModel(const ArchConfig& config, DeviceCapacity device = zcu102());
+
+  ResourceReport estimate() const;
+
+ private:
+  ArchConfig config_;
+  DeviceCapacity device_;
+};
+
+}  // namespace esca::core

@@ -1,0 +1,38 @@
+#include "core/zero_removing.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::core {
+
+ZeroRemoving::ZeroRemoving(Coord3 tile_size) : tile_size_(tile_size) {
+  ESCA_REQUIRE(tile_size.x > 0 && tile_size.y > 0 && tile_size.z > 0,
+               "tile size must be positive, got " << tile_size);
+}
+
+voxel::TileGrid ZeroRemoving::apply(const voxel::VoxelGrid& grid,
+                                    ZeroRemovingStats* stats) const {
+  voxel::TileGrid tiles(grid, voxel::TileShape{tile_size_});
+  if (stats != nullptr) {
+    stats->tile_size = tile_size_;
+    stats->active_tiles = tiles.active_tiles();
+    stats->total_tiles = tiles.total_tiles();
+    stats->removing_ratio = tiles.removing_ratio();
+    stats->active_sites = tiles.occupied_voxels();
+    stats->kept_voxels = tiles.active_tiles() * tile_size_.volume();
+    stats->total_voxels = grid.extent().volume();
+  }
+  return tiles;
+}
+
+voxel::TileGrid ZeroRemoving::apply(const sparse::SparseTensor& tensor,
+                                    ZeroRemovingStats* stats) const {
+  return apply(occupancy_of(tensor), stats);
+}
+
+voxel::VoxelGrid occupancy_of(const sparse::SparseTensor& tensor) {
+  voxel::VoxelGrid grid(tensor.spatial_extent());
+  for (const Coord3& c : tensor.coords()) grid.insert(c);
+  return grid;
+}
+
+}  // namespace esca::core

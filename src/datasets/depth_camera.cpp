@@ -1,0 +1,155 @@
+#include "datasets/depth_camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace esca::datasets {
+
+using geom::Vec3;
+
+namespace {
+
+/// Slab-method ray/AABB intersection; returns nearest positive t.
+std::optional<float> intersect_box(const Ray& ray, const geom::Aabb& box) {
+  float tmin = 0.0F;
+  float tmax = std::numeric_limits<float>::max();
+  const float origin[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+  const float dir[3] = {ray.direction.x, ray.direction.y, ray.direction.z};
+  const float lo[3] = {box.lo.x, box.lo.y, box.lo.z};
+  const float hi[3] = {box.hi.x, box.hi.y, box.hi.z};
+  for (int axis = 0; axis < 3; ++axis) {
+    if (std::fabs(dir[axis]) < 1e-9F) {
+      if (origin[axis] < lo[axis] || origin[axis] > hi[axis]) return std::nullopt;
+      continue;
+    }
+    float t0 = (lo[axis] - origin[axis]) / dir[axis];
+    float t1 = (hi[axis] - origin[axis]) / dir[axis];
+    if (t0 > t1) std::swap(t0, t1);
+    tmin = std::max(tmin, t0);
+    tmax = std::min(tmax, t1);
+    if (tmin > tmax) return std::nullopt;
+  }
+  if (tmin <= 1e-4F) {
+    if (tmax <= 1e-4F) return std::nullopt;
+    return tmax;  // origin inside the box (e.g. inside the room shell)
+  }
+  return tmin;
+}
+
+std::optional<float> intersect_rect(const Ray& ray, const RectSurface& rect) {
+  float origin_n = 0;
+  float dir_n = 0;
+  switch (rect.normal_axis) {
+    case 'x':
+      origin_n = ray.origin.x;
+      dir_n = ray.direction.x;
+      break;
+    case 'y':
+      origin_n = ray.origin.y;
+      dir_n = ray.direction.y;
+      break;
+    case 'z':
+      origin_n = ray.origin.z;
+      dir_n = ray.direction.z;
+      break;
+    default:
+      ESCA_CHECK(false, "bad rect normal axis");
+  }
+  if (std::fabs(dir_n) < 1e-9F) return std::nullopt;
+  const float t = (rect.plane_coord - origin_n) / dir_n;
+  if (t <= 1e-4F) return std::nullopt;
+  const Vec3 hit = ray.origin + ray.direction * t;
+  auto within = [](float v, float lo, float hi) { return v >= lo && v <= hi; };
+  bool inside = false;
+  switch (rect.normal_axis) {
+    case 'x':
+      inside = within(hit.y, rect.lo.y, rect.hi.y) && within(hit.z, rect.lo.z, rect.hi.z);
+      break;
+    case 'y':
+      inside = within(hit.x, rect.lo.x, rect.hi.x) && within(hit.z, rect.lo.z, rect.hi.z);
+      break;
+    case 'z':
+      inside = within(hit.x, rect.lo.x, rect.hi.x) && within(hit.y, rect.lo.y, rect.hi.y);
+      break;
+    default:
+      break;
+  }
+  if (!inside) return std::nullopt;
+  return t;
+}
+
+}  // namespace
+
+std::optional<float> Scene::raycast(const Ray& ray) const {
+  const auto hit = raycast_hit(ray);
+  if (!hit) return std::nullopt;
+  return hit->t;
+}
+
+std::optional<RaycastHit> Scene::raycast_hit(const Ray& ray) const {
+  std::optional<RaycastHit> best;
+  auto consider = [&best](std::optional<float> t, int surface) {
+    if (t && (!best || *t < best->t)) best = RaycastHit{*t, surface};
+  };
+  for (std::size_t i = 0; i < rects_.size(); ++i) {
+    consider(intersect_rect(ray, rects_[i]), static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < boxes_.size(); ++i) {
+    consider(intersect_box(ray, boxes_[i]), static_cast<int>(rects_.size() + i));
+  }
+  return best;
+}
+
+DepthCamera::DepthCamera(DepthCameraConfig config, const Vec3& position, float yaw_radians,
+                         float pitch_radians)
+    : config_(config), position_(position) {
+  ESCA_REQUIRE(config.width > 0 && config.height > 0, "camera resolution must be positive");
+  ESCA_REQUIRE(config.vertical_fov_radians > 0.0F && config.vertical_fov_radians < 3.0F,
+               "vertical FOV out of range");
+  const float cy = std::cos(yaw_radians);
+  const float sy = std::sin(yaw_radians);
+  const float cp = std::cos(pitch_radians);
+  const float sp = std::sin(pitch_radians);
+  forward_ = Vec3{cy * cp, sy * cp, sp}.normalized();
+  right_ = Vec3{-sy, cy, 0.0F}.normalized();
+  up_ = right_.cross(forward_).normalized();
+}
+
+Ray DepthCamera::pixel_ray(int px, int py) const {
+  const float aspect =
+      static_cast<float>(config_.width) / static_cast<float>(config_.height);
+  const float tan_half = std::tan(config_.vertical_fov_radians * 0.5F);
+  // Normalized device coords in [-1, 1], pixel centers.
+  const float ndc_x =
+      (2.0F * (static_cast<float>(px) + 0.5F) / static_cast<float>(config_.width)) - 1.0F;
+  const float ndc_y =
+      1.0F - (2.0F * (static_cast<float>(py) + 0.5F) / static_cast<float>(config_.height));
+  const Vec3 dir =
+      (forward_ + right_ * (ndc_x * tan_half * aspect) + up_ * (ndc_y * tan_half)).normalized();
+  return Ray{position_, dir};
+}
+
+pc::PointCloud DepthCamera::capture(const Scene& scene) const {
+  return capture_labeled(scene).cloud;
+}
+
+LabeledCapture DepthCamera::capture_labeled(const Scene& scene) const {
+  LabeledCapture capture;
+  for (int py = 0; py < config_.height; ++py) {
+    for (int px = 0; px < config_.width; ++px) {
+      const Ray ray = pixel_ray(px, py);
+      const auto hit = scene.raycast_hit(ray);
+      if (!hit || hit->t > config_.max_depth) continue;
+      const Vec3 point = ray.origin + ray.direction * hit->t;
+      // Intensity encodes inverse depth, a common RGB-D feature proxy.
+      capture.cloud.add(point, 1.0F / (1.0F + hit->t));
+      capture.labels.push_back(hit->surface);
+    }
+  }
+  return capture;
+}
+
+}  // namespace esca::datasets

@@ -1,0 +1,94 @@
+// Pinhole depth camera over an analytic scene (NYU Depth substitute input).
+//
+// The scene is a list of axis-aligned boxes and finite rectangles; the camera
+// raycasts one ray per pixel and returns the nearest hit as a 3-D point —
+// the same 2.5-D single-view manifold an RGB-D sensor produces.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/vec3.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace esca::datasets {
+
+struct Ray {
+  geom::Vec3 origin;
+  geom::Vec3 direction;  ///< unit length
+};
+
+/// Finite rectangle in a coordinate plane (walls / floor / ceiling).
+struct RectSurface {
+  char normal_axis{'z'};    ///< 'x', 'y' or 'z'
+  float plane_coord{0.0F};  ///< coordinate along the normal axis
+  geom::Vec3 lo;            ///< rectangle bounds in the other two axes
+  geom::Vec3 hi;            ///< (the normal-axis component is ignored)
+};
+
+/// A raycast hit: distance plus which surface was struck. Rect surfaces are
+/// numbered 0..R-1 in insertion order, boxes R..R+B-1.
+struct RaycastHit {
+  float t{0.0F};
+  int surface{-1};
+};
+
+class Scene {
+ public:
+  void add_box(const geom::Aabb& box) { boxes_.push_back(box); }
+  void add_rect(const RectSurface& rect) { rects_.push_back(rect); }
+
+  const std::vector<geom::Aabb>& boxes() const { return boxes_; }
+  const std::vector<RectSurface>& rects() const { return rects_; }
+  int surface_count() const {
+    return static_cast<int>(rects_.size() + boxes_.size());
+  }
+
+  /// Distance along the ray to the nearest hit, if any (t > epsilon).
+  std::optional<float> raycast(const Ray& ray) const;
+  /// Nearest hit with its surface identity (ground truth for labels).
+  std::optional<RaycastHit> raycast_hit(const Ray& ray) const;
+
+ private:
+  std::vector<geom::Aabb> boxes_;
+  std::vector<RectSurface> rects_;
+};
+
+struct DepthCameraConfig {
+  int width{96};
+  int height{72};
+  float vertical_fov_radians{0.9F};  ///< ~52 degrees, Kinect-like
+  float max_depth{12.0F};            ///< hits beyond this are dropped
+};
+
+/// A capture with per-point ground-truth surface ids (for segmentation
+/// metrics); labels[i] is the Scene surface index hit by point i.
+struct LabeledCapture {
+  pc::PointCloud cloud;
+  std::vector<int> labels;
+};
+
+/// Renders a depth image of the scene and back-projects it to a point cloud.
+class DepthCamera {
+ public:
+  DepthCamera(DepthCameraConfig config, const geom::Vec3& position, float yaw_radians,
+              float pitch_radians);
+
+  /// One point per pixel that hits geometry within max_depth.
+  pc::PointCloud capture(const Scene& scene) const;
+  /// Same capture, keeping per-point surface identities.
+  LabeledCapture capture_labeled(const Scene& scene) const;
+
+  Ray pixel_ray(int px, int py) const;
+  const DepthCameraConfig& config() const { return config_; }
+
+ private:
+  DepthCameraConfig config_;
+  geom::Vec3 position_;
+  geom::Vec3 forward_;
+  geom::Vec3 right_;
+  geom::Vec3 up_;
+};
+
+}  // namespace esca::datasets

@@ -1,0 +1,118 @@
+#include "datasets/nyu_like.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "pointcloud/sampling.hpp"
+
+namespace esca::datasets {
+
+using geom::Aabb;
+using geom::Vec3;
+
+Scene make_indoor_scene(Rng& rng) {
+  Scene scene;
+  const float room_w = static_cast<float>(rng.uniform(4.0, 6.5));   // x extent
+  const float room_d = static_cast<float>(rng.uniform(4.0, 6.5));   // y extent
+  const float room_h = static_cast<float>(rng.uniform(2.4, 3.0));   // z extent
+
+  // Floor (surface 0) and the two walls facing the camera (surfaces 1, 2);
+  // the camera sits near the origin corner looking into the room. The
+  // surface order is the ground-truth class mapping (see IndoorClass).
+  scene.add_rect({'z', 0.0F, {0, 0, 0}, {room_w, room_d, 0}});
+  scene.add_rect({'x', room_w, {0, 0, 0}, {0, room_d, room_h}});
+  scene.add_rect({'y', room_d, {0, 0, 0}, {room_w, 0, room_h}});
+
+  // Furniture: a handful of boxes on the floor.
+  const int num_items = static_cast<int>(rng.uniform_int(3, 6));
+  for (int i = 0; i < num_items; ++i) {
+    const float w = static_cast<float>(rng.uniform(0.5, 1.6));
+    const float d = static_cast<float>(rng.uniform(0.5, 1.6));
+    const float h = static_cast<float>(rng.uniform(0.4, 1.2));
+    const float x = static_cast<float>(rng.uniform(1.0, static_cast<double>(room_w) - 1.0 -
+                                                            static_cast<double>(w)));
+    const float y = static_cast<float>(rng.uniform(1.0, static_cast<double>(room_d) - 1.0 -
+                                                            static_cast<double>(d)));
+    Aabb box;
+    box.expand({x, y, 0.0F});
+    box.expand({x + w, y + d, h});
+    scene.add_box(box);
+  }
+  return scene;
+}
+
+namespace {
+
+IndoorClass class_of_surface(int surface) {
+  if (surface == 0) return IndoorClass::kFloor;
+  if (surface == 1 || surface == 2) return IndoorClass::kWall;
+  return IndoorClass::kFurniture;
+}
+
+}  // namespace
+
+LabeledIndoorSample make_labeled_indoor_cloud(const NyuLikeConfig& config, Rng& rng) {
+  ESCA_REQUIRE(config.max_points > 0, "max_points must be positive");
+  ESCA_REQUIRE(config.scene_extent > 0.0F && config.scene_extent <= 1.0F,
+               "scene_extent must be in (0, 1]");
+
+  const Scene scene = make_indoor_scene(rng);
+  const Vec3 cam_pos{0.4F, 0.4F, static_cast<float>(rng.uniform(1.2, 1.8))};
+  const float yaw = static_cast<float>(rng.uniform(0.5, 1.1));     // look into the room corner
+  const float pitch = static_cast<float>(rng.uniform(-0.25, -0.05));
+  const DepthCamera camera(config.camera, cam_pos, yaw, pitch);
+
+  LabeledCapture capture = camera.capture_labeled(scene);
+  pc::PointCloud cloud = std::move(capture.cloud);
+  if (config.noise_stddev > 0.0F) {
+    cloud = pc::jitter(cloud, config.noise_stddev, rng);  // order-preserving
+  }
+
+  // Label-aware random subsample (same algorithm as pc::random_subsample so
+  // the unlabeled path stays deterministic-compatible).
+  std::vector<std::size_t> order(cloud.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const std::size_t keep = std::min(config.max_points, cloud.size());
+  pc::PointCloud sampled;
+  std::vector<IndoorClass> labels;
+  labels.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    sampled.add(cloud.position(order[i]), cloud.intensity(order[i]));
+    labels.push_back(class_of_surface(capture.labels[order[i]]));
+  }
+
+  sampled.normalize_unit_cube();
+
+  // Shrink to the configured extent at a random offset (same rationale as
+  // the object dataset; see shapenet_like.hpp).
+  const float extent = config.scene_extent;
+  const float max_offset = 1.0F - extent - 1e-4F;
+  const Vec3 offset{rng.uniform_f(0.0F, max_offset), rng.uniform_f(0.0F, max_offset),
+                    rng.uniform_f(0.0F, max_offset)};
+  LabeledIndoorSample out;
+  for (std::size_t i = 0; i < sampled.size(); ++i) {
+    out.cloud.add(sampled.position(i) * extent + offset, sampled.intensity(i));
+  }
+  out.labels = std::move(labels);
+  return out;
+}
+
+pc::PointCloud make_indoor_cloud(const NyuLikeConfig& config, Rng& rng) {
+  return make_labeled_indoor_cloud(config, rng).cloud;
+}
+
+pc::PointCloud NyuLikeDataset::sample(std::size_t index) const {
+  Rng root(seed_);
+  Rng stream = root.fork(index);
+  return make_indoor_cloud(config_, stream);
+}
+
+LabeledIndoorSample NyuLikeDataset::sample_labeled(std::size_t index) const {
+  Rng root(seed_);
+  Rng stream = root.fork(index);
+  return make_labeled_indoor_cloud(config_, stream);
+}
+
+}  // namespace esca::datasets

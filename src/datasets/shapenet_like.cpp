@@ -1,0 +1,226 @@
+#include "datasets/shapenet_like.hpp"
+
+#include <numbers>
+
+#include "common/check.hpp"
+#include "geometry/primitives.hpp"
+#include "geometry/transforms.hpp"
+#include "pointcloud/sampling.hpp"
+
+namespace esca::datasets {
+
+using geom::Mesh;
+using geom::Vec3;
+
+std::string to_string(ShapeCategory category) {
+  switch (category) {
+    case ShapeCategory::kAirplane:
+      return "airplane";
+    case ShapeCategory::kChair:
+      return "chair";
+    case ShapeCategory::kTable:
+      return "table";
+    case ShapeCategory::kLamp:
+      return "lamp";
+    case ShapeCategory::kCar:
+      return "car";
+    case ShapeCategory::kGuitar:
+      return "guitar";
+    case ShapeCategory::kVessel:
+      return "vessel";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Every builder produces an object roughly centered at the origin with unit
+// scale proportions; the caller rescales to the configured extent. The small
+// random factors vary proportions between samples the way distinct ShapeNet
+// instances do.
+
+float vary(Rng& rng, float base, float rel = 0.15F) {
+  return base * (1.0F + rng.uniform_f(-rel, rel));
+}
+
+Mesh build_airplane(Rng& rng) {
+  Mesh m;
+  const float fuselage_len = vary(rng, 1.0F);
+  const float fuselage_r = vary(rng, 0.07F);
+  // Fuselage along x: build a cylinder along z then rotate onto x.
+  Mesh fuselage = geom::make_cylinder({0, 0, 0}, fuselage_r, fuselage_len, 16);
+  m.append(geom::rotated(fuselage, 'y', std::numbers::pi_v<float> / 2.0F));
+  // Main wings: thin slab spanning y.
+  const float wing_span = vary(rng, 0.9F);
+  const float wing_chord = vary(rng, 0.22F);
+  m.append(geom::make_slab({vary(rng, 0.05F, 0.5F), 0, 0}, {wing_chord, wing_span, 0.015F}));
+  // Tail wing + vertical stabilizer at the rear.
+  const float tail_x = -fuselage_len * 0.45F;
+  m.append(geom::make_slab({tail_x, 0, 0}, {wing_chord * 0.6F, wing_span * 0.4F, 0.012F}));
+  m.append(geom::make_slab({tail_x, 0, 0.12F}, {wing_chord * 0.6F, 0.012F, 0.24F}));
+  // Engines under the wings.
+  for (float side : {-1.0F, 1.0F}) {
+    Mesh engine = geom::make_cylinder({0, 0, 0}, fuselage_r * 0.5F, 0.18F, 10);
+    m.append(geom::translated(geom::rotated(engine, 'y', std::numbers::pi_v<float> / 2.0F),
+                              {0.1F, side * wing_span * 0.3F, -0.06F}));
+  }
+  return m;
+}
+
+Mesh build_chair(Rng& rng) {
+  Mesh m;
+  const float seat_h = vary(rng, 0.45F);
+  const float seat_w = vary(rng, 0.5F);
+  const float seat_d = vary(rng, 0.5F);
+  // Seat panel.
+  m.append(geom::make_slab({0, 0, seat_h}, {seat_w, seat_d, 0.03F}));
+  // Backrest.
+  const float back_h = vary(rng, 0.5F);
+  m.append(
+      geom::make_slab({0, -seat_d * 0.5F, seat_h + back_h * 0.5F}, {seat_w, 0.03F, back_h}));
+  // Four legs.
+  const float leg_r = 0.02F;
+  for (float sx : {-1.0F, 1.0F}) {
+    for (float sy : {-1.0F, 1.0F}) {
+      m.append(geom::make_cylinder(
+          {sx * (seat_w * 0.45F), sy * (seat_d * 0.45F), seat_h * 0.5F}, leg_r, seat_h, 8));
+    }
+  }
+  return m;
+}
+
+Mesh build_table(Rng& rng) {
+  Mesh m;
+  const float top_h = vary(rng, 0.5F);
+  const float top_w = vary(rng, 0.9F);
+  const float top_d = vary(rng, 0.6F);
+  m.append(geom::make_slab({0, 0, top_h}, {top_w, top_d, 0.035F}));
+  for (float sx : {-1.0F, 1.0F}) {
+    for (float sy : {-1.0F, 1.0F}) {
+      m.append(geom::make_box({sx * (top_w * 0.45F), sy * (top_d * 0.45F), top_h * 0.5F},
+                              {0.04F, 0.04F, top_h}));
+    }
+  }
+  return m;
+}
+
+Mesh build_lamp(Rng& rng) {
+  Mesh m;
+  const float pole_h = vary(rng, 0.9F);
+  m.append(geom::make_cylinder({0, 0, pole_h * 0.5F}, 0.02F, pole_h, 8));
+  // Base disc.
+  m.append(geom::make_cylinder({0, 0, 0.015F}, vary(rng, 0.16F), 0.03F, 16));
+  // Shade: a cone near the top.
+  m.append(geom::make_cone({0, 0, pole_h}, vary(rng, 0.18F), vary(rng, 0.22F), 16));
+  return m;
+}
+
+Mesh build_car(Rng& rng) {
+  Mesh m;
+  const float body_l = vary(rng, 1.0F);
+  const float body_w = vary(rng, 0.45F);
+  const float body_h = vary(rng, 0.22F);
+  m.append(geom::make_box({0, 0, body_h * 0.5F + 0.08F}, {body_l, body_w, body_h}));
+  // Cabin.
+  m.append(geom::make_box({-0.05F, 0, body_h + 0.08F + 0.08F},
+                          {body_l * 0.5F, body_w * 0.9F, vary(rng, 0.16F)}));
+  // Wheels: four short cylinders with axis along y.
+  const float wheel_r = vary(rng, 0.09F);
+  for (float sx : {-1.0F, 1.0F}) {
+    for (float sy : {-1.0F, 1.0F}) {
+      Mesh wheel = geom::make_cylinder({0, 0, 0}, wheel_r, 0.06F, 12);
+      m.append(geom::translated(geom::rotated(wheel, 'x', std::numbers::pi_v<float> / 2.0F),
+                                {sx * body_l * 0.33F, sy * body_w * 0.5F, wheel_r}));
+    }
+  }
+  return m;
+}
+
+Mesh build_guitar(Rng& rng) {
+  Mesh m;
+  // Body: two overlapping flattened cylinders.
+  const float body_r = vary(rng, 0.3F);
+  Mesh lower = geom::make_cylinder({0, 0, 0}, body_r, 0.08F, 20);
+  Mesh upper = geom::make_cylinder({0, body_r * 0.9F, 0}, body_r * 0.75F, 0.08F, 20);
+  m.append(lower);
+  m.append(upper);
+  // Neck.
+  const float neck_len = vary(rng, 0.7F);
+  m.append(geom::make_box({0, body_r * 0.9F + neck_len * 0.5F, 0}, {0.06F, neck_len, 0.04F}));
+  // Head.
+  m.append(geom::make_box({0, body_r * 0.9F + neck_len + 0.07F, 0}, {0.09F, 0.14F, 0.03F}));
+  return m;
+}
+
+Mesh build_vessel(Rng& rng) {
+  Mesh m;
+  // Hull: box tapering via a cone at the bow.
+  const float hull_l = vary(rng, 1.0F);
+  const float hull_w = vary(rng, 0.3F);
+  const float hull_h = vary(rng, 0.16F);
+  m.append(geom::make_box({0, 0, hull_h * 0.5F}, {hull_l, hull_w, hull_h}));
+  Mesh bow = geom::make_cone({0, 0, 0}, hull_w * 0.5F, 0.25F, 12);
+  m.append(geom::translated(geom::rotated(bow, 'y', std::numbers::pi_v<float> / 2.0F),
+                            {hull_l * 0.5F + 0.1F, 0, hull_h * 0.5F}));
+  // Superstructure + mast.
+  m.append(geom::make_box({-hull_l * 0.15F, 0, hull_h + 0.07F}, {0.3F, hull_w * 0.8F, 0.14F}));
+  m.append(geom::make_cylinder({0.1F, 0, hull_h + 0.25F}, 0.015F, vary(rng, 0.3F), 8));
+  return m;
+}
+
+}  // namespace
+
+geom::Mesh make_object_mesh(ShapeCategory category, Rng& rng) {
+  switch (category) {
+    case ShapeCategory::kAirplane:
+      return build_airplane(rng);
+    case ShapeCategory::kChair:
+      return build_chair(rng);
+    case ShapeCategory::kTable:
+      return build_table(rng);
+    case ShapeCategory::kLamp:
+      return build_lamp(rng);
+    case ShapeCategory::kCar:
+      return build_car(rng);
+    case ShapeCategory::kGuitar:
+      return build_guitar(rng);
+    case ShapeCategory::kVessel:
+      return build_vessel(rng);
+  }
+  ESCA_CHECK(false, "unreachable shape category");
+  return {};
+}
+
+pc::PointCloud make_object_cloud(ShapeCategory category, const ShapeNetLikeConfig& config,
+                                 Rng& rng) {
+  ESCA_REQUIRE(config.samples_per_object > 0, "need at least one sample per object");
+  ESCA_REQUIRE(config.object_extent > 0.0F && config.object_extent <= 1.0F,
+               "object_extent must be in (0, 1]");
+
+  const Mesh mesh = make_object_mesh(category, rng);
+  pc::PointCloud cloud(mesh.sample_surface(config.samples_per_object, rng));
+  if (config.noise_stddev > 0.0F) {
+    cloud = pc::jitter(cloud, config.noise_stddev, rng);
+  }
+  // Fit the object into [0,1)^3 then shrink to the configured extent and
+  // park it at a random offset, mimicking a feature map whose activations
+  // cluster in a compact region of the 192^3 grid.
+  cloud.normalize_unit_cube();
+  const float extent = config.object_extent;
+  const float max_offset = 1.0F - extent - 1e-4F;
+  const geom::Vec3 offset{rng.uniform_f(0.0F, max_offset), rng.uniform_f(0.0F, max_offset),
+                          rng.uniform_f(0.0F, max_offset)};
+  pc::PointCloud placed;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    placed.add(cloud.position(i) * extent + offset, cloud.intensity(i));
+  }
+  return placed;
+}
+
+pc::PointCloud ShapeNetLikeDataset::sample(std::size_t index) const {
+  Rng root(seed_);
+  Rng stream = root.fork(index);
+  return make_object_cloud(category_of(index), config_, stream);
+}
+
+}  // namespace esca::datasets

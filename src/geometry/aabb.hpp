@@ -1,0 +1,44 @@
+// Axis-aligned bounding box.
+#pragma once
+
+#include <limits>
+
+#include "geometry/vec3.hpp"
+
+namespace esca::geom {
+
+struct Aabb {
+  Vec3 lo{std::numeric_limits<float>::max(), std::numeric_limits<float>::max(),
+          std::numeric_limits<float>::max()};
+  Vec3 hi{std::numeric_limits<float>::lowest(), std::numeric_limits<float>::lowest(),
+          std::numeric_limits<float>::lowest()};
+
+  bool valid() const { return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z; }
+
+  void expand(const Vec3& p) {
+    lo = Vec3::min(lo, p);
+    hi = Vec3::max(hi, p);
+  }
+  void expand(const Aabb& b) {
+    lo = Vec3::min(lo, b.lo);
+    hi = Vec3::max(hi, b.hi);
+  }
+
+  Vec3 extent() const { return hi - lo; }
+  Vec3 center() const { return (lo + hi) * 0.5F; }
+
+  /// Longest edge length, used for isotropic normalization.
+  float max_extent() const {
+    const Vec3 e = extent();
+    float m = e.x;
+    if (e.y > m) m = e.y;
+    if (e.z > m) m = e.z;
+    return m;
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.y >= lo.y && p.z >= lo.z && p.x <= hi.x && p.y <= hi.y && p.z <= hi.z;
+  }
+};
+
+}  // namespace esca::geom

@@ -1,0 +1,68 @@
+#include "geometry/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::geom {
+
+void Mesh::add_quad(const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3) {
+  add_triangle({p0, p1, p2});
+  add_triangle({p0, p2, p3});
+}
+
+void Mesh::append(const Mesh& other) {
+  triangles_.insert(triangles_.end(), other.triangles_.begin(), other.triangles_.end());
+}
+
+float Mesh::surface_area() const {
+  float total = 0.0F;
+  for (const auto& t : triangles_) total += t.area();
+  return total;
+}
+
+Aabb Mesh::bounds() const {
+  Aabb box;
+  for (const auto& t : triangles_) {
+    box.expand(t.a);
+    box.expand(t.b);
+    box.expand(t.c);
+  }
+  return box;
+}
+
+std::vector<Vec3> Mesh::sample_surface(std::size_t count, Rng& rng) const {
+  ESCA_REQUIRE(!triangles_.empty(), "cannot sample an empty mesh");
+
+  // Cumulative area table for area-weighted triangle selection.
+  std::vector<float> cumulative(triangles_.size());
+  float total = 0.0F;
+  for (std::size_t i = 0; i < triangles_.size(); ++i) {
+    total += triangles_[i].area();
+    cumulative[i] = total;
+  }
+  ESCA_REQUIRE(total > 0.0F, "mesh has zero surface area");
+
+  std::vector<Vec3> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const float r = rng.uniform_f(0.0F, total);
+    const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), r);
+    const std::size_t idx =
+        std::min<std::size_t>(static_cast<std::size_t>(it - cumulative.begin()),
+                              triangles_.size() - 1);
+    const Triangle& t = triangles_[idx];
+    // Uniform barycentric coordinates via square-root parameterization.
+    const float u = rng.uniform_f();
+    const float v = rng.uniform_f();
+    const float su = std::sqrt(u);
+    const float b0 = 1.0F - su;
+    const float b1 = su * (1.0F - v);
+    const float b2 = su * v;
+    points.push_back(t.a * b0 + t.b * b1 + t.c * b2);
+  }
+  return points;
+}
+
+}  // namespace esca::geom

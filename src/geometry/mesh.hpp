@@ -1,0 +1,49 @@
+// Triangle mesh with area-weighted surface sampling.
+//
+// The synthetic datasets build CAD-like objects as meshes and sample their
+// surfaces to produce point clouds (the ShapeNet substitute).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/aabb.hpp"
+#include "geometry/vec3.hpp"
+
+namespace esca::geom {
+
+struct Triangle {
+  Vec3 a;
+  Vec3 b;
+  Vec3 c;
+
+  float area() const { return 0.5F * (b - a).cross(c - a).norm(); }
+  Vec3 normal() const { return (b - a).cross(c - a).normalized(); }
+};
+
+class Mesh {
+ public:
+  Mesh() = default;
+
+  void add_triangle(const Triangle& t) { triangles_.push_back(t); }
+  void add_quad(const Vec3& p0, const Vec3& p1, const Vec3& p2, const Vec3& p3);
+  void append(const Mesh& other);
+
+  const std::vector<Triangle>& triangles() const { return triangles_; }
+  std::vector<Triangle>& triangles() { return triangles_; }
+  std::size_t size() const { return triangles_.size(); }
+  bool empty() const { return triangles_.empty(); }
+
+  float surface_area() const;
+  Aabb bounds() const;
+
+  /// Draw `count` points uniformly over the surface (area-weighted triangle
+  /// choice + uniform barycentric sample). Deterministic given the Rng.
+  std::vector<Vec3> sample_surface(std::size_t count, Rng& rng) const;
+
+ private:
+  std::vector<Triangle> triangles_;
+};
+
+}  // namespace esca::geom

@@ -1,0 +1,130 @@
+#include "geometry/primitives.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace esca::geom {
+namespace {
+
+constexpr float kTau = 2.0F * std::numbers::pi_v<float>;
+
+}  // namespace
+
+Mesh make_box(const Vec3& center, const Vec3& size) {
+  ESCA_REQUIRE(size.x > 0 && size.y > 0 && size.z > 0, "box extents must be positive");
+  const Vec3 h = size * 0.5F;
+  const Vec3 c = center;
+  // Eight corners.
+  const Vec3 p000{c.x - h.x, c.y - h.y, c.z - h.z};
+  const Vec3 p100{c.x + h.x, c.y - h.y, c.z - h.z};
+  const Vec3 p010{c.x - h.x, c.y + h.y, c.z - h.z};
+  const Vec3 p110{c.x + h.x, c.y + h.y, c.z - h.z};
+  const Vec3 p001{c.x - h.x, c.y - h.y, c.z + h.z};
+  const Vec3 p101{c.x + h.x, c.y - h.y, c.z + h.z};
+  const Vec3 p011{c.x - h.x, c.y + h.y, c.z + h.z};
+  const Vec3 p111{c.x + h.x, c.y + h.y, c.z + h.z};
+
+  Mesh m;
+  m.add_quad(p000, p100, p110, p010);  // bottom (z-)
+  m.add_quad(p001, p011, p111, p101);  // top (z+)
+  m.add_quad(p000, p001, p101, p100);  // front (y-)
+  m.add_quad(p010, p110, p111, p011);  // back (y+)
+  m.add_quad(p000, p010, p011, p001);  // left (x-)
+  m.add_quad(p100, p101, p111, p110);  // right (x+)
+  return m;
+}
+
+Mesh make_cylinder(const Vec3& center, float radius, float height, int segments, bool capped) {
+  ESCA_REQUIRE(radius > 0 && height > 0, "cylinder dimensions must be positive");
+  ESCA_REQUIRE(segments >= 3, "cylinder needs at least 3 segments");
+  Mesh m;
+  const float z0 = center.z - height * 0.5F;
+  const float z1 = center.z + height * 0.5F;
+  for (int i = 0; i < segments; ++i) {
+    const float a0 = kTau * static_cast<float>(i) / static_cast<float>(segments);
+    const float a1 = kTau * static_cast<float>(i + 1) / static_cast<float>(segments);
+    const Vec3 r0{center.x + radius * std::cos(a0), center.y + radius * std::sin(a0), 0.0F};
+    const Vec3 r1{center.x + radius * std::cos(a1), center.y + radius * std::sin(a1), 0.0F};
+    m.add_quad({r0.x, r0.y, z0}, {r1.x, r1.y, z0}, {r1.x, r1.y, z1}, {r0.x, r0.y, z1});
+    if (capped) {
+      m.add_triangle({{center.x, center.y, z0}, {r1.x, r1.y, z0}, {r0.x, r0.y, z0}});
+      m.add_triangle({{center.x, center.y, z1}, {r0.x, r0.y, z1}, {r1.x, r1.y, z1}});
+    }
+  }
+  return m;
+}
+
+Mesh make_sphere(const Vec3& center, float radius, int rings, int segments) {
+  ESCA_REQUIRE(radius > 0, "sphere radius must be positive");
+  ESCA_REQUIRE(rings >= 2 && segments >= 3, "sphere tessellation too coarse");
+  Mesh m;
+  auto at = [&](int ring, int seg) {
+    const float phi =
+        std::numbers::pi_v<float> * static_cast<float>(ring) / static_cast<float>(rings);
+    const float theta = kTau * static_cast<float>(seg % segments) / static_cast<float>(segments);
+    return Vec3{center.x + radius * std::sin(phi) * std::cos(theta),
+                center.y + radius * std::sin(phi) * std::sin(theta),
+                center.z + radius * std::cos(phi)};
+  };
+  for (int r = 0; r < rings; ++r) {
+    for (int s = 0; s < segments; ++s) {
+      const Vec3 p00 = at(r, s);
+      const Vec3 p01 = at(r, s + 1);
+      const Vec3 p10 = at(r + 1, s);
+      const Vec3 p11 = at(r + 1, s + 1);
+      if (r != 0) m.add_triangle({p00, p01, p11});
+      if (r != rings - 1) m.add_triangle({p00, p11, p10});
+    }
+  }
+  return m;
+}
+
+Mesh make_cone(const Vec3& center, float radius, float height, int segments) {
+  ESCA_REQUIRE(radius > 0 && height > 0, "cone dimensions must be positive");
+  ESCA_REQUIRE(segments >= 3, "cone needs at least 3 segments");
+  Mesh m;
+  const float z0 = center.z - height * 0.5F;
+  const Vec3 apex{center.x, center.y, center.z + height * 0.5F};
+  for (int i = 0; i < segments; ++i) {
+    const float a0 = kTau * static_cast<float>(i) / static_cast<float>(segments);
+    const float a1 = kTau * static_cast<float>(i + 1) / static_cast<float>(segments);
+    const Vec3 b0{center.x + radius * std::cos(a0), center.y + radius * std::sin(a0), z0};
+    const Vec3 b1{center.x + radius * std::cos(a1), center.y + radius * std::sin(a1), z0};
+    m.add_triangle({b0, b1, apex});
+    m.add_triangle({{center.x, center.y, z0}, b1, b0});
+  }
+  return m;
+}
+
+Mesh make_plane(const Vec3& center, char normal_axis, float width, float height) {
+  ESCA_REQUIRE(width > 0 && height > 0, "plane dimensions must be positive");
+  const float hw = width * 0.5F;
+  const float hh = height * 0.5F;
+  Mesh m;
+  switch (normal_axis) {
+    case 'z':
+      m.add_quad({center.x - hw, center.y - hh, center.z}, {center.x + hw, center.y - hh, center.z},
+                 {center.x + hw, center.y + hh, center.z},
+                 {center.x - hw, center.y + hh, center.z});
+      break;
+    case 'y':
+      m.add_quad({center.x - hw, center.y, center.z - hh}, {center.x + hw, center.y, center.z - hh},
+                 {center.x + hw, center.y, center.z + hh},
+                 {center.x - hw, center.y, center.z + hh});
+      break;
+    case 'x':
+      m.add_quad({center.x, center.y - hw, center.z - hh}, {center.x, center.y + hw, center.z - hh},
+                 {center.x, center.y + hw, center.z + hh},
+                 {center.x, center.y - hw, center.z + hh});
+      break;
+    default:
+      ESCA_REQUIRE(false, "normal_axis must be 'x', 'y' or 'z'");
+  }
+  return m;
+}
+
+Mesh make_slab(const Vec3& center, const Vec3& size) { return make_box(center, size); }
+
+}  // namespace esca::geom

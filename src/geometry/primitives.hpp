@@ -1,0 +1,29 @@
+// Parametric primitive meshes (surfaces only — the objects are thin shells,
+// which is what gives voxelized point clouds their ~99.9 % sparsity).
+#pragma once
+
+#include "geometry/mesh.hpp"
+#include "geometry/vec3.hpp"
+
+namespace esca::geom {
+
+/// Axis-aligned box shell centered at `center` with full extents `size`.
+Mesh make_box(const Vec3& center, const Vec3& size);
+
+/// Open-ended cylinder along +z, centered at `center`.
+Mesh make_cylinder(const Vec3& center, float radius, float height, int segments = 24,
+                   bool capped = true);
+
+/// UV sphere.
+Mesh make_sphere(const Vec3& center, float radius, int rings = 12, int segments = 24);
+
+/// Cone along +z with apex up.
+Mesh make_cone(const Vec3& center, float radius, float height, int segments = 24);
+
+/// Rectangle in a coordinate plane: normal axis in {'x','y','z'}.
+Mesh make_plane(const Vec3& center, char normal_axis, float width, float height);
+
+/// Thin slab (a box with one tiny extent) — wings, table tops, seat panels.
+Mesh make_slab(const Vec3& center, const Vec3& size);
+
+}  // namespace esca::geom

@@ -1,0 +1,56 @@
+#include "geometry/transforms.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::geom {
+
+Vec3 rotate(const Vec3& p, char axis, float radians) {
+  const float c = std::cos(radians);
+  const float s = std::sin(radians);
+  switch (axis) {
+    case 'x':
+      return {p.x, c * p.y - s * p.z, s * p.y + c * p.z};
+    case 'y':
+      return {c * p.x + s * p.z, p.y, -s * p.x + c * p.z};
+    case 'z':
+      return {c * p.x - s * p.y, s * p.x + c * p.y, p.z};
+    default:
+      ESCA_REQUIRE(false, "axis must be 'x', 'y' or 'z', got '" << axis << "'");
+      return p;
+  }
+}
+
+namespace {
+
+template <typename Fn>
+Mesh transformed(const Mesh& mesh, Fn&& fn) {
+  Mesh out;
+  for (const auto& t : mesh.triangles()) {
+    out.add_triangle({fn(t.a), fn(t.b), fn(t.c)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Mesh translated(const Mesh& mesh, const Vec3& offset) {
+  return transformed(mesh, [&offset](const Vec3& p) { return p + offset; });
+}
+
+Mesh scaled(const Mesh& mesh, const Vec3& factors) {
+  return transformed(mesh, [&factors](const Vec3& p) {
+    return Vec3{p.x * factors.x, p.y * factors.y, p.z * factors.z};
+  });
+}
+
+Mesh rotated(const Mesh& mesh, char axis, float radians) {
+  return transformed(mesh, [axis, radians](const Vec3& p) { return rotate(p, axis, radians); });
+}
+
+void translate_points(std::vector<Vec3>& points, const Vec3& offset) {
+  for (auto& p : points) p += offset;
+}
+
+}  // namespace esca::geom

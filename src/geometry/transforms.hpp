@@ -1,0 +1,20 @@
+// Rigid and affine transforms applied to meshes and point sets.
+#pragma once
+
+#include <vector>
+
+#include "geometry/mesh.hpp"
+#include "geometry/vec3.hpp"
+
+namespace esca::geom {
+
+/// Rotation about the given axis ('x', 'y' or 'z') by `radians`.
+Vec3 rotate(const Vec3& p, char axis, float radians);
+
+Mesh translated(const Mesh& mesh, const Vec3& offset);
+Mesh scaled(const Mesh& mesh, const Vec3& factors);
+Mesh rotated(const Mesh& mesh, char axis, float radians);
+
+void translate_points(std::vector<Vec3>& points, const Vec3& offset);
+
+}  // namespace esca::geom

@@ -1,0 +1,51 @@
+// Minimal 3-D float vector for geometry generation.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace esca::geom {
+
+struct Vec3 {
+  float x{0.0F};
+  float y{0.0F};
+  float z{0.0F};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+
+  constexpr float dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  float norm() const { return std::sqrt(dot(*this)); }
+  Vec3 normalized() const {
+    const float n = norm();
+    return n > 0.0F ? (*this) / n : Vec3{};
+  }
+
+  static constexpr Vec3 min(const Vec3& a, const Vec3& b) {
+    return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+  }
+  static constexpr Vec3 max(const Vec3& a, const Vec3& b) {
+    return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '(' << v.x << ',' << v.y << ',' << v.z << ')';
+}
+
+}  // namespace esca::geom

@@ -1,0 +1,23 @@
+#include "nn/activations.hpp"
+
+namespace esca::nn {
+
+void relu_inplace(sparse::SparseTensor& tensor) {
+  for (float& v : tensor.raw_features()) {
+    if (v < 0.0F) v = 0.0F;
+  }
+}
+
+sparse::SparseTensor relu(const sparse::SparseTensor& input) {
+  sparse::SparseTensor out = input;
+  relu_inplace(out);
+  return out;
+}
+
+void leaky_relu_inplace(sparse::SparseTensor& tensor, float negative_slope) {
+  for (float& v : tensor.raw_features()) {
+    if (v < 0.0F) v *= negative_slope;
+  }
+}
+
+}  // namespace esca::nn

@@ -1,0 +1,16 @@
+// Pointwise activations on sparse tensors.
+//
+// Note the submanifold property: activations apply only at active sites; the
+// implicit zeros stay zero (ReLU(0) == 0, so the sparsity pattern holds).
+#pragma once
+
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::nn {
+
+void relu_inplace(sparse::SparseTensor& tensor);
+sparse::SparseTensor relu(const sparse::SparseTensor& input);
+
+void leaky_relu_inplace(sparse::SparseTensor& tensor, float negative_slope);
+
+}  // namespace esca::nn

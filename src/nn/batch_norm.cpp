@@ -1,0 +1,61 @@
+#include "nn/batch_norm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::nn {
+
+BatchNorm::BatchNorm(int channels, float eps) : channels_(channels), eps_(eps) {
+  ESCA_REQUIRE(channels > 0, "channels must be positive");
+  ESCA_REQUIRE(eps > 0.0F, "eps must be positive");
+  gamma_.assign(static_cast<std::size_t>(channels), 1.0F);
+  beta_.assign(static_cast<std::size_t>(channels), 0.0F);
+  mean_.assign(static_cast<std::size_t>(channels), 0.0F);
+  var_.assign(static_cast<std::size_t>(channels), 1.0F);
+}
+
+void BatchNorm::randomize(Rng& rng) {
+  for (int c = 0; c < channels_; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    gamma_[i] = rng.uniform_f(0.5F, 1.5F);
+    beta_[i] = rng.uniform_f(-0.3F, 0.3F);
+    mean_[i] = rng.uniform_f(-0.2F, 0.2F);
+    var_[i] = rng.uniform_f(0.5F, 2.0F);
+  }
+}
+
+BatchNorm::Affine BatchNorm::folded() const {
+  Affine a;
+  a.scale.resize(static_cast<std::size_t>(channels_));
+  a.shift.resize(static_cast<std::size_t>(channels_));
+  for (int c = 0; c < channels_; ++c) {
+    const auto i = static_cast<std::size_t>(c);
+    const float inv_std = 1.0F / std::sqrt(var_[i] + eps_);
+    a.scale[i] = gamma_[i] * inv_std;
+    a.shift[i] = beta_[i] - gamma_[i] * mean_[i] * inv_std;
+  }
+  return a;
+}
+
+sparse::SparseTensor BatchNorm::forward(const sparse::SparseTensor& input) const {
+  sparse::SparseTensor out = input;
+  forward_inplace(out);
+  return out;
+}
+
+void BatchNorm::forward_inplace(sparse::SparseTensor& tensor) const {
+  ESCA_REQUIRE(tensor.channels() == channels_,
+               "BatchNorm channels " << channels_ << " != tensor channels "
+                                     << tensor.channels());
+  const Affine a = folded();
+  for (std::size_t row = 0; row < tensor.size(); ++row) {
+    auto f = tensor.features(row);
+    for (int c = 0; c < channels_; ++c) {
+      const auto i = static_cast<std::size_t>(c);
+      f[i] = a.scale[i] * f[i] + a.shift[i];
+    }
+  }
+}
+
+}  // namespace esca::nn

@@ -1,0 +1,48 @@
+// Inference-mode batch normalization over sparse tensor channels.
+//
+// y = gamma * (x - mean) / sqrt(var + eps) + beta. For deployment (and for
+// the accelerator's requantization stage) it folds to a per-channel affine
+// y = scale * x + shift.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::nn {
+
+class BatchNorm {
+ public:
+  explicit BatchNorm(int channels, float eps = 1e-5F);
+
+  int channels() const { return channels_; }
+
+  std::vector<float>& gamma() { return gamma_; }
+  std::vector<float>& beta() { return beta_; }
+  std::vector<float>& running_mean() { return mean_; }
+  std::vector<float>& running_var() { return var_; }
+
+  /// Populate statistics with plausible trained values (tests/benches).
+  void randomize(Rng& rng);
+
+  /// Effective per-channel affine: y = scale[c] * x + shift[c].
+  struct Affine {
+    std::vector<float> scale;
+    std::vector<float> shift;
+  };
+  Affine folded() const;
+
+  sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
+  void forward_inplace(sparse::SparseTensor& tensor) const;
+
+ private:
+  int channels_;
+  float eps_;
+  std::vector<float> gamma_;
+  std::vector<float> beta_;
+  std::vector<float> mean_;
+  std::vector<float> var_;
+};
+
+}  // namespace esca::nn

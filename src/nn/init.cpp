@@ -1,0 +1,20 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::nn {
+
+void kaiming_uniform(std::span<float> weights, int fan_in, Rng& rng) {
+  ESCA_REQUIRE(fan_in > 0, "fan_in must be positive");
+  const float bound = std::sqrt(6.0F / static_cast<float>(fan_in));
+  uniform_init(weights, -bound, bound, rng);
+}
+
+void uniform_init(std::span<float> weights, float lo, float hi, Rng& rng) {
+  ESCA_REQUIRE(lo <= hi, "uniform_init: lo > hi");
+  for (float& w : weights) w = rng.uniform_f(lo, hi);
+}
+
+}  // namespace esca::nn

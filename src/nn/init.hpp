@@ -1,0 +1,19 @@
+// Deterministic weight initialization.
+//
+// The paper uses pre-trained SS U-Net weights; no experiment depends on
+// their values (see DESIGN.md §2), so we substitute seeded Kaiming init.
+#pragma once
+
+#include <span>
+
+#include "common/rng.hpp"
+
+namespace esca::nn {
+
+/// He/Kaiming-uniform: U(-b, b) with b = sqrt(6 / fan_in).
+void kaiming_uniform(std::span<float> weights, int fan_in, Rng& rng);
+
+/// Plain uniform in [lo, hi].
+void uniform_init(std::span<float> weights, float lo, float hi, Rng& rng);
+
+}  // namespace esca::nn

@@ -1,0 +1,63 @@
+#include "nn/linear.hpp"
+
+#include "common/check.hpp"
+#include "nn/init.hpp"
+
+namespace esca::nn {
+
+Linear::Linear(int in_channels, int out_channels, bool bias)
+    : in_channels_(in_channels), out_channels_(out_channels), has_bias_(bias) {
+  ESCA_REQUIRE(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+  weights_.assign(static_cast<std::size_t>(in_channels) * static_cast<std::size_t>(out_channels),
+                  0.0F);
+  bias_.assign(static_cast<std::size_t>(out_channels), 0.0F);
+}
+
+void Linear::init_kaiming(Rng& rng) {
+  kaiming_uniform(weights_, in_channels_, rng);
+  if (has_bias_) uniform_init(bias_, -0.01F, 0.01F, rng);
+}
+
+sparse::SparseTensor Linear::forward(const sparse::SparseTensor& input) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+  sparse::SparseTensor out = input.zeros_like(out_channels_);
+  for (std::size_t row = 0; row < input.size(); ++row) {
+    const auto in = input.features(row);
+    auto o = out.features(row);
+    for (int co = 0; co < out_channels_; ++co) {
+      o[static_cast<std::size_t>(co)] = has_bias_ ? bias_[static_cast<std::size_t>(co)] : 0.0F;
+    }
+    for (int ci = 0; ci < in_channels_; ++ci) {
+      const float a = in[static_cast<std::size_t>(ci)];
+      if (a == 0.0F) continue;
+      const float* w = weights_.data() +
+                       static_cast<std::size_t>(ci) * static_cast<std::size_t>(out_channels_);
+      for (int co = 0; co < out_channels_; ++co) {
+        o[static_cast<std::size_t>(co)] += a * w[co];
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t Linear::macs(const sparse::SparseTensor& input) const {
+  return static_cast<std::int64_t>(input.size()) * in_channels_ * out_channels_;
+}
+
+sparse::SparseTensor concat_channels(const sparse::SparseTensor& a,
+                                     const sparse::SparseTensor& b) {
+  ESCA_REQUIRE(a.size() == b.size(), "concat: site counts differ");
+  sparse::SparseTensor out = a.zeros_like(a.channels() + b.channels());
+  for (std::size_t row = 0; row < a.size(); ++row) {
+    const std::int32_t rb = b.find(a.coord(row));
+    ESCA_REQUIRE(rb >= 0, "concat: coordinate sets differ at " << a.coord(row));
+    auto o = out.features(row);
+    const auto fa = a.features(row);
+    const auto fb = b.features(static_cast<std::size_t>(rb));
+    for (std::size_t c = 0; c < fa.size(); ++c) o[c] = fa[c];
+    for (std::size_t c = 0; c < fb.size(); ++c) o[fa.size() + c] = fb[c];
+  }
+  return out;
+}
+
+}  // namespace esca::nn

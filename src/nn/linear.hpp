@@ -1,0 +1,43 @@
+// Per-site linear layer (1x1x1 convolution): y = W^T x + b.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::nn {
+
+class Linear {
+ public:
+  Linear(int in_channels, int out_channels, bool bias = true);
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+
+  /// Weights, layout [in_channels][out_channels].
+  std::span<float> weights() { return weights_; }
+  std::span<const float> weights() const { return weights_; }
+  std::span<float> bias() { return bias_; }
+
+  void init_kaiming(Rng& rng);
+
+  sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
+  std::int64_t macs(const sparse::SparseTensor& input) const;
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  bool has_bias_;
+  std::vector<float> weights_;
+  std::vector<float> bias_;
+};
+
+/// Channel concatenation of two tensors with identical coordinate sets
+/// (U-Net skip connections; SparseConvNet's JoinTable).
+sparse::SparseTensor concat_channels(const sparse::SparseTensor& a,
+                                     const sparse::SparseTensor& b);
+
+}  // namespace esca::nn

@@ -1,0 +1,78 @@
+#include "nn/metrics.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace esca::nn {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) : num_classes_(num_classes) {
+  ESCA_REQUIRE(num_classes > 0, "num_classes must be positive");
+  cells_.assign(static_cast<std::size_t>(num_classes) * static_cast<std::size_t>(num_classes),
+                0);
+}
+
+void ConfusionMatrix::add(int predicted, int truth) {
+  ESCA_REQUIRE(predicted >= 0 && predicted < num_classes_, "predicted class out of range");
+  ESCA_REQUIRE(truth >= 0 && truth < num_classes_, "truth class out of range");
+  ++cells_[static_cast<std::size_t>(predicted) * static_cast<std::size_t>(num_classes_) +
+           static_cast<std::size_t>(truth)];
+  ++total_;
+}
+
+std::int64_t ConfusionMatrix::count(int predicted, int truth) const {
+  ESCA_REQUIRE(predicted >= 0 && predicted < num_classes_ && truth >= 0 &&
+                   truth < num_classes_,
+               "class out of range");
+  return cells_[static_cast<std::size_t>(predicted) * static_cast<std::size_t>(num_classes_) +
+                static_cast<std::size_t>(truth)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::iou(int cls) const {
+  std::int64_t intersection = count(cls, cls);
+  std::int64_t uni = -intersection;  // avoid double counting the diagonal
+  for (int c = 0; c < num_classes_; ++c) {
+    uni += count(cls, c);  // predicted as cls
+    uni += count(c, cls);  // truly cls
+  }
+  if (uni <= 0) return 0.0;
+  return static_cast<double>(intersection) / static_cast<double>(uni);
+}
+
+double ConfusionMatrix::mean_iou() const {
+  double sum = 0.0;
+  int present = 0;
+  for (int cls = 0; cls < num_classes_; ++cls) {
+    std::int64_t occurrences = 0;
+    for (int c = 0; c < num_classes_; ++c) occurrences += count(cls, c) + count(c, cls);
+    if (occurrences == 0) continue;
+    sum += iou(cls);
+    ++present;
+  }
+  return present > 0 ? sum / present : 0.0;
+}
+
+std::string ConfusionMatrix::to_string() const {
+  std::ostringstream os;
+  os << "confusion matrix (" << num_classes_ << " classes, n=" << total_ << ")\n";
+  os << "accuracy " << str::percent(accuracy(), 2) << ", mIoU "
+     << str::percent(mean_iou(), 2) << '\n';
+  for (int p = 0; p < num_classes_; ++p) {
+    os << "  pred " << p << ':';
+    for (int t = 0; t < num_classes_; ++t) {
+      os << ' ' << count(p, t);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace esca::nn

@@ -1,0 +1,37 @@
+// Semantic segmentation metrics: confusion matrix, per-class IoU, mean IoU
+// and overall accuracy — the quantities SSCN papers report for the task the
+// accelerator serves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace esca::nn {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  int num_classes() const { return num_classes_; }
+
+  void add(int predicted, int truth);
+  std::int64_t count(int predicted, int truth) const;
+  std::int64_t total() const { return total_; }
+
+  /// Fraction of samples with predicted == truth.
+  double accuracy() const;
+  /// Intersection-over-union of one class (0 when the class never occurs).
+  double iou(int cls) const;
+  /// Mean IoU over classes that occur (in prediction or truth).
+  double mean_iou() const;
+
+  std::string to_string() const;
+
+ private:
+  int num_classes_;
+  std::int64_t total_{0};
+  std::vector<std::int64_t> cells_;  ///< [predicted][truth], row-major
+};
+
+}  // namespace esca::nn

@@ -1,0 +1,30 @@
+// Sparse max pooling — the downsampling alternative to strided convolution
+// used by SSCN-family networks.
+//
+// Output sites follow the same rule as strided sparse convolution (a site
+// exists where any input site falls in its window); each output channel is
+// the max over the window's *active* inputs (implicit zeros do not
+// participate, matching SparseConvNet semantics).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::nn {
+
+class MaxPool3d {
+ public:
+  MaxPool3d(int kernel_size, int stride);
+
+  int kernel_size() const { return kernel_size_; }
+  int stride() const { return stride_; }
+
+  sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
+
+ private:
+  int kernel_size_;
+  int stride_;
+};
+
+}  // namespace esca::nn

@@ -1,0 +1,76 @@
+#include "nn/sparse_conv.hpp"
+
+#include "common/check.hpp"
+#include "nn/init.hpp"
+#include "sparse/ops.hpp"
+
+namespace esca::nn {
+
+SparseConv3d::SparseConv3d(int in_channels, int out_channels, int kernel_size, int stride)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride) {
+  ESCA_REQUIRE(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+  ESCA_REQUIRE(kernel_size >= 1 && stride >= 1, "kernel/stride must be >= 1");
+  weights_.assign(static_cast<std::size_t>(kernel_volume()) *
+                      static_cast<std::size_t>(in_channels) *
+                      static_cast<std::size_t>(out_channels),
+                  0.0F);
+}
+
+void SparseConv3d::init_kaiming(Rng& rng) {
+  kaiming_uniform(weights_, kernel_volume() * in_channels_, rng);
+}
+
+sparse::SparseTensor SparseConv3d::forward(const sparse::SparseTensor& input) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+  const sparse::DownsamplePlan plan =
+      sparse::build_strided_rulebook(input, kernel_size_, stride_);
+  sparse::SparseTensor output(plan.out_extent, out_channels_);
+  for (const Coord3& c : plan.out_coords) output.add_site(c);
+  sparse::apply_rulebook(input, plan.rulebook, weights_, output);
+  return output;
+}
+
+std::int64_t SparseConv3d::macs(const sparse::SparseTensor& input) const {
+  const sparse::DownsamplePlan plan =
+      sparse::build_strided_rulebook(input, kernel_size_, stride_);
+  return sparse::rulebook_macs(plan.rulebook, in_channels_, out_channels_);
+}
+
+InverseConv3d::InverseConv3d(int in_channels, int out_channels, int kernel_size, int stride)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride) {
+  ESCA_REQUIRE(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+  ESCA_REQUIRE(kernel_size >= 1 && stride >= 1, "kernel/stride must be >= 1");
+  weights_.assign(static_cast<std::size_t>(kernel_size * kernel_size * kernel_size) *
+                      static_cast<std::size_t>(in_channels) *
+                      static_cast<std::size_t>(out_channels),
+                  0.0F);
+}
+
+void InverseConv3d::init_kaiming(Rng& rng) {
+  kaiming_uniform(weights_, kernel_size_ * kernel_size_ * kernel_size_ * in_channels_, rng);
+}
+
+sparse::SparseTensor InverseConv3d::forward(const sparse::SparseTensor& input,
+                                            const sparse::SparseTensor& target) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+  const sparse::RuleBook rb =
+      sparse::build_inverse_rulebook(input, target, kernel_size_, stride_);
+  sparse::SparseTensor output = target.zeros_like(out_channels_);
+  sparse::apply_rulebook(input, rb, weights_, output);
+  return output;
+}
+
+std::int64_t InverseConv3d::macs(const sparse::SparseTensor& input,
+                                 const sparse::SparseTensor& target) const {
+  const sparse::RuleBook rb =
+      sparse::build_inverse_rulebook(input, target, kernel_size_, stride_);
+  return sparse::rulebook_macs(rb, in_channels_, out_channels_);
+}
+
+}  // namespace esca::nn

@@ -1,0 +1,90 @@
+#include "nn/submanifold_conv.hpp"
+
+#include "common/check.hpp"
+#include "nn/init.hpp"
+#include "sparse/ops.hpp"
+
+namespace esca::nn {
+
+SubmanifoldConv3d::SubmanifoldConv3d(int in_channels, int out_channels, int kernel_size,
+                                     bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      has_bias_(bias) {
+  ESCA_REQUIRE(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+  ESCA_REQUIRE(kernel_size >= 1 && kernel_size % 2 == 1,
+               "submanifold convolution requires an odd kernel size, got " << kernel_size);
+  weights_.assign(static_cast<std::size_t>(kernel_volume()) *
+                      static_cast<std::size_t>(in_channels) *
+                      static_cast<std::size_t>(out_channels),
+                  0.0F);
+  bias_.assign(static_cast<std::size_t>(out_channels), 0.0F);
+}
+
+void SubmanifoldConv3d::init_kaiming(Rng& rng) {
+  kaiming_uniform(weights_, kernel_volume() * in_channels_, rng);
+  if (has_bias_) uniform_init(bias_, -0.01F, 0.01F, rng);
+}
+
+sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& input) const {
+  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(input, kernel_size_);
+  return forward(input, rb);
+}
+
+sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& input,
+                                                const sparse::RuleBook& rulebook) const {
+  ESCA_REQUIRE(input.channels() == in_channels_,
+               "input channels " << input.channels() << " != layer in_channels "
+                                 << in_channels_);
+  sparse::SparseTensor output = input.zeros_like(out_channels_);
+  sparse::apply_rulebook(input, rulebook, weights_, output);
+  if (has_bias_) {
+    for (std::size_t row = 0; row < output.size(); ++row) {
+      auto f = output.features(row);
+      for (int c = 0; c < out_channels_; ++c) {
+        f[static_cast<std::size_t>(c)] += bias_[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return output;
+}
+
+sparse::SparseTensor SubmanifoldConv3d::forward_naive(const sparse::SparseTensor& input) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+  sparse::SparseTensor output = input.zeros_like(out_channels_);
+  const int volume = kernel_volume();
+  for (std::size_t j = 0; j < input.size(); ++j) {
+    auto out = output.features(j);
+    for (int o = 0; o < volume; ++o) {
+      const Coord3 nb = input.coord(j) + sparse::kernel_offset(o, kernel_size_);
+      const std::int32_t i = input.find(nb);
+      if (i < 0) continue;
+      const auto in = input.features(static_cast<std::size_t>(i));
+      const float* w = weights_.data() + static_cast<std::size_t>(o) *
+                                             static_cast<std::size_t>(in_channels_) *
+                                             static_cast<std::size_t>(out_channels_);
+      for (int ci = 0; ci < in_channels_; ++ci) {
+        const float a = in[static_cast<std::size_t>(ci)];
+        for (int co = 0; co < out_channels_; ++co) {
+          out[static_cast<std::size_t>(co)] +=
+              a * w[static_cast<std::size_t>(ci) * static_cast<std::size_t>(out_channels_) +
+                    static_cast<std::size_t>(co)];
+        }
+      }
+    }
+    if (has_bias_) {
+      for (int co = 0; co < out_channels_; ++co) {
+        out[static_cast<std::size_t>(co)] += bias_[static_cast<std::size_t>(co)];
+      }
+    }
+  }
+  return output;
+}
+
+std::int64_t SubmanifoldConv3d::macs(const sparse::SparseTensor& input) const {
+  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(input, kernel_size_);
+  return sparse::rulebook_macs(rb, in_channels_, out_channels_);
+}
+
+}  // namespace esca::nn

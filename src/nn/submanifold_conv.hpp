@@ -1,0 +1,57 @@
+// Submanifold sparse convolution (Sub-Conv), FP32 gold model.
+//
+// Output sites == input sites; each output accumulates weights only over the
+// occupied part of its K^3 neighbourhood (paper Fig. 2(b)). Two execution
+// paths: a rulebook gather-GEMM-scatter (fast) and a direct neighbourhood
+// walk (forward_naive) used to cross-check it in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sparse/rulebook.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::nn {
+
+class SubmanifoldConv3d {
+ public:
+  /// @param kernel_size odd (the submanifold constraint needs a center).
+  SubmanifoldConv3d(int in_channels, int out_channels, int kernel_size, bool bias = false);
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel_size() const { return kernel_size_; }
+  int kernel_volume() const { return kernel_size_ * kernel_size_ * kernel_size_; }
+  bool has_bias() const { return has_bias_; }
+
+  /// Weights, layout [kernel_volume][in_channels][out_channels].
+  std::span<float> weights() { return weights_; }
+  std::span<const float> weights() const { return weights_; }
+  std::span<float> bias() { return bias_; }
+  std::span<const float> bias() const { return bias_; }
+
+  void init_kaiming(Rng& rng);
+
+  sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
+  /// Reuse a prebuilt rulebook (e.g. shared across layers at one scale).
+  sparse::SparseTensor forward(const sparse::SparseTensor& input,
+                               const sparse::RuleBook& rulebook) const;
+  /// Direct per-site neighbourhood accumulation; O(sites * K^3 * Cin * Cout).
+  sparse::SparseTensor forward_naive(const sparse::SparseTensor& input) const;
+
+  /// Effective MACs for this input (rulebook size x Cin x Cout).
+  std::int64_t macs(const sparse::SparseTensor& input) const;
+
+ private:
+  int in_channels_;
+  int out_channels_;
+  int kernel_size_;
+  bool has_bias_;
+  std::vector<float> weights_;
+  std::vector<float> bias_;
+};
+
+}  // namespace esca::nn

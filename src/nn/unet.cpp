@@ -1,0 +1,184 @@
+#include "nn/unet.hpp"
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace esca::nn {
+
+SSUNet::SSUNet(SSUNetConfig config, std::uint64_t seed) : config_(config) {
+  ESCA_REQUIRE(config.levels >= 1, "need at least one level");
+  ESCA_REQUIRE(config.reps_per_level >= 1, "need at least one block per level");
+  ESCA_REQUIRE(config.base_planes >= 1, "base_planes must be positive");
+  ESCA_REQUIRE(config.kernel_size % 2 == 1, "Sub-Conv kernel must be odd");
+
+  Rng rng(seed);
+
+  stem_ = std::make_unique<SubmanifoldConv3d>(config.in_channels, planes_at(0),
+                                              config.kernel_size);
+  stem_->init_kaiming(rng);
+  stem_bn_ = std::make_unique<BatchNorm>(planes_at(0));
+  stem_bn_->randomize(rng);
+
+  levels_.resize(static_cast<std::size_t>(config.levels));
+  for (int l = 0; l < config.levels; ++l) {
+    Level& level = levels_[static_cast<std::size_t>(l)];
+    const int planes = planes_at(l);
+
+    for (int r = 0; r < config.reps_per_level; ++r) {
+      Block b;
+      b.conv = std::make_unique<SubmanifoldConv3d>(planes, planes, config.kernel_size);
+      b.conv->init_kaiming(rng);
+      b.bn = std::make_unique<BatchNorm>(planes);
+      b.bn->randomize(rng);
+      level.encoder_blocks.push_back(std::move(b));
+    }
+
+    if (l + 1 < config.levels) {
+      const int next = planes_at(l + 1);
+      level.down = std::make_unique<SparseConv3d>(planes, next, /*kernel=*/2, /*stride=*/2);
+      level.down->init_kaiming(rng);
+      level.up = std::make_unique<InverseConv3d>(next, planes, /*kernel=*/2, /*stride=*/2);
+      level.up->init_kaiming(rng);
+
+      // Decoder: first block consumes the skip concat (2*planes), the rest
+      // stay at `planes`.
+      for (int r = 0; r < config.reps_per_level; ++r) {
+        const int cin = (r == 0) ? 2 * planes : planes;
+        Block b;
+        b.conv = std::make_unique<SubmanifoldConv3d>(cin, planes, config.kernel_size);
+        b.conv->init_kaiming(rng);
+        b.bn = std::make_unique<BatchNorm>(planes);
+        b.bn->randomize(rng);
+        level.decoder_blocks.push_back(std::move(b));
+      }
+    }
+  }
+
+  head_ = std::make_unique<Linear>(planes_at(0), config.num_classes);
+  head_->init_kaiming(rng);
+}
+
+sparse::SparseTensor SSUNet::run_block(const Block& block, const sparse::SparseTensor& x,
+                                       const std::string& name,
+                                       std::vector<TraceEntry>* trace) const {
+  sparse::SparseTensor y = block.conv->forward(x);
+  block.bn->forward_inplace(y);
+  relu_inplace(y);
+  if (trace != nullptr) {
+    TraceEntry e{name,
+                 LayerKind::kSubmanifoldConv,
+                 block.conv->in_channels(),
+                 block.conv->out_channels(),
+                 block.conv->macs(x),
+                 x,
+                 y,
+                 block.conv.get(),
+                 block.bn.get(),
+                 /*relu=*/true};
+    trace->push_back(std::move(e));
+  }
+  return y;
+}
+
+sparse::SparseTensor SSUNet::forward(const sparse::SparseTensor& input,
+                                     std::vector<TraceEntry>* trace) const {
+  ESCA_REQUIRE(input.channels() == config_.in_channels,
+               "input channels " << input.channels() << " != model in_channels "
+                                 << config_.in_channels);
+
+  // Stem.
+  sparse::SparseTensor x = stem_->forward(input);
+  stem_bn_->forward_inplace(x);
+  relu_inplace(x);
+  if (trace != nullptr) {
+    trace->push_back(TraceEntry{"stem", LayerKind::kSubmanifoldConv, stem_->in_channels(),
+                                stem_->out_channels(), stem_->macs(input), input, x,
+                                stem_.get(), stem_bn_.get(), true});
+  }
+
+  // Encoder: keep each level's output for the skip connections.
+  std::vector<sparse::SparseTensor> skips;
+  for (int l = 0; l < config_.levels; ++l) {
+    const Level& level = levels_[static_cast<std::size_t>(l)];
+    for (std::size_t r = 0; r < level.encoder_blocks.size(); ++r) {
+      x = run_block(level.encoder_blocks[r], x,
+                    str::format("enc%d.block%d", l, static_cast<int>(r)), trace);
+    }
+    skips.push_back(x);
+    if (level.down) {
+      sparse::SparseTensor y = level.down->forward(x);
+      if (trace != nullptr) {
+        trace->push_back(TraceEntry{str::format("down%d", l), LayerKind::kDownsampleConv,
+                                    level.down->in_channels(), level.down->out_channels(),
+                                    level.down->macs(x), x, y, nullptr, nullptr, false});
+      }
+      x = std::move(y);
+    }
+  }
+
+  // Decoder.
+  for (int l = config_.levels - 2; l >= 0; --l) {
+    const Level& level = levels_[static_cast<std::size_t>(l)];
+    const sparse::SparseTensor& skip = skips[static_cast<std::size_t>(l)];
+    sparse::SparseTensor y = level.up->forward(x, skip);
+    if (trace != nullptr) {
+      trace->push_back(TraceEntry{str::format("up%d", l), LayerKind::kInverseConv,
+                                  level.up->in_channels(), level.up->out_channels(),
+                                  level.up->macs(x, skip), x, y, nullptr, nullptr, false});
+    }
+    x = concat_channels(y, skip);
+    for (std::size_t r = 0; r < level.decoder_blocks.size(); ++r) {
+      x = run_block(level.decoder_blocks[r], x,
+                    str::format("dec%d.block%d", l, static_cast<int>(r)), trace);
+    }
+  }
+
+  // Head.
+  sparse::SparseTensor logits = head_->forward(x);
+  if (trace != nullptr) {
+    trace->push_back(TraceEntry{"head", LayerKind::kLinear, head_->in_channels(),
+                                head_->out_channels(), head_->macs(x), x, logits, nullptr,
+                                nullptr, false});
+  }
+  return logits;
+}
+
+std::int64_t SSUNet::total_macs(const sparse::SparseTensor& input) const {
+  std::vector<TraceEntry> trace;
+  (void)forward(input, &trace);
+  std::int64_t total = 0;
+  for (const auto& e : trace) total += e.macs;
+  return total;
+}
+
+std::int64_t SSUNet::parameter_count() const {
+  std::int64_t n = 0;
+  auto add_conv = [&n](const SubmanifoldConv3d& c) {
+    n += static_cast<std::int64_t>(c.weights().size());
+    if (c.has_bias()) n += static_cast<std::int64_t>(c.bias().size());
+  };
+  auto add_block = [&](const Block& b) {
+    add_conv(*b.conv);
+    n += 4LL * b.bn->channels();
+  };
+  add_conv(*stem_);
+  n += 4LL * stem_bn_->channels();
+  for (const Level& level : levels_) {
+    for (const Block& b : level.encoder_blocks) add_block(b);
+    if (level.down) n += static_cast<std::int64_t>(level.down->weights().size());
+    if (level.up) n += static_cast<std::int64_t>(level.up->weights().size());
+    for (const Block& b : level.decoder_blocks) add_block(b);
+  }
+  n += static_cast<std::int64_t>(head_->weights().size()) + head_->out_channels();
+  return n;
+}
+
+std::vector<std::size_t> subconv_entries(const std::vector<TraceEntry>& trace) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i].kind == LayerKind::kSubmanifoldConv) idx.push_back(i);
+  }
+  return idx;
+}
+
+}  // namespace esca::nn

@@ -1,0 +1,49 @@
+#include "pointcloud/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace esca::pc {
+
+void write_xyz(std::ostream& os, const PointCloud& cloud) {
+  os << "# esca point cloud, " << cloud.size() << " points: x y z intensity\n";
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto& p = cloud.position(i);
+    os << p.x << ' ' << p.y << ' ' << p.z << ' ' << cloud.intensity(i) << '\n';
+  }
+}
+
+void write_xyz_file(const std::string& path, const PointCloud& cloud) {
+  std::ofstream os(path);
+  ESCA_REQUIRE(os.good(), "cannot open '" << path << "' for writing");
+  write_xyz(os, cloud);
+}
+
+PointCloud read_xyz(std::istream& is) {
+  PointCloud cloud;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string trimmed = str::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::istringstream ls(trimmed);
+    float x = 0;
+    float y = 0;
+    float z = 0;
+    float intensity = 1.0F;
+    ESCA_REQUIRE(static_cast<bool>(ls >> x >> y >> z), "malformed point line: '" << trimmed << "'");
+    ls >> intensity;  // optional fourth column
+    cloud.add({x, y, z}, intensity);
+  }
+  return cloud;
+}
+
+PointCloud read_xyz_file(const std::string& path) {
+  std::ifstream is(path);
+  ESCA_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
+  return read_xyz(is);
+}
+
+}  // namespace esca::pc

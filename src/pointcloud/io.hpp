@@ -1,0 +1,20 @@
+// Plain-text point cloud I/O.
+//
+// Format: one point per line, `x y z [intensity]`, '#' comments. Enough to
+// round-trip example outputs and inspect clouds with standard tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace esca::pc {
+
+void write_xyz(std::ostream& os, const PointCloud& cloud);
+void write_xyz_file(const std::string& path, const PointCloud& cloud);
+
+PointCloud read_xyz(std::istream& is);
+PointCloud read_xyz_file(const std::string& path);
+
+}  // namespace esca::pc

@@ -1,0 +1,25 @@
+// PLY point-cloud I/O (ASCII and binary_little_endian), the interchange
+// format ShapeNet-style tooling speaks. Vertices carry x/y/z plus an
+// optional scalar `intensity` property.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace esca::pc {
+
+enum class PlyFormat { kAscii, kBinaryLittleEndian };
+
+void write_ply(std::ostream& os, const PointCloud& cloud,
+               PlyFormat format = PlyFormat::kAscii);
+void write_ply_file(const std::string& path, const PointCloud& cloud,
+                    PlyFormat format = PlyFormat::kAscii);
+
+/// Reads both formats (auto-detected from the header). Unknown vertex
+/// properties are skipped; missing intensity defaults to 1.
+PointCloud read_ply(std::istream& is);
+PointCloud read_ply_file(const std::string& path);
+
+}  // namespace esca::pc

@@ -1,0 +1,48 @@
+#include "pointcloud/point_cloud.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::pc {
+
+PointCloud::PointCloud(std::vector<geom::Vec3> positions)
+    : positions_(std::move(positions)), intensities_(positions_.size(), 1.0F) {}
+
+PointCloud::PointCloud(std::vector<geom::Vec3> positions, std::vector<float> intensities)
+    : positions_(std::move(positions)), intensities_(std::move(intensities)) {
+  ESCA_REQUIRE(positions_.size() == intensities_.size(),
+               "positions/intensities size mismatch: " << positions_.size() << " vs "
+                                                        << intensities_.size());
+}
+
+void PointCloud::add(const geom::Vec3& p, float intensity) {
+  positions_.push_back(p);
+  intensities_.push_back(intensity);
+}
+
+void PointCloud::append(const PointCloud& other) {
+  positions_.insert(positions_.end(), other.positions_.begin(), other.positions_.end());
+  intensities_.insert(intensities_.end(), other.intensities_.begin(), other.intensities_.end());
+}
+
+geom::Aabb PointCloud::bounds() const {
+  geom::Aabb box;
+  for (const auto& p : positions_) box.expand(p);
+  return box;
+}
+
+void PointCloud::normalize_unit_cube() {
+  if (positions_.empty()) return;
+  const geom::Aabb box = bounds();
+  const float extent = box.max_extent();
+  if (extent <= 0.0F) {
+    for (auto& p : positions_) p = {0.5F, 0.5F, 0.5F};
+    return;
+  }
+  // Scale by slightly under 1/extent so the far face stays inside [0,1).
+  const float scale = (1.0F - 1e-5F) / extent;
+  for (auto& p : positions_) {
+    p = (p - box.lo) * scale;
+  }
+}
+
+}  // namespace esca::pc

@@ -1,0 +1,40 @@
+// Point cloud container: positions plus an optional per-point intensity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/vec3.hpp"
+
+namespace esca::pc {
+
+class PointCloud {
+ public:
+  PointCloud() = default;
+  explicit PointCloud(std::vector<geom::Vec3> positions);
+  PointCloud(std::vector<geom::Vec3> positions, std::vector<float> intensities);
+
+  void add(const geom::Vec3& p, float intensity = 1.0F);
+  void append(const PointCloud& other);
+
+  std::size_t size() const { return positions_.size(); }
+  bool empty() const { return positions_.empty(); }
+
+  const std::vector<geom::Vec3>& positions() const { return positions_; }
+  const std::vector<float>& intensities() const { return intensities_; }
+  const geom::Vec3& position(std::size_t i) const { return positions_[i]; }
+  float intensity(std::size_t i) const { return intensities_[i]; }
+
+  geom::Aabb bounds() const;
+
+  /// Isotropically rescale + translate so the cloud fits [0, 1)^3 (longest
+  /// bounding-box edge maps to 1). Degenerate (empty/point) clouds map to 0.5.
+  void normalize_unit_cube();
+
+ private:
+  std::vector<geom::Vec3> positions_;
+  std::vector<float> intensities_;
+};
+
+}  // namespace esca::pc

@@ -1,0 +1,53 @@
+#include "pointcloud/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace esca::pc {
+
+PointCloud random_subsample(const PointCloud& cloud, std::size_t count, Rng& rng) {
+  if (count >= cloud.size()) return cloud;
+  std::vector<std::size_t> order(cloud.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  PointCloud out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.add(cloud.position(order[i]), cloud.intensity(order[i]));
+  }
+  return out;
+}
+
+PointCloud jitter(const PointCloud& cloud, float stddev, Rng& rng) {
+  ESCA_REQUIRE(stddev >= 0.0F, "jitter stddev must be non-negative");
+  PointCloud out;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto& p = cloud.position(i);
+    out.add({p.x + rng.normal_f(0.0F, stddev), p.y + rng.normal_f(0.0F, stddev),
+             p.z + rng.normal_f(0.0F, stddev)},
+            cloud.intensity(i));
+  }
+  return out;
+}
+
+PointCloud grid_thin(const PointCloud& cloud, float cell_size) {
+  ESCA_REQUIRE(cell_size > 0.0F, "cell size must be positive");
+  std::unordered_set<Coord3, Coord3Hash> occupied;
+  PointCloud out;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const auto& p = cloud.position(i);
+    const Coord3 cell{static_cast<std::int32_t>(std::floor(p.x / cell_size)),
+                      static_cast<std::int32_t>(std::floor(p.y / cell_size)),
+                      static_cast<std::int32_t>(std::floor(p.z / cell_size))};
+    if (occupied.insert(cell).second) {
+      out.add(p, cloud.intensity(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace esca::pc

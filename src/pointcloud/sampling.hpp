@@ -1,0 +1,18 @@
+// Point cloud resampling utilities.
+#pragma once
+
+#include "common/rng.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace esca::pc {
+
+/// Keep `count` points chosen uniformly at random (all points if fewer).
+PointCloud random_subsample(const PointCloud& cloud, std::size_t count, Rng& rng);
+
+/// Add isotropic Gaussian jitter to every position (sensor noise model).
+PointCloud jitter(const PointCloud& cloud, float stddev, Rng& rng);
+
+/// Voxel-grid thinning: keep at most one point per cubic cell of `cell_size`.
+PointCloud grid_thin(const PointCloud& cloud, float cell_size);
+
+}  // namespace esca::pc

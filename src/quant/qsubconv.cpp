@@ -1,0 +1,132 @@
+#include "quant/qsubconv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::quant {
+
+std::int16_t requantize(std::int64_t acc, float scale, float shift, bool relu) {
+  float y = static_cast<float>(acc) * scale + shift;
+  if (relu && y < 0.0F) y = 0.0F;
+  const auto q = static_cast<std::int32_t>(std::nearbyint(y));
+  return static_cast<std::int16_t>(std::clamp(q, -kInt16Max, kInt16Max));
+}
+
+QuantizedSubConv QuantizedSubConv::from_float(const nn::SubmanifoldConv3d& conv,
+                                              const nn::BatchNorm* bn, bool relu,
+                                              float in_scale, float out_scale,
+                                              std::string name,
+                                              WeightGranularity granularity) {
+  ESCA_REQUIRE(in_scale > 0.0F && out_scale > 0.0F, "activation scales must be positive");
+  ESCA_REQUIRE(!conv.has_bias() || bn == nullptr,
+               "bias+BN folding is not supported; fold the bias into BN shift first");
+
+  QuantizedSubConv q;
+  q.name_ = std::move(name);
+  q.in_channels_ = conv.in_channels();
+  q.out_channels_ = conv.out_channels();
+  q.kernel_size_ = conv.kernel_size();
+  q.relu_ = relu;
+  q.in_scale_ = in_scale;
+  q.out_scale_ = out_scale;
+  q.granularity_ = granularity;
+
+  const auto weights = conv.weights();
+  const auto n_cout = static_cast<std::size_t>(q.out_channels_);
+  if (granularity == WeightGranularity::kPerTensor) {
+    float m = 0.0F;
+    for (const float w : weights) m = std::max(m, std::fabs(w));
+    const QuantParams params = calibrate(m, kInt8Max);
+    q.weight_scales_.assign(1, params.scale);
+    q.weights_ = quantize_int8(weights, params);
+  } else {
+    // Per-output-channel: calibrate each OC slice W[*][*][co] separately.
+    std::vector<float> abs_max(n_cout, 0.0F);
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const std::size_t co = i % n_cout;
+      abs_max[co] = std::max(abs_max[co], std::fabs(weights[i]));
+    }
+    q.weight_scales_.resize(n_cout);
+    std::vector<QuantParams> params(n_cout);
+    for (std::size_t co = 0; co < n_cout; ++co) {
+      params[co] = calibrate(abs_max[co], kInt8Max);
+      q.weight_scales_[co] = params[co].scale;
+    }
+    q.weights_.resize(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      q.weights_[i] =
+          static_cast<std::int8_t>(quantize_value(weights[i], params[i % n_cout], kInt8Max));
+    }
+  }
+
+  // Fold BN (identity when absent) into the requant affine.
+  const auto cout = static_cast<std::size_t>(q.out_channels_);
+  std::vector<float> bn_scale(cout, 1.0F);
+  std::vector<float> bn_shift(cout, 0.0F);
+  if (bn != nullptr) {
+    ESCA_REQUIRE(bn->channels() == q.out_channels_, "BN channel mismatch");
+    const nn::BatchNorm::Affine affine = bn->folded();
+    bn_scale = affine.scale;
+    bn_shift = affine.shift;
+  }
+  if (conv.has_bias()) {
+    const auto bias = conv.bias();
+    for (std::size_t c = 0; c < cout; ++c) bn_shift[c] += bias[c];
+  }
+
+  q.requant_scale_.resize(cout);
+  q.requant_shift_.resize(cout);
+  for (std::size_t c = 0; c < cout; ++c) {
+    const float w_scale = granularity == WeightGranularity::kPerTensor
+                              ? q.weight_scales_.front()
+                              : q.weight_scales_[c];
+    q.requant_scale_[c] = in_scale * w_scale * bn_scale[c] / out_scale;
+    q.requant_shift_[c] = bn_shift[c] / out_scale;
+  }
+  return q;
+}
+
+QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+
+  // Build the rulebook on a coordinate-only float tensor (geometry is shared
+  // between the float and integer worlds).
+  sparse::SparseTensor geometry(input.spatial_extent(), 1);
+  for (const Coord3& c : input.coords()) geometry.add_site(c);
+  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(geometry, kernel_size_);
+
+  const auto cin = static_cast<std::size_t>(in_channels_);
+  const auto cout = static_cast<std::size_t>(out_channels_);
+  std::vector<std::int64_t> acc(input.size() * cout, 0);
+
+  for (int o = 0; o < rb.kernel_volume(); ++o) {
+    const std::int8_t* w = weights_.data() + static_cast<std::size_t>(o) * cin * cout;
+    for (const sparse::Rule& rule : rb.rules_for(o)) {
+      const auto in = input.features(static_cast<std::size_t>(rule.in_row));
+      std::int64_t* out = acc.data() + static_cast<std::size_t>(rule.out_row) * cout;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        const std::int32_t a = in[ci];
+        if (a == 0) continue;
+        const std::int8_t* wrow = w + ci * cout;
+        for (std::size_t co = 0; co < cout; ++co) {
+          out[co] += static_cast<std::int64_t>(a) * wrow[co];
+        }
+      }
+    }
+  }
+
+  QSparseTensor output(input.spatial_extent(), out_channels_, QuantParams{out_scale_});
+  for (std::size_t row = 0; row < input.size(); ++row) {
+    const std::int32_t r = output.add_site(input.coord(row));
+    auto dst = output.features(static_cast<std::size_t>(r));
+    const std::int64_t* src = acc.data() + row * cout;
+    for (std::size_t co = 0; co < cout; ++co) {
+      dst[co] = requantize(src[co], requant_scale_[co], requant_shift_[co], relu_);
+    }
+  }
+  return output;
+}
+
+}  // namespace esca::quant

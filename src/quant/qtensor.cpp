@@ -1,0 +1,84 @@
+#include "quant/qtensor.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::quant {
+
+QSparseTensor::QSparseTensor(Coord3 spatial_extent, int channels, QuantParams params)
+    : extent_(spatial_extent), channels_(channels), params_(params) {
+  ESCA_REQUIRE(extent_.x > 0 && extent_.y > 0 && extent_.z > 0, "extent must be positive");
+  ESCA_REQUIRE(channels > 0, "channels must be positive");
+  ESCA_REQUIRE(params.scale > 0.0F, "scale must be positive");
+}
+
+QSparseTensor QSparseTensor::from_float(const sparse::SparseTensor& t, QuantParams params) {
+  QSparseTensor q(t.spatial_extent(), t.channels(), params);
+  for (std::size_t row = 0; row < t.size(); ++row) {
+    const std::int32_t r = q.add_site(t.coord(row));
+    auto dst = q.features(static_cast<std::size_t>(r));
+    const auto src = t.features(row);
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      dst[c] = static_cast<std::int16_t>(quantize_value(src[c], params, kInt16Max));
+    }
+  }
+  return q;
+}
+
+QSparseTensor QSparseTensor::from_float_calibrated(const sparse::SparseTensor& t) {
+  return from_float(t, calibrate(t.abs_max(), kInt16Max));
+}
+
+std::int32_t QSparseTensor::add_site(const Coord3& c) {
+  ESCA_REQUIRE(in_bounds(c, extent_), "site " << c << " outside extent " << extent_);
+  const auto [it, inserted] = index_.try_emplace(c, static_cast<std::int32_t>(coords_.size()));
+  ESCA_REQUIRE(inserted, "site " << c << " already present");
+  coords_.push_back(c);
+  features_.resize(features_.size() + static_cast<std::size_t>(channels_), 0);
+  return it->second;
+}
+
+std::int32_t QSparseTensor::find(const Coord3& c) const {
+  const auto it = index_.find(c);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::span<std::int16_t> QSparseTensor::features(std::size_t row) {
+  ESCA_ASSERT(row < coords_.size(), "row out of range");
+  return {features_.data() + row * static_cast<std::size_t>(channels_),
+          static_cast<std::size_t>(channels_)};
+}
+
+std::span<const std::int16_t> QSparseTensor::features(std::size_t row) const {
+  ESCA_ASSERT(row < coords_.size(), "row out of range");
+  return {features_.data() + row * static_cast<std::size_t>(channels_),
+          static_cast<std::size_t>(channels_)};
+}
+
+sparse::SparseTensor QSparseTensor::to_float() const {
+  sparse::SparseTensor t(extent_, channels_);
+  for (std::size_t row = 0; row < coords_.size(); ++row) {
+    const std::int32_t r = t.add_site(coords_[row]);
+    auto dst = t.features(static_cast<std::size_t>(r));
+    const auto src = features(row);
+    for (std::size_t c = 0; c < src.size(); ++c) {
+      dst[c] = params_.dequantize(src[c]);
+    }
+  }
+  return t;
+}
+
+bool operator==(const QSparseTensor& a, const QSparseTensor& b) {
+  if (a.channels_ != b.channels_ || a.coords_.size() != b.coords_.size()) return false;
+  for (std::size_t i = 0; i < a.coords_.size(); ++i) {
+    const std::int32_t j = b.find(a.coords_[i]);
+    if (j < 0) return false;
+    const auto fa = a.features(i);
+    const auto fb = b.features(static_cast<std::size_t>(j));
+    for (std::size_t c = 0; c < fa.size(); ++c) {
+      if (fa[c] != fb[c]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace esca::quant

@@ -1,0 +1,51 @@
+// Quantized sparse tensor: INT16 activations at active sites + a scale.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "quant/quantizer.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::quant {
+
+class QSparseTensor {
+ public:
+  QSparseTensor(Coord3 spatial_extent, int channels, QuantParams params);
+
+  /// Quantize a float tensor with the given (or calibrated) params.
+  static QSparseTensor from_float(const sparse::SparseTensor& t, QuantParams params);
+  static QSparseTensor from_float_calibrated(const sparse::SparseTensor& t);
+
+  const Coord3& spatial_extent() const { return extent_; }
+  int channels() const { return channels_; }
+  std::size_t size() const { return coords_.size(); }
+  const QuantParams& params() const { return params_; }
+
+  std::int32_t add_site(const Coord3& c);
+  std::int32_t find(const Coord3& c) const;
+  const Coord3& coord(std::size_t row) const { return coords_[row]; }
+  const std::vector<Coord3>& coords() const { return coords_; }
+
+  std::span<std::int16_t> features(std::size_t row);
+  std::span<const std::int16_t> features(std::size_t row) const;
+
+  /// Dequantize back to float (for accuracy comparisons).
+  sparse::SparseTensor to_float() const;
+
+  /// True iff coords, channels and every int16 value match.
+  friend bool operator==(const QSparseTensor& a, const QSparseTensor& b);
+
+ private:
+  Coord3 extent_;
+  int channels_;
+  QuantParams params_;
+  std::vector<Coord3> coords_;
+  std::vector<std::int16_t> features_;
+  std::unordered_map<Coord3, std::int32_t, Coord3Hash> index_;
+};
+
+}  // namespace esca::quant

@@ -1,0 +1,45 @@
+#include "sim/bram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::sim {
+namespace {
+
+/// Natural aspect ratios of one BRAM36 primitive (width -> depth).
+struct Aspect {
+  std::int64_t width;
+  std::int64_t depth;
+};
+
+constexpr Aspect kAspects[] = {
+    {72, 512}, {36, 1024}, {18, 2048}, {9, 4096}, {4, 8192}, {2, 16384}, {1, 32768},
+};
+
+}  // namespace
+
+double bram36_count(const BramSpec& spec) {
+  ESCA_REQUIRE(spec.word_bits > 0 && spec.depth > 0,
+               "BRAM spec '" << spec.name << "' must have positive width and depth");
+
+  // Choose the narrowest aspect that is at least as wide as the word, or
+  // tile several primitives side by side for wide words; BRAM18 halves count
+  // as 0.5 (this is how Vivado reports fractional totals like 365.5).
+  double best = 1e18;
+  for (const Aspect& a : kAspects) {
+    const auto columns = (spec.word_bits + a.width - 1) / a.width;
+    const auto rows = (spec.depth + a.depth - 1) / a.depth;
+    const double primitives = static_cast<double>(columns * rows);
+    best = std::min(best, primitives);
+  }
+  // A BRAM18 (half primitive) suffices when the whole buffer fits in 18 Kib
+  // with an 18K-compatible aspect (<=36 bits wide, <=512 deep at 36b).
+  if (spec.word_bits <= 36 && spec.word_bits * spec.depth <= 18 * 1024) {
+    best = std::min(best, 0.5);
+  }
+  return best;
+}
+
+}  // namespace esca::sim

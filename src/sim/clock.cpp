@@ -1,0 +1,12 @@
+#include "sim/clock.hpp"
+
+#include <cmath>
+
+namespace esca::sim {
+
+std::int64_t Clock::seconds_to_cycles(double seconds) const {
+  ESCA_REQUIRE(seconds >= 0.0, "duration must be non-negative");
+  return static_cast<std::int64_t>(std::ceil(seconds * frequency_hz_));
+}
+
+}  // namespace esca::sim

@@ -1,0 +1,41 @@
+// Cycle clock: converts between cycle counts and wall time at a frequency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace esca::sim {
+
+class Clock {
+ public:
+  /// @param frequency_hz  clock rate, e.g. 270e6 for the paper's 270 MHz.
+  explicit Clock(double frequency_hz) : frequency_hz_(frequency_hz) {
+    ESCA_REQUIRE(frequency_hz > 0.0, "clock frequency must be positive");
+  }
+
+  double frequency_hz() const { return frequency_hz_; }
+  double period_s() const { return 1.0 / frequency_hz_; }
+
+  double cycles_to_seconds(std::int64_t cycles) const {
+    return static_cast<double>(cycles) / frequency_hz_;
+  }
+  double cycles_to_ms(std::int64_t cycles) const { return cycles_to_seconds(cycles) * 1e3; }
+  double cycles_to_us(std::int64_t cycles) const { return cycles_to_seconds(cycles) * 1e6; }
+
+  /// Cycles needed to cover `seconds` (rounded up).
+  std::int64_t seconds_to_cycles(double seconds) const;
+
+  void advance(std::int64_t cycles = 1) {
+    ESCA_REQUIRE(cycles >= 0, "cannot advance the clock backwards");
+    now_ += cycles;
+  }
+  std::int64_t now() const { return now_; }
+  void reset() { now_ = 0; }
+
+ private:
+  double frequency_hz_;
+  std::int64_t now_{0};
+};
+
+}  // namespace esca::sim

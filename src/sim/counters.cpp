@@ -1,0 +1,37 @@
+#include "sim/counters.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace esca::sim {
+
+void CounterSet::add(const std::string& name, std::int64_t delta) { counts_[name] += delta; }
+
+std::int64_t CounterSet::get(const std::string& name) const {
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+bool CounterSet::has(const std::string& name) const { return counts_.contains(name); }
+
+void CounterSet::merge(const CounterSet& other) {
+  for (const auto& [k, v] : other.counts_) counts_[k] += v;
+}
+
+std::vector<std::pair<std::string, std::int64_t>> CounterSet::sorted() const {
+  return {counts_.begin(), counts_.end()};
+}
+
+void CounterSet::clear() { counts_.clear(); }
+
+std::string CounterSet::to_string(const std::string& title) const {
+  std::ostringstream os;
+  os << title << '\n';
+  for (const auto& [k, v] : counts_) {
+    os << "  " << k << " = " << str::with_commas(v) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace esca::sim

@@ -1,0 +1,32 @@
+// Named event counters for the simulator.
+//
+// Modules increment counters by name ("sdmu.matches", "cc.mac_ops", ...);
+// benches read the registry to build reports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace esca::sim {
+
+class CounterSet {
+ public:
+  void add(const std::string& name, std::int64_t delta = 1);
+  std::int64_t get(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  /// Merge another set into this one (used to aggregate per-layer stats).
+  void merge(const CounterSet& other);
+
+  std::vector<std::pair<std::string, std::int64_t>> sorted() const;
+  void clear();
+
+  std::string to_string(const std::string& title) const;
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+};
+
+}  // namespace esca::sim

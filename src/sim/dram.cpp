@@ -1,0 +1,5 @@
+#include "sim/dram.hpp"
+
+// Header-only today; the translation unit pins the vtable-free class into the
+// library and leaves room for trace-driven extensions.
+namespace esca::sim {}

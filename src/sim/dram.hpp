@@ -1,0 +1,57 @@
+// Off-chip DRAM transfer model.
+//
+// First-order model: a transfer of N bytes takes
+//   latency + N / effective_bandwidth
+// Effective bandwidth derates the pin bandwidth by an efficiency factor
+// (row-buffer misses, refresh, bus turnaround).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace esca::sim {
+
+struct DramConfig {
+  double peak_bandwidth_bytes_per_s{19.2e9};  ///< ZCU102 PS DDR4-2400 x64
+  double efficiency{0.7};                     ///< achievable fraction of peak
+  double first_word_latency_s{120e-9};        ///< per-burst latency
+};
+
+class DramModel {
+ public:
+  explicit DramModel(DramConfig cfg = {}) : cfg_(cfg) {
+    ESCA_REQUIRE(cfg.peak_bandwidth_bytes_per_s > 0, "DRAM bandwidth must be positive");
+    ESCA_REQUIRE(cfg.efficiency > 0 && cfg.efficiency <= 1.0,
+                 "DRAM efficiency must be in (0, 1]");
+  }
+
+  double effective_bandwidth() const {
+    return cfg_.peak_bandwidth_bytes_per_s * cfg_.efficiency;
+  }
+
+  /// Seconds to move `bytes` in one streaming burst.
+  double transfer_seconds(std::int64_t bytes) const {
+    ESCA_REQUIRE(bytes >= 0, "negative transfer size");
+    if (bytes == 0) return 0.0;
+    return cfg_.first_word_latency_s + static_cast<double>(bytes) / effective_bandwidth();
+  }
+
+  void record_read(std::int64_t bytes) { read_bytes_ += bytes; }
+  void record_write(std::int64_t bytes) { write_bytes_ += bytes; }
+  std::int64_t read_bytes() const { return read_bytes_; }
+  std::int64_t write_bytes() const { return write_bytes_; }
+  const DramConfig& config() const { return cfg_; }
+
+  void reset_stats() {
+    read_bytes_ = 0;
+    write_bytes_ = 0;
+  }
+
+ private:
+  DramConfig cfg_;
+  std::int64_t read_bytes_{0};
+  std::int64_t write_bytes_{0};
+};
+
+}  // namespace esca::sim

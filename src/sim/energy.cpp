@@ -1,0 +1,16 @@
+#include "sim/energy.hpp"
+
+namespace esca::sim {
+
+double EnergyMeter::total_joules() const {
+  double total = 0.0;
+  for (const auto& [k, v] : joules_) total += v;
+  return total;
+}
+
+double EnergyMeter::component_joules(const std::string& name) const {
+  const auto it = joules_.find(name);
+  return it == joules_.end() ? 0.0 : it->second;
+}
+
+}  // namespace esca::sim

@@ -1,0 +1,52 @@
+// Event-based energy accounting.
+//
+// Each hardware event type (DSP MAC, BRAM access, DRAM byte, FF toggle) has a
+// per-event energy in joules; the meter accumulates totals. The power model
+// combines these with static power for Table III.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace esca::sim {
+
+/// Per-event energy costs, defaults representative of a 16 nm UltraScale+
+/// device at nominal voltage (derived from Xilinx Power Estimator trends).
+struct EnergyTable {
+  double dsp_mac_j{4.5e-12};       ///< one INT8xINT16 MAC in a DSP48E2
+  double bram_read_j{2.5e-12};     ///< one 72-bit BRAM read
+  double bram_write_j{2.8e-12};    ///< one 72-bit BRAM write
+  double dram_byte_j{60e-12};      ///< one byte moved over DDR4
+  double logic_cycle_j{15e-12};    ///< control-plane switching per active cycle
+};
+
+class EnergyMeter {
+ public:
+  explicit EnergyMeter(EnergyTable table = {}) : table_(table) {}
+
+  void add_mac(std::int64_t n) { joules_["dsp_mac"] += table_.dsp_mac_j * static_cast<double>(n); }
+  void add_bram_read(std::int64_t n) {
+    joules_["bram_read"] += table_.bram_read_j * static_cast<double>(n);
+  }
+  void add_bram_write(std::int64_t n) {
+    joules_["bram_write"] += table_.bram_write_j * static_cast<double>(n);
+  }
+  void add_dram_bytes(std::int64_t n) {
+    joules_["dram"] += table_.dram_byte_j * static_cast<double>(n);
+  }
+  void add_logic_cycles(std::int64_t n) {
+    joules_["logic"] += table_.logic_cycle_j * static_cast<double>(n);
+  }
+
+  double total_joules() const;
+  double component_joules(const std::string& name) const;
+  const EnergyTable& table() const { return table_; }
+  void clear() { joules_.clear(); }
+
+ private:
+  EnergyTable table_;
+  std::map<std::string, double> joules_;
+};
+
+}  // namespace esca::sim

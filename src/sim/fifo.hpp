@@ -1,0 +1,84 @@
+// Bounded FIFO with occupancy statistics.
+//
+// Models a hardware FIFO: fixed capacity, push fails when full (the caller
+// stalls), pop fails when empty. High-water mark and stall counts feed the
+// FIFO-depth ablation bench.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/check.hpp"
+
+namespace esca::sim {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    ESCA_REQUIRE(capacity > 0, "FIFO capacity must be positive");
+  }
+
+  bool full() const { return items_.size() >= capacity_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Attempt to enqueue; returns false (and counts a stall) when full.
+  bool try_push(T value) {
+    if (full()) {
+      ++push_stalls_;
+      return false;
+    }
+    items_.push_back(std::move(value));
+    ++total_pushed_;
+    high_water_ = std::max(high_water_, items_.size());
+    return true;
+  }
+
+  /// Enqueue or die; use where the surrounding control logic guarantees room.
+  void push(T value) {
+    ESCA_CHECK(try_push(std::move(value)), "push into full FIFO (capacity " << capacity_ << ")");
+  }
+
+  std::optional<T> try_pop() {
+    if (items_.empty()) {
+      ++pop_stalls_;
+      return std::nullopt;
+    }
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  const T& front() const {
+    ESCA_CHECK(!items_.empty(), "front() on empty FIFO");
+    return items_.front();
+  }
+
+  void clear() { items_.clear(); }
+
+  // --- statistics -----------------------------------------------------------
+  std::size_t high_water() const { return high_water_; }
+  std::int64_t total_pushed() const { return total_pushed_; }
+  std::int64_t push_stalls() const { return push_stalls_; }
+  std::int64_t pop_stalls() const { return pop_stalls_; }
+  void reset_stats() {
+    high_water_ = items_.size();
+    total_pushed_ = 0;
+    push_stalls_ = 0;
+    pop_stalls_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> items_;
+  std::size_t high_water_{0};
+  std::int64_t total_pushed_{0};
+  std::int64_t push_stalls_{0};
+  std::int64_t pop_stalls_{0};
+};
+
+}  // namespace esca::sim

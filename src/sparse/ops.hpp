@@ -1,0 +1,23 @@
+// Gather-GEMM-scatter reference execution of a rulebook.
+//
+// This is how SparseConvNet-style libraries (and the paper's GPU baseline)
+// execute sparse convolutions; our CPU baseline times exactly this path.
+#pragma once
+
+#include <span>
+
+#include "sparse/rulebook.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::sparse {
+
+/// out[j] += W[o]^T in[i] for every rule (i -> j) of every offset o.
+///
+/// @param weights  [kernel_volume][in_channels][out_channels], row-major.
+void apply_rulebook(const SparseTensor& input, const RuleBook& rulebook,
+                    std::span<const float> weights, SparseTensor& output);
+
+/// Effective multiply-accumulate count for a rulebook execution.
+std::int64_t rulebook_macs(const RuleBook& rulebook, int in_channels, int out_channels);
+
+}  // namespace esca::sparse

@@ -1,0 +1,72 @@
+// Rulebook construction for sparse convolutions.
+//
+// A rulebook lists, for every kernel offset, the (input row, output row)
+// pairs that contribute a MAC. It is the software equivalent of the paper's
+// "matching operation": the SDMU tests must produce exactly these pairs.
+//
+// Kernel offset indexing: for a K x K x K kernel with radius r = K/2, offset
+// (dx, dy, dz) in [-r, r]^3 maps to
+//   k = ((dz + r) * K + (dy + r)) * K + (dx + r)
+// i.e. dx fastest — the same order the weight tensor is stored in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::sparse {
+
+struct Rule {
+  std::int32_t in_row;
+  std::int32_t out_row;
+
+  friend bool operator==(const Rule&, const Rule&) = default;
+};
+
+class RuleBook {
+ public:
+  explicit RuleBook(int kernel_volume) : rules_(static_cast<std::size_t>(kernel_volume)) {}
+
+  int kernel_volume() const { return static_cast<int>(rules_.size()); }
+  const std::vector<Rule>& rules_for(int offset_index) const {
+    return rules_[static_cast<std::size_t>(offset_index)];
+  }
+  void add(int offset_index, Rule rule) {
+    rules_[static_cast<std::size_t>(offset_index)].push_back(rule);
+  }
+
+  /// Total number of (input, output) pairs == number of weight applications.
+  std::int64_t total_rules() const;
+
+ private:
+  std::vector<std::vector<Rule>> rules_;
+};
+
+/// Kernel offset for a linear index (see file comment for the convention).
+Coord3 kernel_offset(int offset_index, int kernel_size);
+/// Inverse of kernel_offset.
+int kernel_offset_index(const Coord3& offset, int kernel_size);
+
+/// Submanifold convolution rulebook: outputs exist exactly at input sites;
+/// rule (i -> j) exists when coord(i) == coord(j) + offset.
+RuleBook build_submanifold_rulebook(const SparseTensor& input, int kernel_size);
+
+/// Strided ("regular") sparse convolution: output site exists when any input
+/// site falls inside its receptive field. Returns the output coordinate set
+/// together with the rulebook.
+struct DownsamplePlan {
+  std::vector<Coord3> out_coords;
+  Coord3 out_extent;
+  RuleBook rulebook{1};
+};
+
+DownsamplePlan build_strided_rulebook(const SparseTensor& input, int kernel_size, int stride);
+
+/// Inverse (transposed) convolution restoring a recorded coordinate set:
+/// rule direction is flipped relative to the forward strided conv.
+RuleBook build_inverse_rulebook(const SparseTensor& input, const SparseTensor& target,
+                                int kernel_size, int stride);
+
+}  // namespace esca::sparse

@@ -1,0 +1,128 @@
+#include "sparse/sparse_tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::sparse {
+
+SparseTensor::SparseTensor(Coord3 spatial_extent, int channels)
+    : extent_(spatial_extent), channels_(channels) {
+  ESCA_REQUIRE(extent_.x > 0 && extent_.y > 0 && extent_.z > 0,
+               "spatial extent must be positive, got " << extent_);
+  ESCA_REQUIRE(channels > 0, "channels must be positive, got " << channels);
+}
+
+SparseTensor SparseTensor::from_voxel_grid(const voxel::VoxelGrid& grid, int channels) {
+  SparseTensor t(grid.extent(), channels);
+  for (const Coord3& c : grid.coords()) {
+    const std::int32_t row = t.add_site(c);
+    t.set_feature(static_cast<std::size_t>(row), 0, grid.feature_at(c));
+  }
+  t.sort_canonical();
+  return t;
+}
+
+std::int32_t SparseTensor::add_site(const Coord3& c) {
+  ESCA_REQUIRE(in_bounds(c, extent_), "site " << c << " outside extent " << extent_);
+  const auto [it, inserted] = index_.try_emplace(c, static_cast<std::int32_t>(coords_.size()));
+  ESCA_REQUIRE(inserted, "site " << c << " already present");
+  coords_.push_back(c);
+  features_.resize(features_.size() + static_cast<std::size_t>(channels_), 0.0F);
+  return it->second;
+}
+
+std::int32_t SparseTensor::add_site(const Coord3& c, std::span<const float> features) {
+  ESCA_REQUIRE(features.size() == static_cast<std::size_t>(channels_),
+               "feature size " << features.size() << " != channels " << channels_);
+  const std::int32_t row = add_site(c);
+  std::copy(features.begin(), features.end(),
+            features_.begin() + static_cast<std::ptrdiff_t>(
+                                    static_cast<std::size_t>(row) *
+                                    static_cast<std::size_t>(channels_)));
+  return row;
+}
+
+std::int32_t SparseTensor::find(const Coord3& c) const {
+  const auto it = index_.find(c);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::span<float> SparseTensor::features(std::size_t row) {
+  ESCA_ASSERT(row < coords_.size(), "row out of range");
+  return {features_.data() + row * static_cast<std::size_t>(channels_),
+          static_cast<std::size_t>(channels_)};
+}
+
+std::span<const float> SparseTensor::features(std::size_t row) const {
+  ESCA_ASSERT(row < coords_.size(), "row out of range");
+  return {features_.data() + row * static_cast<std::size_t>(channels_),
+          static_cast<std::size_t>(channels_)};
+}
+
+float SparseTensor::feature(std::size_t row, int channel) const {
+  ESCA_ASSERT(channel >= 0 && channel < channels_, "channel out of range");
+  return features_[row * static_cast<std::size_t>(channels_) + static_cast<std::size_t>(channel)];
+}
+
+void SparseTensor::set_feature(std::size_t row, int channel, float value) {
+  ESCA_ASSERT(channel >= 0 && channel < channels_, "channel out of range");
+  features_[row * static_cast<std::size_t>(channels_) + static_cast<std::size_t>(channel)] =
+      value;
+}
+
+SparseTensor SparseTensor::zeros_like(int channels) const {
+  SparseTensor out(extent_, channels);
+  out.coords_ = coords_;
+  out.index_ = index_;
+  out.features_.assign(coords_.size() * static_cast<std::size_t>(channels), 0.0F);
+  return out;
+}
+
+void SparseTensor::sort_canonical() {
+  std::vector<std::size_t> order(coords_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) { return coords_[a] < coords_[b]; });
+
+  std::vector<Coord3> new_coords(coords_.size());
+  std::vector<float> new_features(features_.size());
+  const auto ch = static_cast<std::size_t>(channels_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    new_coords[i] = coords_[order[i]];
+    std::copy_n(features_.begin() + static_cast<std::ptrdiff_t>(order[i] * ch), ch,
+                new_features.begin() + static_cast<std::ptrdiff_t>(i * ch));
+  }
+  coords_ = std::move(new_coords);
+  features_ = std::move(new_features);
+  index_.clear();
+  for (std::size_t i = 0; i < coords_.size(); ++i) {
+    index_.emplace(coords_[i], static_cast<std::int32_t>(i));
+  }
+}
+
+float SparseTensor::abs_max() const {
+  float m = 0.0F;
+  for (const float v : features_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float max_abs_diff(const SparseTensor& a, const SparseTensor& b) {
+  ESCA_REQUIRE(a.size() == b.size() && a.channels() == b.channels(),
+               "tensor shapes differ: " << a.size() << "x" << a.channels() << " vs " << b.size()
+                                        << "x" << b.channels());
+  float m = 0.0F;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int32_t j = b.find(a.coord(i));
+    ESCA_REQUIRE(j >= 0, "coordinate sets differ at " << a.coord(i));
+    const auto fa = a.features(i);
+    const auto fb = b.features(static_cast<std::size_t>(j));
+    for (std::size_t c = 0; c < fa.size(); ++c) {
+      m = std::max(m, std::fabs(fa[c] - fb[c]));
+    }
+  }
+  return m;
+}
+
+}  // namespace esca::sparse

@@ -1,0 +1,71 @@
+// Sparse rank-3 spatial tensor: a set of active sites with C-channel features.
+//
+// This is the SSCN data structure: "nonzero activations" live at coords, all
+// other sites are implicit zeros. Feature storage is row-major (site-major).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "voxel/voxel_grid.hpp"
+
+namespace esca::sparse {
+
+class SparseTensor {
+ public:
+  /// Empty tensor over the given spatial extent.
+  SparseTensor(Coord3 spatial_extent, int channels);
+
+  /// Build a 1..C channel tensor from a voxel grid occupancy (channel 0 is
+  /// the voxel feature; remaining channels start at zero).
+  static SparseTensor from_voxel_grid(const voxel::VoxelGrid& grid, int channels = 1);
+
+  const Coord3& spatial_extent() const { return extent_; }
+  int channels() const { return channels_; }
+  std::size_t size() const { return coords_.size(); }
+  bool empty() const { return coords_.empty(); }
+
+  /// Append a site (must be new and in bounds); returns its row.
+  std::int32_t add_site(const Coord3& c);
+  /// Append a site with features (size must equal channels()).
+  std::int32_t add_site(const Coord3& c, std::span<const float> features);
+
+  /// Row of the site at c, or -1.
+  std::int32_t find(const Coord3& c) const;
+  bool contains(const Coord3& c) const { return find(c) >= 0; }
+
+  const Coord3& coord(std::size_t row) const { return coords_[row]; }
+  const std::vector<Coord3>& coords() const { return coords_; }
+
+  std::span<float> features(std::size_t row);
+  std::span<const float> features(std::size_t row) const;
+  float feature(std::size_t row, int channel) const;
+  void set_feature(std::size_t row, int channel, float value);
+
+  std::vector<float>& raw_features() { return features_; }
+  const std::vector<float>& raw_features() const { return features_; }
+
+  /// A tensor with the same coords/extent but `channels` zero channels.
+  SparseTensor zeros_like(int channels) const;
+
+  /// Sort sites into canonical (z, y, x) order and rebuild the index.
+  void sort_canonical();
+
+  /// Max |feature| over all sites/channels (quantization calibration).
+  float abs_max() const;
+
+ private:
+  Coord3 extent_;
+  int channels_;
+  std::vector<Coord3> coords_;
+  std::vector<float> features_;
+  std::unordered_map<Coord3, std::int32_t, Coord3Hash> index_;
+};
+
+/// Max |a - b| over matching sites; requires identical coordinate sets.
+float max_abs_diff(const SparseTensor& a, const SparseTensor& b);
+
+}  // namespace esca::sparse

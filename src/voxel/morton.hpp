@@ -1,0 +1,51 @@
+// 3-D Morton (Z-order) encoding for cache- and locality-friendly voxel order.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace esca::voxel {
+
+namespace detail {
+
+/// Spread the low 21 bits of v so consecutive bits land 3 apart.
+constexpr std::uint64_t spread_bits(std::uint64_t v) {
+  v &= 0x1fffff;  // 21 bits
+  v = (v | (v << 32)) & 0x1f00000000ffffULL;
+  v = (v | (v << 16)) & 0x1f0000ff0000ffULL;
+  v = (v | (v << 8)) & 0x100f00f00f00f00fULL;
+  v = (v | (v << 4)) & 0x10c30c30c30c30c3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+/// Inverse of spread_bits.
+constexpr std::uint64_t compact_bits(std::uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+  v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+  v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+  v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+  v = (v ^ (v >> 32)) & 0x1fffff;
+  return v;
+}
+
+}  // namespace detail
+
+/// Interleave (x, y, z) into a 63-bit Morton code. Coordinates must be
+/// non-negative and below 2^21.
+constexpr std::uint64_t morton_encode(const Coord3& c) {
+  return detail::spread_bits(static_cast<std::uint64_t>(c.x)) |
+         (detail::spread_bits(static_cast<std::uint64_t>(c.y)) << 1) |
+         (detail::spread_bits(static_cast<std::uint64_t>(c.z)) << 2);
+}
+
+constexpr Coord3 morton_decode(std::uint64_t code) {
+  return Coord3{static_cast<std::int32_t>(detail::compact_bits(code)),
+                static_cast<std::int32_t>(detail::compact_bits(code >> 1)),
+                static_cast<std::int32_t>(detail::compact_bits(code >> 2))};
+}
+
+}  // namespace esca::voxel

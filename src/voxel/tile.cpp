@@ -1,0 +1,73 @@
+#include "voxel/tile.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace esca::voxel {
+
+namespace {
+
+Coord3 ceil_div(const Coord3& a, const Coord3& b) {
+  return {(a.x + b.x - 1) / b.x, (a.y + b.y - 1) / b.y, (a.z + b.z - 1) / b.z};
+}
+
+Coord3 tile_of(const Coord3& voxel, const Coord3& tile_size) {
+  return {voxel.x / tile_size.x, voxel.y / tile_size.y, voxel.z / tile_size.z};
+}
+
+}  // namespace
+
+TileGrid::TileGrid(const VoxelGrid& grid, TileShape shape)
+    : shape_(shape), grid_extent_(grid.extent()) {
+  ESCA_REQUIRE(shape.size.x > 0 && shape.size.y > 0 && shape.size.z > 0,
+               "tile size must be positive, got " << shape.size);
+  tiles_extent_ = ceil_div(grid_extent_, shape.size);
+
+  for (const Coord3& voxel : grid.coords()) {
+    const Coord3 tc = tile_of(voxel, shape.size);
+    auto [it, inserted] = tile_index_.try_emplace(tc, tiles_.size());
+    if (inserted) {
+      tiles_.push_back(Tile{tc,
+                            {tc.x * shape.size.x, tc.y * shape.size.y, tc.z * shape.size.z},
+                            {}});
+    }
+    tiles_[it->second].occupied.push_back(voxel);
+  }
+
+  // Deterministic processing order: tiles sorted by tile coordinate, voxels
+  // within a tile sorted z-major (the SDMU scan order).
+  std::vector<std::size_t> order(tiles_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return tiles_[a].tile_coord < tiles_[b].tile_coord;
+  });
+  std::vector<Tile> sorted;
+  sorted.reserve(tiles_.size());
+  for (const std::size_t i : order) sorted.push_back(std::move(tiles_[i]));
+  tiles_ = std::move(sorted);
+  tile_index_.clear();
+  for (std::size_t i = 0; i < tiles_.size(); ++i) {
+    tile_index_.emplace(tiles_[i].tile_coord, i);
+    std::sort(tiles_[i].occupied.begin(), tiles_[i].occupied.end());
+  }
+}
+
+double TileGrid::removing_ratio() const {
+  const auto total = total_tiles();
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(active_tiles()) / static_cast<double>(total);
+}
+
+const Tile* TileGrid::find_tile(const Coord3& tile_coord) const {
+  const auto it = tile_index_.find(tile_coord);
+  return it == tile_index_.end() ? nullptr : &tiles_[it->second];
+}
+
+std::int64_t TileGrid::occupied_voxels() const {
+  std::int64_t n = 0;
+  for (const auto& t : tiles_) n += static_cast<std::int64_t>(t.occupied.size());
+  return n;
+}
+
+}  // namespace esca::voxel

@@ -1,0 +1,40 @@
+#include "voxel/voxel_grid.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "voxel/morton.hpp"
+
+namespace esca::voxel {
+
+VoxelGrid::VoxelGrid(Coord3 extent) : extent_(extent) {
+  ESCA_REQUIRE(extent.x > 0 && extent.y > 0 && extent.z > 0,
+               "grid extent must be positive, got " << extent);
+}
+
+void VoxelGrid::insert(const Coord3& c, float feature) {
+  ESCA_REQUIRE(in_bounds(c, extent_), "voxel " << c << " outside extent " << extent_);
+  auto [it, inserted] = index_.try_emplace(c);
+  if (inserted) coords_.push_back(c);
+  it->second.feature_sum += feature;
+  it->second.count += 1;
+}
+
+float VoxelGrid::feature_at(const Coord3& c) const {
+  const auto it = index_.find(c);
+  if (it == index_.end()) return 0.0F;
+  return it->second.feature_sum / static_cast<float>(it->second.count);
+}
+
+double VoxelGrid::density() const {
+  const auto total = extent_.volume();
+  return total > 0 ? static_cast<double>(coords_.size()) / static_cast<double>(total) : 0.0;
+}
+
+void VoxelGrid::sort_morton() {
+  std::sort(coords_.begin(), coords_.end(), [](const Coord3& a, const Coord3& b) {
+    return morton_encode(a) < morton_encode(b);
+  });
+}
+
+}  // namespace esca::voxel

@@ -1,0 +1,35 @@
+#include "voxel/voxelizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace esca::voxel {
+
+VoxelGrid voxelize(const pc::PointCloud& cloud, const VoxelizerConfig& config) {
+  ESCA_REQUIRE(config.resolution > 0, "voxel resolution must be positive");
+
+  pc::PointCloud normalized;
+  const pc::PointCloud* source = &cloud;
+  if (config.normalize) {
+    normalized = cloud;
+    normalized.normalize_unit_cube();
+    source = &normalized;
+  }
+
+  const auto res = config.resolution;
+  VoxelGrid grid({res, res, res});
+  const float scale = static_cast<float>(res);
+  for (std::size_t i = 0; i < source->size(); ++i) {
+    const auto& p = source->position(i);
+    auto clamp_axis = [res, scale](float v) {
+      const auto idx = static_cast<std::int32_t>(std::floor(v * scale));
+      return std::clamp(idx, 0, res - 1);
+    };
+    grid.insert({clamp_axis(p.x), clamp_axis(p.y), clamp_axis(p.z)}, source->intensity(i));
+  }
+  return grid;
+}
+
+}  // namespace esca::voxel

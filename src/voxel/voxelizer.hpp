@@ -1,0 +1,23 @@
+// Point cloud -> voxel grid conversion.
+//
+// Matches the paper's setup (§IV.B): clouds are normalized and voxelized to
+// a cubic grid, 192^3 by default.
+#pragma once
+
+#include "pointcloud/point_cloud.hpp"
+#include "voxel/voxel_grid.hpp"
+
+namespace esca::voxel {
+
+struct VoxelizerConfig {
+  std::int32_t resolution{192};  ///< cubic grid edge length
+  /// If true, positions are first normalized into the unit cube; otherwise
+  /// they are assumed to already lie in [0, 1)^3.
+  bool normalize{false};
+};
+
+/// Deposit every point into its voxel; feature = point intensity (mean on
+/// collision). Out-of-range points (when normalize=false) are clamped.
+VoxelGrid voxelize(const pc::PointCloud& cloud, const VoxelizerConfig& config);
+
+}  // namespace esca::voxel

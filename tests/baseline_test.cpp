@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_baseline.hpp"
+#include "baseline/dense_conv.hpp"
+#include "baseline/device_models.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "test_util.hpp"
+
+namespace esca::baseline {
+namespace {
+
+TEST(DenseConvTest, DensifyRoundTrip) {
+  Rng rng(151);
+  const auto t = test::random_sparse_tensor({6, 6, 6}, 2, 0.2, rng);
+  const DenseTensor d = densify(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_FLOAT_EQ(d.at(t.coord(i), c), t.feature(i, c));
+    }
+  }
+  // Unoccupied sites are zero.
+  EXPECT_FLOAT_EQ(d.at({5, 5, 5}, 0), t.contains({5, 5, 5}) ? d.at({5, 5, 5}, 0) : 0.0F);
+}
+
+TEST(DenseConvTest, DensifyRejectsHugeGrids) {
+  const sparse::SparseTensor t({1024, 1024, 1024}, 8);
+  EXPECT_THROW((void)densify(t), InvalidArgument);
+}
+
+TEST(DenseConvTest, MatchesSparseGoldWhereNeighbourhoodsAreFull) {
+  Rng rng(152);
+  // Solid block: dense conv and Sub-Conv agree on interior sites.
+  sparse::SparseTensor x({7, 7, 7}, 2);
+  for (int z = 1; z < 6; ++z) {
+    for (int y = 1; y < 6; ++y) {
+      for (int xx = 1; xx < 6; ++xx) {
+        const auto row = x.add_site({xx, y, z});
+        for (int c = 0; c < 2; ++c) {
+          x.set_feature(static_cast<std::size_t>(row), c, rng.uniform_f(-1, 1));
+        }
+      }
+    }
+  }
+  nn::SubmanifoldConv3d conv(2, 3, 3);
+  conv.init_kaiming(rng);
+  const auto sparse_y = conv.forward(x);
+  const DenseTensor dense_y = dense_conv3d(densify(x), conv.weights(), 3, 3);
+  for (int z = 2; z < 5; ++z) {
+    for (int y = 2; y < 5; ++y) {
+      for (int xx = 2; xx < 5; ++xx) {
+        const auto row = static_cast<std::size_t>(sparse_y.find({xx, y, z}));
+        for (int c = 0; c < 3; ++c) {
+          EXPECT_NEAR(sparse_y.feature(row, c), dense_y.at({xx, y, z}, c), 1e-4F);
+        }
+      }
+    }
+  }
+}
+
+TEST(DenseConvTest, MacCountFormula) {
+  EXPECT_EQ(dense_conv_macs({192, 192, 192}, 3, 16, 16),
+            7077888LL * 27 * 16 * 16);
+  // The sparsity argument: dense MACs dwarf sparse MACs by orders of
+  // magnitude on point-cloud maps.
+  Rng rng(153);
+  const auto t = test::random_sparse_tensor({32, 32, 32}, 1, 0.002, rng);
+  nn::SubmanifoldConv3d conv(16, 16, 3);
+  sparse::SparseTensor t16(t.spatial_extent(), 16);
+  for (const auto& c : t.coords()) t16.add_site(c);
+  EXPECT_GT(dense_conv_macs(t.spatial_extent(), 3, 16, 16), 100 * conv.macs(t16));
+}
+
+TEST(CpuBaselineTest, ProducesPositiveTimings) {
+  Rng rng(154);
+  const auto x = test::clustered_tensor({24, 24, 24}, 8, rng, 6, 300);
+  const CpuRunResult r = time_cpu_subconv(x, 8, 3, /*repeats=*/2);
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_GE(r.total_seconds, r.compute_seconds);
+  EXPECT_GT(r.macs, 0);
+  EXPECT_GT(r.effective_gops, 0.0);
+  EXPECT_THROW((void)time_cpu_subconv(x, 8, 3, 0), InvalidArgument);
+}
+
+SubConvWorkload typical_workload() {
+  SubConvWorkload w;
+  w.sites = 5000;
+  w.rules = 35000;
+  w.in_channels = 16;
+  w.out_channels = 16;
+  return w;
+}
+
+TEST(DeviceModelsTest, GpuTimeDominatedByOverheadOnSmallWorkloads) {
+  const GpuModelConfig cfg;
+  const SubConvWorkload w = typical_workload();
+  const DeviceRunModel m = model_gpu_subconv(w, cfg);
+  EXPECT_GT(m.seconds, 0.0);
+  // Pure GEMM time at peak would be microseconds; the model must be far
+  // above it (matching/launch overheads dominate).
+  const double pure_gemm = 2.0 * static_cast<double>(w.macs()) / cfg.peak_fp32_flops;
+  EXPECT_GT(m.seconds, 20.0 * pure_gemm);
+  // Effective throughput is a tiny fraction of the 9.3 TFLOPS peak.
+  EXPECT_LT(m.effective_gops, 100.0);
+}
+
+TEST(DeviceModelsTest, GpuFasterThanCpuButBothOverheadBound) {
+  const SubConvWorkload w = typical_workload();
+  const DeviceRunModel gpu = model_gpu_subconv(w);
+  const DeviceRunModel cpu = model_cpu_subconv(w);
+  EXPECT_LT(gpu.seconds, cpu.seconds);
+  EXPECT_GT(cpu.seconds / gpu.seconds, 1.5);
+}
+
+TEST(DeviceModelsTest, PowerInDataSheetRange) {
+  const SubConvWorkload w = typical_workload();
+  const DeviceRunModel gpu = model_gpu_subconv(w);
+  EXPECT_GT(gpu.power_w, 30.0);
+  EXPECT_LT(gpu.power_w, 250.0);
+  // Paper's measured draw was 90.56 W; the model targets that band.
+  EXPECT_NEAR(gpu.power_w, 90.0, 25.0);
+  const DeviceRunModel cpu = model_cpu_subconv(w);
+  EXPECT_GT(cpu.power_w, 40.0);
+  EXPECT_LT(cpu.power_w, 150.0);
+}
+
+TEST(DeviceModelsTest, TimeScalesWithWorkload) {
+  SubConvWorkload small = typical_workload();
+  SubConvWorkload big = typical_workload();
+  big.sites *= 10;
+  big.rules *= 10;
+  EXPECT_LT(model_gpu_subconv(small).seconds, model_gpu_subconv(big).seconds);
+  EXPECT_LT(model_cpu_subconv(small).seconds, model_cpu_subconv(big).seconds);
+}
+
+TEST(DeviceModelsTest, GopsPerWattConsistent) {
+  const DeviceRunModel gpu = model_gpu_subconv(typical_workload());
+  EXPECT_NEAR(gpu.gops_per_watt(), gpu.effective_gops / gpu.power_w, 1e-12);
+}
+
+TEST(DeviceModelsTest, ReferenceFpgaRowQuotesPaper) {
+  const DeviceRunModel ref = reference_opointnet_fpga();
+  EXPECT_DOUBLE_EQ(ref.power_w, 2.15);
+  EXPECT_DOUBLE_EQ(ref.effective_gops, 1.21);
+  EXPECT_NEAR(ref.gops_per_watt(), 0.56, 0.01);
+}
+
+TEST(DeviceModelsTest, RejectsBadWorkloads) {
+  SubConvWorkload w = typical_workload();
+  w.in_channels = 0;
+  EXPECT_THROW((void)model_gpu_subconv(w), InvalidArgument);
+  EXPECT_THROW((void)model_cpu_subconv(w), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::baseline

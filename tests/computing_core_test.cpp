@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/computing_core.hpp"
+#include "core/sdmu.hpp"
+#include "core/zero_removing.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "quant/qsubconv.hpp"
+#include "test_util.hpp"
+
+namespace esca::core {
+namespace {
+
+TEST(ComputingUnitTest, DotProduct) {
+  const std::int16_t acts[] = {100, -200, 3};
+  const std::int8_t weights[] = {2, 1, -50};
+  EXPECT_EQ(ComputingUnit::mac(acts, weights), 100 * 2 - 200 * 1 - 3 * 50);
+}
+
+TEST(ComputingUnitTest, ExtremesDoNotOverflow) {
+  std::vector<std::int16_t> acts(16, 32767);
+  std::vector<std::int8_t> weights(16, -127);
+  EXPECT_EQ(ComputingUnit::mac(acts, weights), -16LL * 32767 * 127);
+}
+
+TEST(ComputingCoreTest, CyclesPerMatchBlocks) {
+  ArchConfig cfg;  // 16 x 16
+  const ComputingCore cc(cfg);
+  EXPECT_EQ(cc.cycles_per_match(16, 16), 1);
+  EXPECT_EQ(cc.cycles_per_match(1, 16), 1);
+  EXPECT_EQ(cc.cycles_per_match(17, 16), 2);
+  EXPECT_EQ(cc.cycles_per_match(32, 32), 4);
+  EXPECT_EQ(cc.cycles_per_match(48, 16), 3);
+  EXPECT_THROW((void)cc.cycles_per_match(0, 16), InvalidArgument);
+}
+
+struct LayerFixture {
+  quant::QuantizedSubConv layer;
+  quant::QSparseTensor input;
+  quant::QSparseTensor gold;
+};
+
+LayerFixture make_fixture(int cin, int cout, Rng& rng) {
+  const auto x = test::clustered_tensor({16, 16, 16}, cin, rng, 5, 120);
+  nn::SubmanifoldConv3d conv(cin, cout, 3);
+  conv.init_kaiming(rng);
+  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
+  const auto fy = conv.forward(x);
+  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
+  quant::QuantizedSubConv layer =
+      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "fix");
+  quant::QSparseTensor qx =
+      quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
+  quant::QSparseTensor gold = layer.forward(qx);
+  return {std::move(layer), std::move(qx), std::move(gold)};
+}
+
+TEST(ComputingCoreTest, GroupAccumulationMatchesGold) {
+  Rng rng(131);
+  const LayerFixture fx = make_fixture(3, 5, rng);
+
+  ArchConfig cfg;
+  sparse::SparseTensor geometry(fx.input.spatial_extent(), 1);
+  for (const Coord3& c : fx.input.coords()) geometry.add_site(c);
+  const ZeroRemoving zr(cfg.tile_size);
+  const voxel::TileGrid grid = zr.apply(geometry);
+  const TileEncoder encoder(cfg);
+  const auto tiles = encoder.encode(geometry, grid, nullptr);
+  const Sdmu sdmu(cfg);
+  const ComputingCore cc(cfg);
+
+  std::vector<std::int64_t> acc(5);
+  for (const EncodedTile& tile : tiles) {
+    for (const MatchGroup& group : sdmu.match_tile(tile, geometry)) {
+      std::fill(acc.begin(), acc.end(), 0);
+      (void)cc.process_group(group, fx.input, fx.layer, acc);
+      std::vector<std::int16_t> out(5);
+      cc.writeback(acc, fx.layer, out);
+      const auto gold_row = fx.gold.features(static_cast<std::size_t>(group.out_row));
+      for (int c = 0; c < 5; ++c) {
+        EXPECT_EQ(out[static_cast<std::size_t>(c)], gold_row[static_cast<std::size_t>(c)])
+            << "out_row " << group.out_row << " channel " << c;
+      }
+    }
+  }
+}
+
+TEST(ComputingCoreTest, CycleAndOpAccounting) {
+  Rng rng(132);
+  ArchConfig cfg;
+  cfg.ic_parallel = 4;
+  cfg.oc_parallel = 4;
+  const LayerFixture fx = make_fixture(6, 5, rng);  // 2 IC blocks x 2 OC blocks
+
+  MatchGroup group{0, {}};
+  group.matches.push_back(Match{0, 13, 4, 0});
+  group.matches.push_back(Match{0, 14, 5, 0});
+
+  const ComputingCore cc(cfg);
+  std::vector<std::int64_t> acc(5);
+  const GroupComputeResult r = cc.process_group(group, fx.input, fx.layer, acc);
+  EXPECT_EQ(r.cycles, 2 * cc.cycles_per_match(6, 5));
+  EXPECT_EQ(r.mac_ops, 2LL * 6 * 5);
+}
+
+TEST(ComputingCoreTest, WritebackUsesSharedRequantize) {
+  Rng rng(133);
+  const LayerFixture fx = make_fixture(2, 3, rng);
+  const ArchConfig cfg;
+  const ComputingCore cc(cfg);
+  const std::vector<std::int64_t> acc{1000, -500, 0};
+  std::vector<std::int16_t> out(3);
+  cc.writeback(acc, fx.layer, out);
+  for (int c = 0; c < 3; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    EXPECT_EQ(out[ci], quant::requantize(acc[ci], fx.layer.requant_scale()[ci],
+                                         fx.layer.requant_shift()[ci], fx.layer.relu()));
+  }
+}
+
+TEST(ComputingCoreTest, SizeMismatchesThrow) {
+  Rng rng(134);
+  const LayerFixture fx = make_fixture(2, 3, rng);
+  const ArchConfig cfg;
+  const ComputingCore cc(cfg);
+  std::vector<std::int64_t> wrong_acc(4);
+  MatchGroup group{0, {Match{0, 13, 4, 0}}};
+  EXPECT_THROW((void)cc.process_group(group, fx.input, fx.layer, wrong_acc),
+               InvalidArgument);
+  std::vector<std::int64_t> acc(3);
+  std::vector<std::int16_t> wrong_out(2);
+  EXPECT_THROW(cc.writeback(acc, fx.layer, wrong_out), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::core

@@ -1,0 +1,67 @@
+// Dense-accelerator degradation model tests (paper motivation, §I-II).
+#include <gtest/gtest.h>
+
+#include "baseline/dense_accel_model.hpp"
+#include "common/check.hpp"
+
+namespace esca::baseline {
+namespace {
+
+TEST(DenseAccelTest, FullGridSchedulesEverySite) {
+  const auto run = model_dense_full_grid({192, 192, 192}, 3, 16, 16, /*useful=*/1'000'000);
+  EXPECT_EQ(run.scheduled_macs, 7077888LL * 27 * 16 * 16);
+  EXPECT_EQ(run.useful_macs, 1'000'000);
+  EXPECT_GT(run.seconds, 0.0);
+  EXPECT_LT(run.utilization_of_useful, 1e-4);  // the paper's waste argument
+}
+
+TEST(DenseAccelTest, ActiveTilesScheduleKeptVoxelsOnly) {
+  const auto run =
+      model_dense_active_tiles(42, {8, 8, 8}, 3, 16, 16, /*useful=*/1'000'000);
+  EXPECT_EQ(run.scheduled_macs, 42LL * 512 * 27 * 16 * 16);
+  EXPECT_GT(run.utilization_of_useful, 1e-4);
+  EXPECT_LT(run.utilization_of_useful, 1.0);
+}
+
+TEST(DenseAccelTest, TileSkippingBeatsFullGrid) {
+  const std::int64_t useful = 5'000'000;
+  const auto full = model_dense_full_grid({192, 192, 192}, 3, 16, 16, useful);
+  const auto tiled = model_dense_active_tiles(42, {8, 8, 8}, 3, 16, 16, useful);
+  EXPECT_LT(tiled.seconds, full.seconds);
+  EXPECT_GT(tiled.effective_gops, full.effective_gops);
+}
+
+TEST(DenseAccelTest, EffectiveGopsUsesUsefulOpsOnly) {
+  const auto run = model_dense_active_tiles(10, {8, 8, 8}, 3, 16, 16, 1'000'000);
+  const double expected = 2.0 * 1e6 / run.seconds / 1e9;
+  EXPECT_NEAR(run.effective_gops, expected, expected * 1e-9);
+}
+
+TEST(DenseAccelTest, TimeScalesInverselyWithArraySize) {
+  DenseAccelConfig small;
+  small.pe_array_macs = 64;
+  DenseAccelConfig big;
+  big.pe_array_macs = 1024;
+  const auto slow = model_dense_active_tiles(42, {8, 8, 8}, 3, 16, 16, 1'000'000, small);
+  const auto fast = model_dense_active_tiles(42, {8, 8, 8}, 3, 16, 16, 1'000'000, big);
+  EXPECT_NEAR(slow.seconds / fast.seconds, 16.0, 0.01);
+}
+
+TEST(DenseAccelTest, RejectsBadParameters) {
+  EXPECT_THROW((void)model_dense_full_grid({8, 8, 8}, 3, 0, 16, 1), InvalidArgument);
+  EXPECT_THROW((void)model_dense_active_tiles(-1, {8, 8, 8}, 3, 16, 16, 1), InvalidArgument);
+  DenseAccelConfig bad;
+  bad.utilization = 0.0;
+  EXPECT_THROW((void)model_dense_active_tiles(1, {8, 8, 8}, 3, 16, 16, 1, bad),
+               InvalidArgument);
+}
+
+TEST(DenseAccelTest, ZeroTilesMeansZeroTime) {
+  const auto run = model_dense_active_tiles(0, {8, 8, 8}, 3, 16, 16, 0);
+  EXPECT_EQ(run.scheduled_macs, 0);
+  EXPECT_DOUBLE_EQ(run.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(run.effective_gops, 0.0);
+}
+
+}  // namespace
+}  // namespace esca::baseline

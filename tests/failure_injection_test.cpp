@@ -1,0 +1,145 @@
+// Failure injection: corrupted state, undersized resources and tampered
+// parameters must be *detected*, not silently absorbed.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/accelerator.hpp"
+#include "core/encoding.hpp"
+#include "core/layer_compiler.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "nn/unet.hpp"
+#include "quant/qsubconv.hpp"
+#include "test_util.hpp"
+
+namespace esca::core {
+namespace {
+
+struct Fixture {
+  quant::QuantizedSubConv layer;
+  quant::QSparseTensor input;
+  quant::QSparseTensor gold;
+};
+
+Fixture make_fixture(Rng& rng) {
+  const auto x = test::clustered_tensor({24, 24, 24}, 4, rng, 6, 250);
+  nn::SubmanifoldConv3d conv(4, 4, 3);
+  conv.init_kaiming(rng);
+  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
+  const auto fy = conv.forward(x);
+  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
+  auto layer =
+      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "fi");
+  auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
+  auto gold = layer.forward(qx);
+  return {std::move(layer), std::move(qx), std::move(gold)};
+}
+
+TEST(FailureInjectionTest, TamperedLayerIsCaughtByNetworkVerification) {
+  Rng rng(201);
+  const auto x = test::clustered_tensor({20, 20, 20}, 1, rng, 6, 150);
+  nn::SSUNetConfig cfg;
+  cfg.base_planes = 4;
+  cfg.levels = 2;
+  cfg.reps_per_level = 1;
+  const nn::SSUNet net(cfg, 11);
+  std::vector<nn::TraceEntry> trace;
+  (void)net.forward(x, &trace);
+  CompiledNetwork compiled = LayerCompiler::compile(trace);
+  ASSERT_FALSE(compiled.layers.empty());
+
+  // Tamper with one gold output value: the bit-exactness verification in
+  // run_network must now fail loudly.
+  auto f = compiled.layers.front().gold_output.features(0);
+  f[0] = static_cast<std::int16_t>(f[0] + 1);
+  Accelerator acc{ArchConfig{}};
+  EXPECT_THROW((void)run_network(acc, compiled, /*verify=*/true), InternalError);
+}
+
+TEST(FailureInjectionTest, CorruptedEncodingColumnStartIsRejected) {
+  EncodedTile tile({0, 0, 0}, {0, 0, 0}, {4, 4, 4}, 1);
+  // finalize() cross-checks the activation layout against the mask.
+  std::vector<std::int32_t> bad_starts(static_cast<std::size_t>(tile.columns()) + 1, 0);
+  bad_starts.back() = 5;  // claims 5 stored sites
+  EXPECT_THROW(tile.finalize(std::move(bad_starts), /*site_rows=*/{}, 0), InternalError);
+}
+
+TEST(FailureInjectionTest, WrongColumnStartSizeIsRejected) {
+  EncodedTile tile({0, 0, 0}, {0, 0, 0}, {4, 4, 4}, 1);
+  EXPECT_THROW(tile.finalize(std::vector<std::int32_t>(3, 0), {}, 0), InternalError);
+}
+
+TEST(FailureInjectionTest, UndersizedBuffersAreCountedNotSilent) {
+  Rng rng(202);
+  const Fixture fx = make_fixture(rng);
+  ArchConfig cfg;
+  cfg.activation_buffer_bytes = 64;  // absurdly small: every tile spills
+  cfg.weight_buffer_bytes = 16;
+  Accelerator acc{cfg};
+  const LayerRunResult r = acc.run_layer(fx.layer, fx.input);
+  EXPECT_GT(r.stats.buffer_spills, 0);
+  // Spills cost DRAM traffic but never correctness.
+  EXPECT_TRUE(r.output == fx.gold);
+}
+
+TEST(FailureInjectionTest, SpilledRunChargesMoreDram) {
+  Rng rng(203);
+  const Fixture fx = make_fixture(rng);
+  Accelerator ok{ArchConfig{}};
+  ArchConfig tiny;
+  tiny.activation_buffer_bytes = 64;
+  Accelerator spilling{tiny};
+  const auto a = ok.run_layer(fx.layer, fx.input);
+  const auto b = spilling.run_layer(fx.layer, fx.input);
+  EXPECT_GT(b.stats.dram_bytes_in, a.stats.dram_bytes_in);
+}
+
+TEST(FailureInjectionTest, MismatchedInputChannelsRejected) {
+  Rng rng(204);
+  const Fixture fx = make_fixture(rng);
+  quant::QSparseTensor wrong(fx.input.spatial_extent(), fx.layer.in_channels() + 1,
+                             quant::QuantParams{1.0F});
+  wrong.add_site({0, 0, 0});
+  Accelerator acc{ArchConfig{}};
+  EXPECT_THROW((void)acc.run_layer(fx.layer, wrong), InvalidArgument);
+}
+
+TEST(FailureInjectionTest, KernelArchMismatchRejected) {
+  Rng rng(205);
+  const Fixture fx = make_fixture(rng);  // K = 3 layer
+  ArchConfig cfg;
+  cfg.kernel_size = 5;
+  cfg.mask_read_cycles = 5;
+  Accelerator acc{cfg};
+  EXPECT_THROW((void)acc.run_layer(fx.layer, fx.input), InvalidArgument);
+}
+
+TEST(FailureInjectionTest, BatchRequiresPositiveCount) {
+  Rng rng(206);
+  const auto x = test::clustered_tensor({16, 16, 16}, 1, rng, 4, 60);
+  nn::SSUNetConfig cfg;
+  cfg.base_planes = 4;
+  cfg.levels = 1;
+  cfg.reps_per_level = 1;
+  const nn::SSUNet net(cfg, 3);
+  std::vector<nn::TraceEntry> trace;
+  (void)net.forward(x, &trace);
+  const CompiledNetwork compiled = LayerCompiler::compile(trace);
+  Accelerator acc{ArchConfig{}};
+  EXPECT_THROW((void)run_network_batch(acc, compiled, 0), InvalidArgument);
+}
+
+TEST(FailureInjectionTest, InvalidArchConfigsRejectedAtConstruction) {
+  ArchConfig cfg;
+  cfg.fifo_depth = 0;
+  EXPECT_THROW(Accelerator{cfg}, InvalidArgument);
+  cfg = {};
+  cfg.frequency_hz = -1.0;
+  EXPECT_THROW(Accelerator{cfg}, InvalidArgument);
+  cfg = {};
+  cfg.mask_read_cycles = 0;
+  EXPECT_THROW(Accelerator{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::core

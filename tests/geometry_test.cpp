@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "geometry/aabb.hpp"
+#include "geometry/mesh.hpp"
+#include "geometry/primitives.hpp"
+#include "geometry/transforms.hpp"
+#include "geometry/vec3.hpp"
+
+namespace esca::geom {
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * 2.0F, (Vec3{2, 4, 6}));
+  EXPECT_FLOAT_EQ(a.dot(b), 32.0F);
+}
+
+TEST(Vec3Test, CrossAndNorm) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 1, 0};
+  EXPECT_EQ(x.cross(y), (Vec3{0, 0, 1}));
+  EXPECT_FLOAT_EQ((Vec3{3, 4, 0}).norm(), 5.0F);
+  const Vec3 n = Vec3{0, 0, 9}.normalized();
+  EXPECT_FLOAT_EQ(n.norm(), 1.0F);
+  EXPECT_FLOAT_EQ(Vec3{}.normalized().norm(), 0.0F);  // zero vector stays zero
+}
+
+TEST(AabbTest, ExpandAndQueries) {
+  Aabb box;
+  EXPECT_FALSE(box.valid());
+  box.expand({1, 2, 3});
+  box.expand({-1, 5, 0});
+  EXPECT_TRUE(box.valid());
+  EXPECT_EQ(box.lo, (Vec3{-1, 2, 0}));
+  EXPECT_EQ(box.hi, (Vec3{1, 5, 3}));
+  EXPECT_FLOAT_EQ(box.max_extent(), 3.0F);
+  EXPECT_TRUE(box.contains({0, 3, 1}));
+  EXPECT_FALSE(box.contains({2, 3, 1}));
+  EXPECT_EQ(box.center(), (Vec3{0, 3.5F, 1.5F}));
+}
+
+TEST(TriangleTest, AreaAndNormal) {
+  const Triangle t{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  EXPECT_FLOAT_EQ(t.area(), 0.5F);
+  EXPECT_EQ(t.normal(), (Vec3{0, 0, 1}));
+}
+
+TEST(MeshTest, QuadSplitsIntoTwoTriangles) {
+  Mesh m;
+  m.add_quad({0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0});
+  EXPECT_EQ(m.size(), 2U);
+  EXPECT_FLOAT_EQ(m.surface_area(), 1.0F);
+}
+
+TEST(MeshTest, SampleSurfacePointsLieOnMesh) {
+  Mesh m;
+  m.add_quad({0, 0, 0}, {2, 0, 0}, {2, 2, 0}, {0, 2, 0});  // z = 0 plane
+  Rng rng(42);
+  const auto pts = m.sample_surface(500, rng);
+  ASSERT_EQ(pts.size(), 500U);
+  for (const auto& p : pts) {
+    EXPECT_FLOAT_EQ(p.z, 0.0F);
+    EXPECT_GE(p.x, 0.0F);
+    EXPECT_LE(p.x, 2.0F);
+    EXPECT_GE(p.y, 0.0F);
+    EXPECT_LE(p.y, 2.0F);
+  }
+}
+
+TEST(MeshTest, SamplingIsDeterministic) {
+  const Mesh m = make_box({0, 0, 0}, {1, 1, 1});
+  Rng r1(7);
+  Rng r2(7);
+  const auto a = m.sample_surface(50, r1);
+  const auto b = m.sample_surface(50, r2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MeshTest, SamplingEmptyMeshThrows) {
+  Mesh m;
+  Rng rng(1);
+  EXPECT_THROW((void)m.sample_surface(10, rng), InvalidArgument);
+}
+
+TEST(PrimitivesTest, BoxSurfaceAreaAndBounds) {
+  const Mesh box = make_box({1, 1, 1}, {2, 2, 2});
+  EXPECT_NEAR(box.surface_area(), 24.0F, 1e-4F);
+  const Aabb b = box.bounds();
+  EXPECT_EQ(b.lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(b.hi, (Vec3{2, 2, 2}));
+}
+
+TEST(PrimitivesTest, SphereAreaApproachesAnalytic) {
+  const float r = 1.5F;
+  const Mesh s = make_sphere({0, 0, 0}, r, 24, 48);
+  const float analytic = 4.0F * kPi * r * r;
+  EXPECT_NEAR(s.surface_area(), analytic, analytic * 0.02F);
+}
+
+TEST(PrimitivesTest, CylinderLateralArea) {
+  const Mesh c = make_cylinder({0, 0, 0}, 1.0F, 2.0F, 64, /*capped=*/false);
+  const float analytic = 2.0F * kPi * 1.0F * 2.0F;
+  EXPECT_NEAR(c.surface_area(), analytic, analytic * 0.02F);
+}
+
+TEST(PrimitivesTest, PlaneOrientations) {
+  for (const char axis : {'x', 'y', 'z'}) {
+    const Mesh p = make_plane({0, 0, 0}, axis, 2.0F, 3.0F);
+    EXPECT_NEAR(p.surface_area(), 6.0F, 1e-4F);
+  }
+  EXPECT_THROW(make_plane({0, 0, 0}, 'w', 1, 1), InvalidArgument);
+}
+
+TEST(PrimitivesTest, RejectDegenerateDimensions) {
+  EXPECT_THROW(make_box({0, 0, 0}, {0, 1, 1}), InvalidArgument);
+  EXPECT_THROW(make_cylinder({0, 0, 0}, -1.0F, 1.0F), InvalidArgument);
+  EXPECT_THROW(make_sphere({0, 0, 0}, 1.0F, 1, 3), InvalidArgument);
+  EXPECT_THROW(make_cone({0, 0, 0}, 1.0F, 1.0F, 2), InvalidArgument);
+}
+
+TEST(TransformsTest, RotateQuarterTurns) {
+  const Vec3 x{1, 0, 0};
+  const Vec3 rz = rotate(x, 'z', kPi / 2.0F);
+  EXPECT_NEAR(rz.x, 0.0F, 1e-6F);
+  EXPECT_NEAR(rz.y, 1.0F, 1e-6F);
+  const Vec3 ry = rotate(x, 'y', kPi / 2.0F);
+  EXPECT_NEAR(ry.z, -1.0F, 1e-6F);
+  EXPECT_THROW(rotate(x, 'q', 1.0F), InvalidArgument);
+}
+
+TEST(TransformsTest, TranslatePreservesArea) {
+  const Mesh box = make_box({0, 0, 0}, {1, 2, 3});
+  const Mesh moved = translated(box, {10, 0, 0});
+  EXPECT_NEAR(box.surface_area(), moved.surface_area(), 1e-4F);
+  EXPECT_NEAR(moved.bounds().lo.x, 9.5F, 1e-5F);
+}
+
+TEST(TransformsTest, ScaleScalesArea) {
+  const Mesh plane = make_plane({0, 0, 0}, 'z', 1, 1);
+  const Mesh big = scaled(plane, {2, 2, 1});
+  EXPECT_NEAR(big.surface_area(), 4.0F * plane.surface_area(), 1e-4F);
+}
+
+TEST(TransformsTest, RotationPreservesArea) {
+  const Mesh box = make_box({0, 0, 0}, {1, 2, 3});
+  const Mesh rot = rotated(box, 'x', 0.7F);
+  EXPECT_NEAR(box.surface_area(), rot.surface_area(), 1e-3F);
+}
+
+}  // namespace
+}  // namespace esca::geom

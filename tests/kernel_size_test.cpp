@@ -1,0 +1,107 @@
+// Kernel-size generality: the encoding/SDMU/CC stack must be correct for
+// any odd K, not just the paper's 3 (extension; see
+// bench_ablation_kernel_size).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/accelerator.hpp"
+#include "core/encoding.hpp"
+#include "core/sdmu.hpp"
+#include "core/zero_removing.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "quant/qsubconv.hpp"
+#include "sparse/rulebook.hpp"
+#include "test_util.hpp"
+
+namespace esca::core {
+namespace {
+
+class KernelSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelSizeProperty, SdmuMatchesEqualRulebook) {
+  const int k = GetParam();
+  Rng rng(300 + static_cast<std::uint64_t>(k));
+  const auto t = test::clustered_tensor({24, 24, 24}, 1, rng, 7, 250);
+
+  ArchConfig cfg;
+  cfg.kernel_size = k;
+  cfg.mask_read_cycles = k;
+  sparse::SparseTensor geometry(t.spatial_extent(), 1);
+  for (const Coord3& c : t.coords()) geometry.add_site(c);
+  const voxel::TileGrid grid = ZeroRemoving(cfg.tile_size).apply(geometry);
+  const auto tiles = TileEncoder(cfg).encode(geometry, grid, nullptr);
+  const Sdmu sdmu(cfg);
+
+  using M = std::tuple<std::int32_t, std::int16_t, std::int32_t>;
+  std::set<M> produced;
+  for (const auto& tile : tiles) {
+    for (const auto& g : sdmu.match_tile(tile, geometry)) {
+      for (const auto& m : g.matches) {
+        EXPECT_TRUE(produced.insert({m.in_row, m.weight_index, m.out_row}).second);
+      }
+    }
+  }
+
+  std::set<M> expected;
+  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(geometry, k);
+  for (int o = 0; o < rb.kernel_volume(); ++o) {
+    for (const auto& r : rb.rules_for(o)) {
+      expected.insert({r.in_row, static_cast<std::int16_t>(o), r.out_row});
+    }
+  }
+  EXPECT_EQ(produced, expected);
+}
+
+TEST_P(KernelSizeProperty, AcceleratorBitExact) {
+  const int k = GetParam();
+  Rng rng(400 + static_cast<std::uint64_t>(k));
+  const auto x = test::clustered_tensor({20, 20, 20}, 3, rng, 5, 120);
+
+  nn::SubmanifoldConv3d conv(3, 5, k);
+  conv.init_kaiming(rng);
+  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
+  const auto fy = conv.forward(x);
+  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
+  const auto layer =
+      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "k");
+  const auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
+
+  ArchConfig cfg;
+  cfg.kernel_size = k;
+  cfg.mask_read_cycles = k;
+  Accelerator acc{cfg};
+  const LayerRunResult r = acc.run_layer(layer, qx);
+  EXPECT_TRUE(r.output == layer.forward(qx));
+  // SRF scan is K cycles per position at minimum.
+  EXPECT_GE(r.stats.total_cycles,
+            r.stats.zero_removing.active_tiles * cfg.tile_size.volume() * k);
+}
+
+INSTANTIATE_TEST_SUITE_P(OddKernels, KernelSizeProperty, ::testing::Values(1, 3, 5));
+
+TEST(KernelSizeTest, LargerKernelsFindMoreMatches) {
+  Rng rng(501);
+  const auto t = test::clustered_tensor({20, 20, 20}, 1, rng, 5, 200);
+  std::int64_t previous = 0;
+  for (const int k : {1, 3, 5}) {
+    const sparse::RuleBook rb = sparse::build_submanifold_rulebook(t, k);
+    EXPECT_GT(rb.total_rules(), previous) << "k=" << k;
+    previous = rb.total_rules();
+  }
+}
+
+TEST(KernelSizeTest, HaloRadiusFollowsKernel) {
+  ArchConfig cfg;
+  cfg.kernel_size = 5;
+  cfg.mask_read_cycles = 5;
+  EXPECT_EQ(cfg.kernel_radius(), 2);
+  EXPECT_EQ(cfg.k2(), 25);
+  const EncodedTile tile({0, 0, 0}, {8, 8, 8}, {8, 8, 8}, cfg.kernel_radius());
+  EXPECT_EQ(tile.padded_size(), (Coord3{12, 12, 12}));
+}
+
+}  // namespace
+}  // namespace esca::core

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "datasets/depth_camera.hpp"
+#include "nn/metrics.hpp"
+
+namespace esca {
+namespace {
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  nn::ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) cm.add(c, c);
+  }
+  EXPECT_EQ(cm.total(), 30);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.mean_iou(), 1.0);
+  for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(cm.iou(c), 1.0);
+}
+
+TEST(ConfusionMatrixTest, KnownMixedCase) {
+  nn::ConfusionMatrix cm(2);
+  // truth 0: 3 correct, 1 predicted as 1; truth 1: 2 correct, 2 as 0.
+  for (int i = 0; i < 3; ++i) cm.add(0, 0);
+  cm.add(1, 0);
+  for (int i = 0; i < 2; ++i) cm.add(1, 1);
+  for (int i = 0; i < 2; ++i) cm.add(0, 1);
+  EXPECT_EQ(cm.total(), 8);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 5.0 / 8.0);
+  // IoU(0) = 3 / (3 + 1 + 2) = 0.5; IoU(1) = 2 / (2 + 2 + 1) = 0.4.
+  EXPECT_DOUBLE_EQ(cm.iou(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.iou(1), 0.4);
+  EXPECT_DOUBLE_EQ(cm.mean_iou(), 0.45);
+}
+
+TEST(ConfusionMatrixTest, AbsentClassesExcludedFromMeanIou) {
+  nn::ConfusionMatrix cm(4);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  // Classes 2 and 3 never occur: mIoU averages over {0, 1} only.
+  EXPECT_DOUBLE_EQ(cm.mean_iou(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrixIsZero) {
+  nn::ConfusionMatrix cm(3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.mean_iou(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRange) {
+  nn::ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), InvalidArgument);
+  EXPECT_THROW(cm.add(0, -1), InvalidArgument);
+  EXPECT_THROW((void)cm.count(5, 0), InvalidArgument);
+  EXPECT_THROW(nn::ConfusionMatrix(0), InvalidArgument);
+}
+
+TEST(ConfusionMatrixTest, ToStringHasSummary) {
+  nn::ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  const std::string s = cm.to_string();
+  EXPECT_NE(s.find("accuracy"), std::string::npos);
+  EXPECT_NE(s.find("mIoU"), std::string::npos);
+}
+
+TEST(LabeledCaptureTest, LabelsIdentifySurfaces) {
+  datasets::Scene scene;
+  scene.add_rect({'z', 0.0F, {-10, -10, 0}, {10, 10, 0}});  // surface 0: floor
+  geom::Aabb box;
+  box.expand({3, -1, 0});
+  box.expand({5, 1, 2});
+  scene.add_box(box);  // surface 1
+
+  datasets::DepthCameraConfig cfg;
+  cfg.width = 32;
+  cfg.height = 24;
+  const datasets::DepthCamera camera(cfg, {0, 0, 1.5F}, 0.0F, -0.4F);
+  const datasets::LabeledCapture capture = camera.capture_labeled(scene);
+  ASSERT_EQ(capture.cloud.size(), capture.labels.size());
+  ASSERT_GT(capture.cloud.size(), 0U);
+
+  int floor_hits = 0;
+  int box_hits = 0;
+  for (std::size_t i = 0; i < capture.labels.size(); ++i) {
+    const auto& p = capture.cloud.position(i);
+    if (capture.labels[i] == 0) {
+      EXPECT_NEAR(p.z, 0.0F, 1e-3F);  // floor points lie on z = 0
+      ++floor_hits;
+    } else {
+      EXPECT_EQ(capture.labels[i], 1);
+      EXPECT_GE(p.x, 2.9F);  // box points lie on the box
+      ++box_hits;
+    }
+  }
+  EXPECT_GT(floor_hits, 0);
+  EXPECT_GT(box_hits, 0);
+}
+
+TEST(LabeledCaptureTest, CaptureMatchesUnlabeledCapture) {
+  datasets::Scene scene;
+  scene.add_rect({'x', 4.0F, {0, -5, -5}, {0, 5, 5}});
+  datasets::DepthCameraConfig cfg;
+  cfg.width = 16;
+  cfg.height = 12;
+  const datasets::DepthCamera camera(cfg, {0, 0, 0}, 0.0F, 0.0F);
+  const auto plain = camera.capture(scene);
+  const auto labeled = camera.capture_labeled(scene);
+  ASSERT_EQ(plain.size(), labeled.cloud.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain.position(i), labeled.cloud.position(i));
+  }
+}
+
+}  // namespace
+}  // namespace esca

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "pointcloud/io.hpp"
+#include "pointcloud/point_cloud.hpp"
+#include "pointcloud/sampling.hpp"
+
+namespace esca::pc {
+namespace {
+
+PointCloud make_test_cloud() {
+  PointCloud c;
+  c.add({0, 0, 0}, 0.5F);
+  c.add({1, 2, 3}, 1.0F);
+  c.add({-1, 0.5F, 2}, 0.25F);
+  return c;
+}
+
+TEST(PointCloudTest, AddAndAccess) {
+  const PointCloud c = make_test_cloud();
+  EXPECT_EQ(c.size(), 3U);
+  EXPECT_EQ(c.position(1), (geom::Vec3{1, 2, 3}));
+  EXPECT_FLOAT_EQ(c.intensity(2), 0.25F);
+}
+
+TEST(PointCloudTest, ConstructorSizeMismatchThrows) {
+  EXPECT_THROW(PointCloud({{0, 0, 0}}, {1.0F, 2.0F}), InvalidArgument);
+}
+
+TEST(PointCloudTest, AppendConcatenates) {
+  PointCloud a = make_test_cloud();
+  a.append(make_test_cloud());
+  EXPECT_EQ(a.size(), 6U);
+}
+
+TEST(PointCloudTest, BoundsCoverAllPoints) {
+  const auto b = make_test_cloud().bounds();
+  EXPECT_EQ(b.lo, (geom::Vec3{-1, 0, 0}));
+  EXPECT_EQ(b.hi, (geom::Vec3{1, 2, 3}));
+}
+
+TEST(PointCloudTest, NormalizeUnitCube) {
+  PointCloud c = make_test_cloud();
+  c.normalize_unit_cube();
+  const auto b = c.bounds();
+  EXPECT_GE(b.lo.x, 0.0F);
+  EXPECT_GE(b.lo.y, 0.0F);
+  EXPECT_GE(b.lo.z, 0.0F);
+  EXPECT_LT(b.hi.x, 1.0F);
+  EXPECT_LT(b.hi.y, 1.0F);
+  EXPECT_LT(b.hi.z, 1.0F);
+  // Longest axis (z, extent 3) should span nearly the whole unit interval.
+  EXPECT_GT(b.hi.z - b.lo.z, 0.99F);
+}
+
+TEST(PointCloudTest, NormalizeDegenerateCloud) {
+  PointCloud c;
+  c.add({5, 5, 5});
+  c.add({5, 5, 5});
+  c.normalize_unit_cube();
+  EXPECT_EQ(c.position(0), (geom::Vec3{0.5F, 0.5F, 0.5F}));
+  PointCloud empty;
+  empty.normalize_unit_cube();  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(IoTest, XyzRoundTrip) {
+  const PointCloud c = make_test_cloud();
+  std::stringstream ss;
+  write_xyz(ss, c);
+  const PointCloud back = read_xyz(ss);
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back.position(i), c.position(i));
+    EXPECT_FLOAT_EQ(back.intensity(i), c.intensity(i));
+  }
+}
+
+TEST(IoTest, ReadSkipsCommentsAndHandlesMissingIntensity) {
+  std::stringstream ss("# header\n1 2 3\n\n4 5 6 0.5\n");
+  const PointCloud c = read_xyz(ss);
+  ASSERT_EQ(c.size(), 2U);
+  EXPECT_FLOAT_EQ(c.intensity(0), 1.0F);  // default
+  EXPECT_FLOAT_EQ(c.intensity(1), 0.5F);
+}
+
+TEST(IoTest, MalformedLineThrows) {
+  std::stringstream ss("1 2\n");
+  EXPECT_THROW((void)read_xyz(ss), InvalidArgument);
+}
+
+TEST(IoTest, MissingFileThrows) {
+  EXPECT_THROW((void)read_xyz_file("/nonexistent/path/cloud.xyz"), InvalidArgument);
+}
+
+TEST(SamplingTest, RandomSubsampleSizes) {
+  Rng rng(3);
+  const PointCloud c = make_test_cloud();
+  EXPECT_EQ(random_subsample(c, 2, rng).size(), 2U);
+  EXPECT_EQ(random_subsample(c, 99, rng).size(), 3U);  // no-op when count >= size
+}
+
+TEST(SamplingTest, JitterPerturbsButStaysClose) {
+  Rng rng(3);
+  const PointCloud c = make_test_cloud();
+  const PointCloud j = jitter(c, 0.01F, rng);
+  ASSERT_EQ(j.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(j.position(i).x, c.position(i).x, 0.1F);
+  }
+  EXPECT_THROW((void)jitter(c, -1.0F, rng), InvalidArgument);
+}
+
+TEST(SamplingTest, GridThinKeepsOnePerCell) {
+  PointCloud c;
+  c.add({0.1F, 0.1F, 0.1F});
+  c.add({0.2F, 0.2F, 0.2F});  // same 1.0-cell
+  c.add({1.5F, 0.1F, 0.1F});  // different cell
+  const PointCloud thin = grid_thin(c, 1.0F);
+  EXPECT_EQ(thin.size(), 2U);
+  EXPECT_THROW((void)grid_thin(c, 0.0F), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::pc

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "core/encoding.hpp"
+#include "core/sdmu.hpp"
+#include "core/zero_removing.hpp"
+#include "sparse/rulebook.hpp"
+#include "test_util.hpp"
+
+namespace esca::core {
+namespace {
+
+struct Prepared {
+  sparse::SparseTensor geometry;
+  std::vector<EncodedTile> tiles;
+};
+
+Prepared prepare(const sparse::SparseTensor& t, const ArchConfig& cfg) {
+  sparse::SparseTensor geometry(t.spatial_extent(), 1);
+  for (const Coord3& c : t.coords()) geometry.add_site(c);
+  const ZeroRemoving zr(cfg.tile_size);
+  const voxel::TileGrid grid = zr.apply(geometry);
+  const TileEncoder encoder(cfg);
+  auto tiles = encoder.encode(geometry, grid, nullptr);
+  return {std::move(geometry), std::move(tiles)};
+}
+
+using MatchTuple = std::tuple<std::int32_t, std::int16_t, std::int32_t>;  // in, w, out
+
+std::set<MatchTuple> all_matches(const std::vector<MatchGroup>& groups) {
+  std::set<MatchTuple> s;
+  for (const auto& g : groups) {
+    for (const auto& m : g.matches) {
+      const auto [it, inserted] = s.insert({m.in_row, m.weight_index, m.out_row});
+      EXPECT_TRUE(inserted) << "duplicate match";
+    }
+  }
+  return s;
+}
+
+std::set<MatchTuple> rulebook_matches(const sparse::SparseTensor& geometry, int k) {
+  std::set<MatchTuple> s;
+  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(geometry, k);
+  for (int o = 0; o < rb.kernel_volume(); ++o) {
+    for (const sparse::Rule& r : rb.rules_for(o)) {
+      s.insert({r.in_row, static_cast<std::int16_t>(o), r.out_row});
+    }
+  }
+  return s;
+}
+
+TEST(SdmuMatchTest, GroupsEqualRulebookProperty) {
+  Rng rng(121);
+  ArchConfig cfg;
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto t = test::random_sparse_tensor({24, 24, 24}, 1, 0.01 + 0.01 * trial, rng, 800);
+    const Prepared p = prepare(t, cfg);
+    const Sdmu sdmu(cfg);
+
+    std::vector<MatchGroup> groups;
+    for (const EncodedTile& tile : p.tiles) {
+      auto g = sdmu.match_tile(tile, p.geometry);
+      groups.insert(groups.end(), g.begin(), g.end());
+    }
+    EXPECT_EQ(all_matches(groups), rulebook_matches(p.geometry, cfg.kernel_size))
+        << "trial " << trial;
+    // One group per site.
+    EXPECT_EQ(groups.size(), t.size()) << "trial " << trial;
+  }
+}
+
+TEST(SdmuMatchTest, GroupsEqualRulebookAcrossTileBoundaries) {
+  // Sites straddling tile borders exercise the halo path.
+  sparse::SparseTensor t({32, 32, 32}, 1);
+  for (int i = 6; i <= 9; ++i) t.add_site({i, 8, 8});   // crosses x=8 boundary
+  for (int i = 6; i <= 9; ++i) t.add_site({8, i, 16});  // crosses z=16? (tile y)
+  t.sort_canonical();
+  ArchConfig cfg;
+  const Prepared p = prepare(t, cfg);
+  const Sdmu sdmu(cfg);
+  std::vector<MatchGroup> groups;
+  for (const EncodedTile& tile : p.tiles) {
+    auto g = sdmu.match_tile(tile, p.geometry);
+    groups.insert(groups.end(), g.begin(), g.end());
+  }
+  EXPECT_EQ(all_matches(groups), rulebook_matches(p.geometry, 3));
+}
+
+TEST(SdmuSimulateTest, SameMatchesAsFunctionalPath) {
+  Rng rng(122);
+  ArchConfig cfg;
+  const auto t = test::clustered_tensor({32, 32, 32}, 1, rng, 6, 200);
+  const Prepared p = prepare(t, cfg);
+  const Sdmu sdmu(cfg);
+  for (const EncodedTile& tile : p.tiles) {
+    const auto functional = sdmu.match_tile(tile, p.geometry);
+    const SdmuResult timed = sdmu.simulate_tile(tile, p.geometry, 1);
+    EXPECT_EQ(all_matches(timed.groups), all_matches(functional));
+    // Consumption preserves group order (scan order of active SRFs).
+    ASSERT_EQ(timed.groups.size(), functional.size());
+    for (std::size_t i = 0; i < functional.size(); ++i) {
+      EXPECT_EQ(timed.groups[i].out_row, functional[i].out_row);
+    }
+  }
+}
+
+TEST(SdmuSimulateTest, StatsAreCoherent) {
+  Rng rng(123);
+  ArchConfig cfg;
+  const auto t = test::clustered_tensor({16, 16, 16}, 1, rng, 5, 150);
+  const Prepared p = prepare(t, cfg);
+  const Sdmu sdmu(cfg);
+
+  for (const EncodedTile& tile : p.tiles) {
+    const SdmuResult r = sdmu.simulate_tile(tile, p.geometry, 1);
+    EXPECT_EQ(r.stats.srf_total, tile.core_size().volume());
+    EXPECT_EQ(r.stats.srf_active + r.stats.srf_skipped, r.stats.srf_total);
+    EXPECT_EQ(r.stats.srf_active, tile.core_active_count());
+    std::int64_t matches = 0;
+    for (const auto& g : r.groups) matches += static_cast<std::int64_t>(g.matches.size());
+    EXPECT_EQ(r.stats.matches, matches);
+    // Scan alone needs srf_total * mask_read_cycles cycles.
+    EXPECT_GE(r.stats.cycles, r.stats.srf_total * cfg.mask_read_cycles);
+    // Drain alone needs at least one cycle per match.
+    EXPECT_GE(r.stats.cycles, matches);
+    EXPECT_LE(r.stats.fifo_high_water, static_cast<std::size_t>(cfg.fifo_depth));
+  }
+}
+
+TEST(SdmuSimulateTest, SlowerCcIncreasesCycles) {
+  Rng rng(124);
+  ArchConfig cfg;
+  const auto t = test::clustered_tensor({16, 16, 16}, 1, rng, 4, 120);
+  const Prepared p = prepare(t, cfg);
+  const Sdmu sdmu(cfg);
+  ASSERT_FALSE(p.tiles.empty());
+  const EncodedTile& tile = p.tiles.front();
+  const auto fast = sdmu.simulate_tile(tile, p.geometry, 1);
+  const auto slow = sdmu.simulate_tile(tile, p.geometry, 4);
+  EXPECT_GE(slow.stats.cycles, fast.stats.cycles);
+  // With ccpm=4 the drain takes at least 4 cycles per match.
+  EXPECT_GE(slow.stats.cycles, slow.stats.matches * 4);
+}
+
+TEST(SdmuSimulateTest, ShallowFifoStillCorrectJustSlower) {
+  Rng rng(125);
+  ArchConfig deep;
+  ArchConfig shallow = deep;
+  shallow.fifo_depth = 2;
+  const auto t = test::clustered_tensor({16, 16, 16}, 1, rng, 4, 180);
+
+  const Prepared pd = prepare(t, deep);
+  const Sdmu sdmu_deep(deep);
+  const Sdmu sdmu_shallow(shallow);
+  for (const EncodedTile& tile : pd.tiles) {
+    const auto a = sdmu_deep.simulate_tile(tile, pd.geometry, 2);
+    const auto b = sdmu_shallow.simulate_tile(tile, pd.geometry, 2);
+    EXPECT_EQ(all_matches(a.groups), all_matches(b.groups));
+    EXPECT_GE(b.stats.cycles, a.stats.cycles);
+  }
+}
+
+TEST(SdmuSimulateTest, EmptyTileCostsOnlyScan) {
+  // A tile with a single site has core volume - 1 skipped SRFs.
+  sparse::SparseTensor t({8, 8, 8}, 1);
+  t.add_site({4, 4, 4});
+  ArchConfig cfg;
+  const Prepared p = prepare(t, cfg);
+  ASSERT_EQ(p.tiles.size(), 1U);
+  const Sdmu sdmu(cfg);
+  const auto r = sdmu.simulate_tile(p.tiles.front(), p.geometry, 1);
+  EXPECT_EQ(r.stats.srf_active, 1);
+  EXPECT_EQ(r.stats.srf_skipped, 511);
+  EXPECT_EQ(r.stats.matches, 1);
+  // Scan-bound: cycles ~ 512 * 3 + fill.
+  EXPECT_NEAR(static_cast<double>(r.stats.cycles),
+              static_cast<double>(512 * cfg.mask_read_cycles), 32.0);
+}
+
+TEST(SdmuStatsTest, MergeAccumulates) {
+  SdmuStats a;
+  a.cycles = 10;
+  a.matches = 5;
+  a.fifo_high_water = 3;
+  SdmuStats b;
+  b.cycles = 7;
+  b.matches = 2;
+  b.fifo_high_water = 6;
+  a.merge(b);
+  EXPECT_EQ(a.cycles, 17);
+  EXPECT_EQ(a.matches, 7);
+  EXPECT_EQ(a.fifo_high_water, 6U);
+}
+
+TEST(SdmuSimulateTest, RejectsBadCcRate) {
+  Rng rng(126);
+  ArchConfig cfg;
+  const auto t = test::clustered_tensor({8, 8, 8}, 1, rng, 3, 40);
+  const Prepared p = prepare(t, cfg);
+  const Sdmu sdmu(cfg);
+  ASSERT_FALSE(p.tiles.empty());
+  EXPECT_THROW((void)sdmu.simulate_tile(p.tiles.front(), p.geometry, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::core

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/bram.hpp"
+#include "sim/clock.hpp"
+#include "sim/counters.hpp"
+#include "sim/dram.hpp"
+#include "sim/energy.hpp"
+#include "sim/fifo.hpp"
+
+namespace esca::sim {
+namespace {
+
+TEST(ClockTest, CycleTimeConversion) {
+  Clock clk(270e6);
+  EXPECT_DOUBLE_EQ(clk.period_s(), 1.0 / 270e6);
+  EXPECT_NEAR(clk.cycles_to_ms(270000), 1.0, 1e-9);
+  EXPECT_EQ(clk.seconds_to_cycles(1.0 / 270e6), 1);
+  EXPECT_EQ(clk.seconds_to_cycles(0.0), 0);
+}
+
+TEST(ClockTest, AdvanceAndReset) {
+  Clock clk(1e6);
+  clk.advance(10);
+  clk.advance();
+  EXPECT_EQ(clk.now(), 11);
+  clk.reset();
+  EXPECT_EQ(clk.now(), 0);
+  EXPECT_THROW(clk.advance(-1), InvalidArgument);
+}
+
+TEST(ClockTest, RejectsNonPositiveFrequency) {
+  EXPECT_THROW(Clock(0.0), InvalidArgument);
+  EXPECT_THROW(Clock(-1.0), InvalidArgument);
+}
+
+TEST(FifoTest, PushPopOrder) {
+  Fifo<int> f(4);
+  EXPECT_TRUE(f.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(f.try_push(i));
+  EXPECT_TRUE(f.full());
+  EXPECT_FALSE(f.try_push(99));
+  for (int i = 0; i < 4; ++i) {
+    const auto v = f.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(f.try_pop().has_value());
+}
+
+TEST(FifoTest, StatsTrackStallsAndHighWater) {
+  Fifo<int> f(2);
+  f.push(1);
+  f.push(2);
+  EXPECT_FALSE(f.try_push(3));
+  EXPECT_EQ(f.push_stalls(), 1);
+  EXPECT_EQ(f.high_water(), 2U);
+  EXPECT_EQ(f.total_pushed(), 2);
+  (void)f.try_pop();
+  (void)f.try_pop();
+  (void)f.try_pop();
+  EXPECT_EQ(f.pop_stalls(), 1);
+}
+
+TEST(FifoTest, PushOnFullFifoThrowsViaCheckedApi) {
+  Fifo<int> f(1);
+  f.push(1);
+  EXPECT_THROW(f.push(2), InternalError);
+}
+
+TEST(FifoTest, RejectsZeroCapacity) { EXPECT_THROW(Fifo<int>(0), InvalidArgument); }
+
+TEST(BramTest, Bram36CountNaturalAspects) {
+  // 512 x 72b fits exactly one BRAM36.
+  EXPECT_DOUBLE_EQ(bram36_count({"a", 72, 512, 1}), 1.0);
+  // 1024 x 36b also fits one.
+  EXPECT_DOUBLE_EQ(bram36_count({"b", 36, 1024, 1}), 1.0);
+  // Small buffers map to a half (BRAM18).
+  EXPECT_DOUBLE_EQ(bram36_count({"c", 16, 512, 1}), 0.5);
+  // Wide x deep tiles multiply.
+  EXPECT_DOUBLE_EQ(bram36_count({"d", 144, 1024, 1}), 4.0);
+}
+
+TEST(BramTest, RejectsDegenerateSpecs) {
+  EXPECT_THROW(bram36_count({"x", 0, 16, 1}), InvalidArgument);
+  EXPECT_THROW(bram36_count({"x", 8, 0, 1}), InvalidArgument);
+}
+
+TEST(BramTest, TrackerCountsAccesses) {
+  BramTracker t({"buf", 64, 256, 1});
+  t.record_read(3);
+  t.record_write();
+  EXPECT_EQ(t.reads(), 3);
+  EXPECT_EQ(t.writes(), 1);
+  t.reset_stats();
+  EXPECT_EQ(t.reads(), 0);
+}
+
+TEST(DramTest, TransferTimeScalesWithBytes) {
+  DramModel dram;
+  const double t1 = dram.transfer_seconds(1 << 20);
+  const double t2 = dram.transfer_seconds(2 << 20);
+  EXPECT_GT(t2, t1);
+  EXPECT_DOUBLE_EQ(dram.transfer_seconds(0), 0.0);
+  // Latency floor: a single byte still costs the first-word latency.
+  EXPECT_GE(dram.transfer_seconds(1), dram.config().first_word_latency_s);
+}
+
+TEST(DramTest, EffectiveBandwidthDerated) {
+  DramModel dram(DramConfig{100e9, 0.5, 0.0});
+  EXPECT_DOUBLE_EQ(dram.effective_bandwidth(), 50e9);
+  EXPECT_NEAR(dram.transfer_seconds(50L << 30), (50.0 * (1 << 30)) / 50e9, 1e-6);
+}
+
+TEST(DramTest, StatsAccumulate) {
+  DramModel dram;
+  dram.record_read(100);
+  dram.record_write(50);
+  dram.record_read(1);
+  EXPECT_EQ(dram.read_bytes(), 101);
+  EXPECT_EQ(dram.write_bytes(), 50);
+}
+
+TEST(DramTest, RejectsBadConfig) {
+  EXPECT_THROW(DramModel(DramConfig{0.0, 0.5, 0.0}), InvalidArgument);
+  EXPECT_THROW(DramModel(DramConfig{1e9, 1.5, 0.0}), InvalidArgument);
+  DramModel ok;
+  EXPECT_THROW(ok.transfer_seconds(-1), InvalidArgument);
+}
+
+TEST(CountersTest, AddGetMerge) {
+  CounterSet a;
+  a.add("x");
+  a.add("x", 2);
+  a.add("y", 10);
+  EXPECT_EQ(a.get("x"), 3);
+  EXPECT_EQ(a.get("missing"), 0);
+  CounterSet b;
+  b.add("x", 5);
+  a.merge(b);
+  EXPECT_EQ(a.get("x"), 8);
+  EXPECT_TRUE(a.has("y"));
+  const auto sorted = a.sorted();
+  ASSERT_EQ(sorted.size(), 2U);
+  EXPECT_EQ(sorted[0].first, "x");
+}
+
+TEST(EnergyTest, AccumulatesComponents) {
+  EnergyMeter m;
+  m.add_mac(1000);
+  m.add_bram_read(10);
+  m.add_dram_bytes(1 << 10);
+  EXPECT_GT(m.component_joules("dsp_mac"), 0.0);
+  EXPECT_GT(m.component_joules("dram"), 0.0);
+  EXPECT_DOUBLE_EQ(m.component_joules("bram_write"), 0.0);
+  EXPECT_NEAR(m.total_joules(),
+              m.component_joules("dsp_mac") + m.component_joules("bram_read") +
+                  m.component_joules("dram"),
+              1e-18);
+  m.clear();
+  EXPECT_DOUBLE_EQ(m.total_joules(), 0.0);
+}
+
+TEST(EnergyTest, MacEnergyMatchesTable) {
+  EnergyTable table;
+  EnergyMeter m(table);
+  m.add_mac(1'000'000);
+  EXPECT_NEAR(m.component_joules("dsp_mac"), 1e6 * table.dsp_mac_j, 1e-15);
+}
+
+}  // namespace
+}  // namespace esca::sim

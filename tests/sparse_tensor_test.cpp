@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sparse/sparse_tensor.hpp"
+#include "test_util.hpp"
+#include "voxel/voxel_grid.hpp"
+
+namespace esca::sparse {
+namespace {
+
+TEST(SparseTensorTest, AddAndFind) {
+  SparseTensor t({8, 8, 8}, 2);
+  const auto r0 = t.add_site({1, 2, 3});
+  const auto r1 = t.add_site({3, 2, 1});
+  EXPECT_EQ(t.size(), 2U);
+  EXPECT_EQ(t.find({1, 2, 3}), r0);
+  EXPECT_EQ(t.find({3, 2, 1}), r1);
+  EXPECT_EQ(t.find({0, 0, 0}), -1);
+  EXPECT_TRUE(t.contains({1, 2, 3}));
+}
+
+TEST(SparseTensorTest, DuplicateSiteThrows) {
+  SparseTensor t({8, 8, 8}, 1);
+  t.add_site({1, 1, 1});
+  EXPECT_THROW(t.add_site({1, 1, 1}), InvalidArgument);
+}
+
+TEST(SparseTensorTest, OutOfBoundsSiteThrows) {
+  SparseTensor t({8, 8, 8}, 1);
+  EXPECT_THROW(t.add_site({8, 0, 0}), InvalidArgument);
+  EXPECT_THROW(SparseTensor({0, 8, 8}, 1), InvalidArgument);
+  EXPECT_THROW(SparseTensor({8, 8, 8}, 0), InvalidArgument);
+}
+
+TEST(SparseTensorTest, FeatureAccess) {
+  SparseTensor t({4, 4, 4}, 3);
+  const float feats[] = {1.0F, -2.0F, 3.0F};
+  const auto row = t.add_site({0, 0, 0}, feats);
+  EXPECT_FLOAT_EQ(t.feature(static_cast<std::size_t>(row), 1), -2.0F);
+  t.set_feature(static_cast<std::size_t>(row), 2, 9.0F);
+  EXPECT_FLOAT_EQ(t.features(static_cast<std::size_t>(row))[2], 9.0F);
+}
+
+TEST(SparseTensorTest, AddSiteFeatureSizeMismatchThrows) {
+  SparseTensor t({4, 4, 4}, 3);
+  const float two[] = {1.0F, 2.0F};
+  EXPECT_THROW(t.add_site({0, 0, 0}, two), InvalidArgument);
+}
+
+TEST(SparseTensorTest, FromVoxelGridCopiesOccupancy) {
+  voxel::VoxelGrid g({8, 8, 8});
+  g.insert({1, 1, 1}, 0.5F);
+  g.insert({2, 2, 2}, 1.5F);
+  const SparseTensor t = SparseTensor::from_voxel_grid(g, 2);
+  EXPECT_EQ(t.size(), 2U);
+  EXPECT_EQ(t.channels(), 2);
+  const auto row = t.find({2, 2, 2});
+  ASSERT_GE(row, 0);
+  EXPECT_FLOAT_EQ(t.feature(static_cast<std::size_t>(row), 0), 1.5F);
+  EXPECT_FLOAT_EQ(t.feature(static_cast<std::size_t>(row), 1), 0.0F);
+}
+
+TEST(SparseTensorTest, ZerosLikeSharesCoords) {
+  Rng rng(2);
+  const SparseTensor t = test::random_sparse_tensor({16, 16, 16}, 4, 0.05, rng);
+  const SparseTensor z = t.zeros_like(7);
+  EXPECT_EQ(z.size(), t.size());
+  EXPECT_EQ(z.channels(), 7);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(z.coord(i), t.coord(i));
+    for (int c = 0; c < 7; ++c) EXPECT_FLOAT_EQ(z.feature(i, c), 0.0F);
+  }
+}
+
+TEST(SparseTensorTest, SortCanonicalOrdersAndKeepsFeatures) {
+  SparseTensor t({8, 8, 8}, 1);
+  const float f2[] = {2.0F};
+  const float f1[] = {1.0F};
+  const float f3[] = {3.0F};
+  t.add_site({7, 7, 7}, f2);
+  t.add_site({0, 0, 0}, f1);
+  t.add_site({1, 0, 0}, f3);
+  t.sort_canonical();
+  EXPECT_EQ(t.coord(0), (Coord3{0, 0, 0}));
+  EXPECT_EQ(t.coord(1), (Coord3{1, 0, 0}));
+  EXPECT_EQ(t.coord(2), (Coord3{7, 7, 7}));
+  EXPECT_FLOAT_EQ(t.feature(0, 0), 1.0F);
+  EXPECT_FLOAT_EQ(t.feature(1, 0), 3.0F);
+  EXPECT_FLOAT_EQ(t.feature(2, 0), 2.0F);
+  // Index stays consistent after the permutation.
+  EXPECT_EQ(t.find({7, 7, 7}), 2);
+}
+
+TEST(SparseTensorTest, AbsMax) {
+  SparseTensor t({4, 4, 4}, 2);
+  const float a[] = {0.5F, -3.0F};
+  const float b[] = {2.0F, 1.0F};
+  t.add_site({0, 0, 0}, a);
+  t.add_site({1, 1, 1}, b);
+  EXPECT_FLOAT_EQ(t.abs_max(), 3.0F);
+  const SparseTensor empty({4, 4, 4}, 1);
+  EXPECT_FLOAT_EQ(empty.abs_max(), 0.0F);
+}
+
+TEST(SparseTensorTest, MaxAbsDiff) {
+  Rng rng(4);
+  const SparseTensor a = test::random_sparse_tensor({8, 8, 8}, 3, 0.2, rng);
+  SparseTensor b = a;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.0F);
+  b.set_feature(0, 0, b.feature(0, 0) + 0.25F);
+  EXPECT_NEAR(max_abs_diff(a, b), 0.25F, 1e-6F);
+}
+
+TEST(SparseTensorTest, MaxAbsDiffRejectsMismatchedShapes) {
+  SparseTensor a({4, 4, 4}, 1);
+  SparseTensor b({4, 4, 4}, 2);
+  a.add_site({0, 0, 0});
+  b.add_site({0, 0, 0});
+  EXPECT_THROW((void)max_abs_diff(a, b), InvalidArgument);
+
+  SparseTensor c({4, 4, 4}, 1);
+  c.add_site({1, 1, 1});
+  EXPECT_THROW((void)max_abs_diff(a, c), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::sparse

@@ -1,0 +1,61 @@
+// Shared helpers for the ESCA test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::test {
+
+/// Random sparse tensor: `density` fraction of sites active (at most
+/// max_sites), features ~ U(-1, 1) with occasional exact zeros to exercise
+/// zero-skipping paths.
+inline sparse::SparseTensor random_sparse_tensor(Coord3 extent, int channels, double density,
+                                                 Rng& rng, std::size_t max_sites = 4096) {
+  sparse::SparseTensor t(extent, channels);
+  const auto total = extent.volume();
+  for (std::int64_t i = 0; i < total && t.size() < max_sites; ++i) {
+    if (!rng.bernoulli(density)) continue;
+    const Coord3 c = delinearize(i, extent);
+    const std::int32_t row = t.add_site(c);
+    for (int ch = 0; ch < channels; ++ch) {
+      const float v = rng.bernoulli(0.05) ? 0.0F : rng.uniform_f(-1.0F, 1.0F);
+      t.set_feature(static_cast<std::size_t>(row), ch, v);
+    }
+  }
+  // Guarantee at least one site so downstream code has work to do.
+  if (t.empty()) {
+    const std::int32_t row = t.add_site(
+        {extent.x / 2, extent.y / 2, extent.z / 2});
+    for (int ch = 0; ch < channels; ++ch) {
+      t.set_feature(static_cast<std::size_t>(row), ch, 0.5F);
+    }
+  }
+  t.sort_canonical();
+  return t;
+}
+
+/// A small clustered tensor (surface-like blob) for tile/halo tests.
+inline sparse::SparseTensor clustered_tensor(Coord3 extent, int channels, Rng& rng,
+                                             int cluster_radius = 6, int points = 200) {
+  sparse::SparseTensor t(extent, channels);
+  const Coord3 center{extent.x / 2, extent.y / 2, extent.z / 2};
+  for (int i = 0; i < points; ++i) {
+    const Coord3 c{
+        center.x + static_cast<std::int32_t>(rng.uniform_int(-cluster_radius, cluster_radius)),
+        center.y + static_cast<std::int32_t>(rng.uniform_int(-cluster_radius, cluster_radius)),
+        center.z + static_cast<std::int32_t>(rng.uniform_int(-cluster_radius, cluster_radius))};
+    if (!in_bounds(c, extent) || t.contains(c)) continue;
+    const std::int32_t row = t.add_site(c);
+    for (int ch = 0; ch < channels; ++ch) {
+      t.set_feature(static_cast<std::size_t>(row), ch, rng.uniform_f(-1.0F, 1.0F));
+    }
+  }
+  t.sort_canonical();
+  return t;
+}
+
+}  // namespace esca::test

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "voxel/tile.hpp"
+#include "voxel/voxel_grid.hpp"
+
+namespace esca::voxel {
+namespace {
+
+TEST(TileGridTest, TotalTileCountsMatchTableI) {
+  // The paper's Table I: a 192^3 map has 110 592 / 13 824 / 4 096 / 1 728
+  // tiles at sizes 4^3 / 8^3 / 12^3 / 16^3.
+  VoxelGrid g({192, 192, 192});
+  g.insert({0, 0, 0});
+  const struct {
+    std::int32_t size;
+    std::int64_t expected;
+  } cases[] = {{4, 110592}, {8, 13824}, {12, 4096}, {16, 1728}};
+  for (const auto& c : cases) {
+    const TileGrid tiles(g, TileShape{{c.size, c.size, c.size}});
+    EXPECT_EQ(tiles.total_tiles(), c.expected) << "tile size " << c.size;
+  }
+}
+
+TEST(TileGridTest, NonDivisibleExtentRoundsUp) {
+  VoxelGrid g({10, 10, 10});
+  g.insert({9, 9, 9});
+  const TileGrid tiles(g, TileShape{{4, 4, 4}});
+  EXPECT_EQ(tiles.tiles_extent(), (Coord3{3, 3, 3}));
+  EXPECT_EQ(tiles.total_tiles(), 27);
+  EXPECT_TRUE(tiles.tile_active({2, 2, 2}));
+}
+
+TEST(TileGridTest, ActiveTilesContainTheirVoxels) {
+  VoxelGrid g({32, 32, 32});
+  g.insert({0, 0, 0});
+  g.insert({7, 7, 7});   // same 8^3 tile as (0,0,0)
+  g.insert({8, 0, 0});   // next tile in x
+  g.insert({31, 31, 31});
+  const TileGrid tiles(g, TileShape{{8, 8, 8}});
+  EXPECT_EQ(tiles.active_tiles(), 3);
+  const Tile* t0 = tiles.find_tile({0, 0, 0});
+  ASSERT_NE(t0, nullptr);
+  EXPECT_EQ(t0->occupied.size(), 2U);
+  EXPECT_EQ(t0->origin, (Coord3{0, 0, 0}));
+  const Tile* t1 = tiles.find_tile({1, 0, 0});
+  ASSERT_NE(t1, nullptr);
+  EXPECT_EQ(t1->occupied.size(), 1U);
+  EXPECT_EQ(tiles.find_tile({2, 2, 2}), nullptr);
+}
+
+TEST(TileGridTest, RemovingRatioMatchesDefinition) {
+  VoxelGrid g({16, 16, 16});
+  g.insert({0, 0, 0});
+  const TileGrid tiles(g, TileShape{{8, 8, 8}});
+  EXPECT_EQ(tiles.total_tiles(), 8);
+  EXPECT_EQ(tiles.active_tiles(), 1);
+  EXPECT_DOUBLE_EQ(tiles.removing_ratio(), 7.0 / 8.0);
+}
+
+TEST(TileGridTest, OccupiedVoxelsPreserved) {
+  Rng rng(3);
+  VoxelGrid g({64, 64, 64});
+  for (int i = 0; i < 500; ++i) {
+    const Coord3 c{static_cast<std::int32_t>(rng.uniform_int(0, 63)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, 63)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, 63))};
+    if (!g.occupied(c)) g.insert(c);
+  }
+  const TileGrid tiles(g, TileShape{{8, 8, 8}});
+  EXPECT_EQ(tiles.occupied_voxels(), static_cast<std::int64_t>(g.occupied_count()));
+}
+
+TEST(TileGridTest, TilesSortedAndVoxelsSortedWithinTile) {
+  VoxelGrid g({32, 32, 32});
+  g.insert({30, 30, 30});
+  g.insert({1, 1, 1});
+  g.insert({0, 0, 0});
+  const TileGrid tiles(g, TileShape{{8, 8, 8}});
+  ASSERT_EQ(tiles.active_tiles(), 2);
+  EXPECT_TRUE(tiles.tiles()[0].tile_coord < tiles.tiles()[1].tile_coord);
+  const auto& first = tiles.tiles()[0].occupied;
+  ASSERT_EQ(first.size(), 2U);
+  EXPECT_TRUE(first[0] < first[1]);
+}
+
+TEST(TileGridTest, EmptyGridHasNoActiveTiles) {
+  VoxelGrid g({16, 16, 16});
+  const TileGrid tiles(g, TileShape{{4, 4, 4}});
+  EXPECT_EQ(tiles.active_tiles(), 0);
+  EXPECT_EQ(tiles.occupied_voxels(), 0);
+}
+
+TEST(TileGridTest, AnisotropicTileShape) {
+  VoxelGrid g({16, 16, 16});
+  g.insert({15, 0, 0});
+  const TileGrid tiles(g, TileShape{{4, 8, 16}});
+  EXPECT_EQ(tiles.tiles_extent(), (Coord3{4, 2, 1}));
+  EXPECT_TRUE(tiles.tile_active({3, 0, 0}));
+}
+
+TEST(TileGridTest, RejectsBadTileSize) {
+  VoxelGrid g({8, 8, 8});
+  EXPECT_THROW(TileGrid(g, TileShape{{0, 8, 8}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::voxel

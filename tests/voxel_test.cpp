@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "pointcloud/point_cloud.hpp"
+#include "voxel/morton.hpp"
+#include "voxel/voxel_grid.hpp"
+#include "voxel/voxelizer.hpp"
+
+namespace esca::voxel {
+namespace {
+
+TEST(MortonTest, RoundTripProperty) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    const Coord3 c{static_cast<std::int32_t>(rng.uniform_int(0, (1 << 20) - 1)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, (1 << 20) - 1)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, (1 << 20) - 1))};
+    EXPECT_EQ(morton_decode(morton_encode(c)), c);
+  }
+}
+
+TEST(MortonTest, OrderingInterleavesAxes) {
+  EXPECT_EQ(morton_encode({0, 0, 0}), 0ULL);
+  EXPECT_EQ(morton_encode({1, 0, 0}), 1ULL);
+  EXPECT_EQ(morton_encode({0, 1, 0}), 2ULL);
+  EXPECT_EQ(morton_encode({0, 0, 1}), 4ULL);
+  EXPECT_EQ(morton_encode({1, 1, 1}), 7ULL);
+}
+
+TEST(VoxelGridTest, InsertAndQuery) {
+  VoxelGrid g({16, 16, 16});
+  g.insert({1, 2, 3}, 2.0F);
+  EXPECT_TRUE(g.occupied({1, 2, 3}));
+  EXPECT_FALSE(g.occupied({3, 2, 1}));
+  EXPECT_EQ(g.occupied_count(), 1U);
+  EXPECT_FLOAT_EQ(g.feature_at({1, 2, 3}), 2.0F);
+  EXPECT_FLOAT_EQ(g.feature_at({0, 0, 0}), 0.0F);
+}
+
+TEST(VoxelGridTest, DuplicateInsertAveragesFeature) {
+  VoxelGrid g({8, 8, 8});
+  g.insert({1, 1, 1}, 1.0F);
+  g.insert({1, 1, 1}, 3.0F);
+  EXPECT_EQ(g.occupied_count(), 1U);
+  EXPECT_FLOAT_EQ(g.feature_at({1, 1, 1}), 2.0F);
+}
+
+TEST(VoxelGridTest, OutOfBoundsInsertThrows) {
+  VoxelGrid g({4, 4, 4});
+  EXPECT_THROW(g.insert({4, 0, 0}), InvalidArgument);
+  EXPECT_THROW(g.insert({0, -1, 0}), InvalidArgument);
+  EXPECT_THROW(VoxelGrid({0, 4, 4}), InvalidArgument);
+}
+
+TEST(VoxelGridTest, DensityAndSparsity) {
+  VoxelGrid g({10, 10, 10});
+  for (int i = 0; i < 10; ++i) g.insert({i, 0, 0});
+  EXPECT_DOUBLE_EQ(g.density(), 10.0 / 1000.0);
+  EXPECT_DOUBLE_EQ(g.sparsity(), 0.99);
+}
+
+TEST(VoxelGridTest, MortonSortOrdersCoords) {
+  VoxelGrid g({8, 8, 8});
+  g.insert({7, 7, 7});
+  g.insert({0, 0, 0});
+  g.insert({1, 0, 0});
+  g.sort_morton();
+  EXPECT_EQ(g.coords()[0], (Coord3{0, 0, 0}));
+  EXPECT_EQ(g.coords()[1], (Coord3{1, 0, 0}));
+  EXPECT_EQ(g.coords()[2], (Coord3{7, 7, 7}));
+}
+
+TEST(VoxelizerTest, MapsUnitCubeToResolution) {
+  pc::PointCloud cloud;
+  cloud.add({0.0F, 0.0F, 0.0F});
+  cloud.add({0.999F, 0.999F, 0.999F});
+  cloud.add({0.5F, 0.25F, 0.75F});
+  const VoxelGrid g = voxelize(cloud, {192, false});
+  EXPECT_EQ(g.extent(), (Coord3{192, 192, 192}));
+  EXPECT_TRUE(g.occupied({0, 0, 0}));
+  EXPECT_TRUE(g.occupied({191, 191, 191}));
+  EXPECT_TRUE(g.occupied({96, 48, 144}));
+}
+
+TEST(VoxelizerTest, ClampsOutOfRangePoints) {
+  pc::PointCloud cloud;
+  cloud.add({-0.5F, 1.7F, 0.5F});
+  const VoxelGrid g = voxelize(cloud, {16, false});
+  EXPECT_EQ(g.occupied_count(), 1U);
+  EXPECT_TRUE(g.occupied({0, 15, 8}));
+}
+
+TEST(VoxelizerTest, NormalizeOptionRescales) {
+  pc::PointCloud cloud;
+  cloud.add({100.0F, 100.0F, 100.0F});
+  cloud.add({104.0F, 102.0F, 101.0F});
+  const VoxelGrid g = voxelize(cloud, {32, true});
+  EXPECT_EQ(g.occupied_count(), 2U);
+  EXPECT_TRUE(g.occupied({0, 0, 0}));
+}
+
+TEST(VoxelizerTest, CollidingPointsMergeIntoOneVoxel) {
+  pc::PointCloud cloud;
+  cloud.add({0.501F, 0.501F, 0.501F}, 1.0F);
+  cloud.add({0.502F, 0.502F, 0.502F}, 3.0F);
+  const VoxelGrid g = voxelize(cloud, {4, false});
+  EXPECT_EQ(g.occupied_count(), 1U);
+  EXPECT_FLOAT_EQ(g.feature_at({2, 2, 2}), 2.0F);
+}
+
+TEST(VoxelizerTest, SparsityMatchesPaperBallpark) {
+  // A surface-like cloud voxelized at 192^3 should be overwhelmingly sparse
+  // (the paper quotes ~99.9 % for ShapeNet).
+  pc::PointCloud cloud;
+  Rng rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    cloud.add({rng.uniform_f(0.2F, 0.4F), rng.uniform_f(0.2F, 0.4F),
+               rng.uniform_f(0.2F, 0.4F)});
+  }
+  const VoxelGrid g = voxelize(cloud, {192, false});
+  EXPECT_GT(g.sparsity(), 0.999);
+}
+
+TEST(VoxelizerTest, RejectsBadResolution) {
+  pc::PointCloud cloud;
+  cloud.add({0, 0, 0});
+  EXPECT_THROW((void)voxelize(cloud, {0, false}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace esca::voxel
