@@ -19,9 +19,8 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "core/accelerator.hpp"
 #include "nn/submanifold_conv.hpp"
-#include "quant/qsubconv.hpp"
+#include "runtime/engine.hpp"
 
 namespace {
 
@@ -57,28 +56,26 @@ int main(int argc, char** argv) {
 
   nn::SubmanifoldConv3d conv(cin, cout, 3);
   conv.init_kaiming(rng);
-  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
-  const auto fy = conv.forward(x);
-  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
-  const auto layer =
-      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "fig10");
-  const auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
 
-  // --- ESCA (ideal and port-limited mask read; see bench_table3) -----------------
-  core::Accelerator accel{core::ArchConfig{}};
-  const core::LayerRunResult esca = accel.run_layer(layer, qx);
-  const double esca_ms = esca.stats.total_seconds * 1e3;
+  // One Plan, two ESCA engines (ideal and port-limited mask read; see
+  // bench_table3): Plans are architecture-agnostic.
+  runtime::Engine engine;
+  const runtime::Plan plan = engine.compile_layer(conv, x, {.name = "fig10"});
+  const core::LayerRunStats esca =
+      engine.run(plan).frames.front().stats.layers.front();
+  const double esca_ms = esca.total_seconds * 1e3;
 
-  core::ArchConfig pl_cfg;
-  pl_cfg.mask_read_cycles = pl_cfg.k2();
-  core::Accelerator accel_pl{pl_cfg};
-  const core::LayerRunResult esca_pl = accel_pl.run_layer(layer, qx);
-  const double esca_pl_ms = esca_pl.stats.total_seconds * 1e3;
+  runtime::RuntimeConfig pl_rt;
+  pl_rt.arch.mask_read_cycles = pl_rt.arch.k2();
+  runtime::Engine engine_pl{pl_rt};
+  const core::LayerRunStats esca_pl =
+      engine_pl.run(plan).frames.front().stats.layers.front();
+  const double esca_pl_ms = esca_pl.total_seconds * 1e3;
 
   // --- device models on the same workload -----------------------------------------
   baseline::SubConvWorkload w;
-  w.sites = esca.stats.sites;
-  w.rules = esca.stats.sdmu.matches;
+  w.sites = esca.sites;
+  w.rules = esca.sdmu.matches;
   w.in_channels = cin;
   w.out_channels = cout;
   const auto gpu = baseline::model_gpu_subconv(w);
@@ -101,9 +98,9 @@ int main(int argc, char** argv) {
   Table table("Fig. 10 summary (slowdowns vs the port-limited ESCA point)");
   table.header({"Device", "Time (ms)", "Slowdown", "Paper slowdown"});
   table.row({"CPU Xeon 6148 (model)", str::fixed(cpu.seconds * 1e3, 3),
-             str::format("%.2fx", cpu.seconds / esca_pl.stats.total_seconds), "8.41x"});
+             str::format("%.2fx", cpu.seconds / esca_pl.total_seconds), "8.41x"});
   table.row({"GPU Tesla P100 (model)", str::fixed(gpu.seconds * 1e3, 3),
-             str::format("%.2fx", gpu.seconds / esca_pl.stats.total_seconds), "1.89x"});
+             str::format("%.2fx", gpu.seconds / esca_pl.total_seconds), "1.89x"});
   table.row({"ESCA port-limited (sim)", str::fixed(esca_pl_ms, 3), "1.00x", "1.00x"});
   table.row({"ESCA ideal (sim)", str::fixed(esca_ms, 3),
              str::format("%.2fx", esca_ms / esca_pl_ms), "-"});
@@ -115,10 +112,8 @@ int main(int argc, char** argv) {
       measured.total_seconds * 1e3, measured.rulebook_seconds * 1e3,
       measured.compute_seconds * 1e3);
   std::printf("ESCA cycles: %lld (scan-bound: %s), effective %.2f GOPS on this layer\n",
-              static_cast<long long>(esca.stats.total_cycles),
-              esca.stats.sdmu.matches < esca.stats.zero_removing.active_tiles * 512 * 3
-                  ? "yes"
-                  : "no",
-              esca.stats.effective_gops);
+              static_cast<long long>(esca.total_cycles),
+              esca.sdmu.matches < esca.zero_removing.active_tiles * 512 * 3 ? "yes" : "no",
+              esca.effective_gops);
   return 0;
 }

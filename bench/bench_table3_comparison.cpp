@@ -15,9 +15,9 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "core/accelerator.hpp"
 #include "core/power_model.hpp"
 #include "core/resource_model.hpp"
+#include "runtime/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace esca;  // NOLINT(google-build-using-namespace): bench main
@@ -32,10 +32,10 @@ int main(int argc, char** argv) {
               100.0 * static_cast<double>(input.size()) /
                   static_cast<double>(input.spatial_extent().volume()));
 
-  const bench::NetworkWorkload workload = bench::benchmark_network(input);
-  std::printf("network: %zu Sub-Conv layers, %s effective MACs\n\n",
-              workload.compiled.layers.size(),
-              str::with_commas(workload.compiled.total_macs()).c_str());
+  bench::NetworkWorkload workload = bench::benchmark_network(input);
+  const runtime::Plan plan = runtime::make_plan(std::move(workload.compiled));
+  std::printf("network: %zu Sub-Conv layers, %s effective MACs\n\n", plan.layer_count(),
+              str::with_commas(plan.total_macs()).c_str());
 
   // --- ESCA (cycle-level simulation, bit-exact verified) ----------------------
   // Two operating points: the idealized microarchitecture (all K^2 column
@@ -44,13 +44,14 @@ int main(int argc, char** argv) {
   // bottleneck that best explains the paper's measured throughput
   // (EXPERIMENTS.md discusses the calibration).
   const core::ArchConfig cfg;
-  core::Accelerator accel{cfg};
-  const core::NetworkRunStats esca_stats = core::run_network(accel, workload.compiled, true);
+  runtime::Engine engine;
+  const core::NetworkRunStats esca_stats = engine.run(plan).merged_stats();
 
-  core::ArchConfig port_limited = cfg;
-  port_limited.mask_read_cycles = cfg.k2();
-  core::Accelerator accel_pl{port_limited};
-  const core::NetworkRunStats pl_stats = core::run_network(accel_pl, workload.compiled, true);
+  runtime::RuntimeConfig pl_rt;
+  pl_rt.arch.mask_read_cycles = cfg.k2();
+  const core::ArchConfig& port_limited = pl_rt.arch;
+  runtime::Engine engine_pl{pl_rt};
+  const core::NetworkRunStats pl_stats = engine_pl.run(plan).merged_stats();
 
   const double esca_seconds = esca_stats.total_seconds();
   const double esca_gops = esca_stats.effective_gops();
@@ -58,10 +59,11 @@ int main(int argc, char** argv) {
   const double pl_gops = pl_stats.effective_gops();
   const core::ResourceReport resources = core::ResourceModel(cfg).estimate();
   const core::PowerReport power = core::PowerModel(cfg).estimate(
-      accel.energy(), esca_seconds, resources.total_bram36());
-  const core::PowerReport pl_power = core::PowerModel(port_limited)
-                                         .estimate(accel_pl.energy(), pl_seconds,
-                                                   resources.total_bram36());
+      *engine.backend().energy_meter(), esca_seconds, resources.total_bram36());
+  const core::PowerReport pl_power =
+      core::PowerModel(port_limited)
+          .estimate(*engine_pl.backend().energy_meter(), pl_seconds,
+                    resources.total_bram36());
 
   // --- GPU / CPU models on the same per-layer workloads -----------------------
   double gpu_seconds = 0.0;

@@ -14,12 +14,12 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "core/accelerator.hpp"
 #include "core/perf_model.hpp"
 #include "core/resource_model.hpp"
+#include "core/zero_removing.hpp"
 #include "datasets/shapenet_like.hpp"
 #include "nn/submanifold_conv.hpp"
-#include "quant/qsubconv.hpp"
+#include "runtime/engine.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "voxel/voxelizer.hpp"
 
@@ -44,20 +44,19 @@ int main(int argc, char** argv) {
   }
   nn::SubmanifoldConv3d conv(channels, channels, 3);
   conv.init_kaiming(rng);
-  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
-  const auto fy = conv.forward(x);
-  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
-  const auto layer =
-      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "dse");
-  const auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
 
-  std::printf("design-space exploration: %zu sites, %d->%d channels\n\n", qx.size(), channels,
-              channels);
+  // One Plan, many engines: Plans are backend- and architecture-agnostic,
+  // so the sweep below re-runs the same compiled layer on differently
+  // configured ESCA engines.
+  runtime::Engine probe_engine;
+  const runtime::Plan plan = probe_engine.compile_layer(conv, x, {.name = "dse"});
+
+  std::printf("design-space exploration: %zu sites, %d->%d channels\n\n",
+              plan.network.layers.front().input.size(), channels, channels);
 
   // Matches are architecture-independent; get them once from a probe run.
-  core::Accelerator probe{core::ArchConfig{}};
-  const auto probe_run = probe.run_layer(layer, qx);
-  const std::int64_t matches = probe_run.stats.sdmu.matches;
+  const runtime::RunReport probe_run = probe_engine.run(plan);
+  const std::int64_t matches = probe_run.frames.front().stats.layers.front().sdmu.matches;
 
   Table table("Architecture sweep (analytic model; * = cycle-sim cross-check)");
   table.header({"Array", "Tile", "GOPS (model)", "GOPS (sim)", "DSP", "BRAM", "LUT",
@@ -81,9 +80,11 @@ int main(int argc, char** argv) {
       // Cycle-sim cross-check at the paper's tile size.
       std::string sim_gops = "-";
       if (tile == 8) {
-        core::Accelerator accel{cfg};
-        const auto run = accel.run_layer(layer, qx);
-        sim_gops = str::fixed(run.stats.effective_gops, 1) + " *";
+        runtime::RuntimeConfig rt_cfg;
+        rt_cfg.arch = cfg;
+        runtime::Engine sim_engine{rt_cfg};
+        const runtime::RunReport run = sim_engine.run(plan);
+        sim_gops = str::fixed(run.frames.front().stats.layers.front().effective_gops, 1) + " *";
       }
 
       // Resource estimate at production buffer sizes (the enlarged sweep

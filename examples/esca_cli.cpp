@@ -3,7 +3,10 @@
 //   esca_cli stats    in=<cloud.{ply,xyz}> [resolution=192]
 //       voxelize a cloud and print occupancy/tile statistics
 //   esca_cli run      in=<cloud.{ply,xyz}> [cin=1] [cout=16] [resolution=192]
-//       run one quantized Sub-Conv layer on the simulated accelerator
+//                     [backend=esca|dense|cpu] [batch=1]
+//       run one quantized Sub-Conv layer on the selected runtime backend;
+//       batch > 1 submits a multi-frame session (weights resident after
+//       the first frame)
 //   esca_cli resources [ic=16] [oc=16]
 //       print the Table II resource estimate for a configuration
 //   esca_cli generate  out=<cloud.ply> [kind=shapenet|nyu] [index=0]
@@ -19,7 +22,6 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "core/accelerator.hpp"
 #include "core/resource_model.hpp"
 #include "core/zero_removing.hpp"
 #include "datasets/nyu_like.hpp"
@@ -27,7 +29,7 @@
 #include "nn/submanifold_conv.hpp"
 #include "pointcloud/io.hpp"
 #include "pointcloud/ply.hpp"
-#include "quant/qsubconv.hpp"
+#include "runtime/engine.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "voxel/voxelizer.hpp"
 
@@ -35,17 +37,10 @@ namespace {
 
 using namespace esca;  // NOLINT(google-build-using-namespace): CLI main
 
-pc::PointCloud load_cloud(const std::string& path) {
-  if (path.size() >= 4 && path.substr(path.size() - 4) == ".ply") {
-    return pc::read_ply_file(path);
-  }
-  return pc::read_xyz_file(path);
-}
-
 sparse::SparseTensor load_tensor(const Config& args, int channels) {
   const std::string in = args.get_string("in", "");
   ESCA_REQUIRE(!in.empty(), "missing in=<cloud.{ply,xyz}>");
-  pc::PointCloud cloud = load_cloud(in);
+  pc::PointCloud cloud = pc::read_cloud_auto(in);
   cloud.normalize_unit_cube();
   const auto resolution = static_cast<std::int32_t>(args.get_int("resolution", 192));
   const voxel::VoxelGrid grid = voxel::voxelize(cloud, {resolution, false});
@@ -84,29 +79,38 @@ int cmd_stats(const Config& args) {
 int cmd_run(const Config& args) {
   const int cin = static_cast<int>(args.get_int("cin", 1));
   const int cout = static_cast<int>(args.get_int("cout", 16));
+  const int batch = static_cast<int>(args.get_int("batch", 1));
   const sparse::SparseTensor x = load_tensor(args, cin);
 
   Rng rng(11);
   nn::SubmanifoldConv3d conv(cin, cout, 3);
   conv.init_kaiming(rng);
-  const float in_scale = quant::calibrate(x.abs_max(), quant::kInt16Max).scale;
-  const auto fy = conv.forward(x);
-  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
-  const auto layer =
-      quant::QuantizedSubConv::from_float(conv, nullptr, false, in_scale, out_scale, "cli");
-  const auto qx = quant::QSparseTensor::from_float(x, quant::QuantParams{in_scale});
 
-  core::Accelerator accel{core::ArchConfig{}};
-  const core::LayerRunResult r = accel.run_layer(layer, qx);
-  const bool exact = r.output == layer.forward(qx);
-  std::printf("sites %lld | tiles %lld | matches %lld | cycles %lld | %s | %.2f GOPS | %s\n",
-              static_cast<long long>(r.stats.sites),
-              static_cast<long long>(r.stats.zero_removing.active_tiles),
-              static_cast<long long>(r.stats.sdmu.matches),
-              static_cast<long long>(r.stats.total_cycles),
-              units::seconds(r.stats.total_seconds).c_str(), r.stats.effective_gops,
-              exact ? "bit-exact" : "MISMATCH");
-  return exact ? 0 : 1;
+  runtime::RuntimeConfig rt_cfg;
+  rt_cfg.backend = runtime::parse_backend_kind(args.get_string("backend", "esca"));
+  runtime::Engine engine{rt_cfg};
+  runtime::Session session = engine.open_session(engine.compile_layer(conv, x, {.name = "cli"}));
+  // verify=true: every frame is checked bit-exactly against the integer
+  // gold model (a mismatch throws).
+  const runtime::RunReport report = session.submit(runtime::FrameBatch::replay(batch));
+
+  for (const runtime::FrameReport& frame : report.frames) {
+    const core::LayerRunStats& s = frame.stats.layers.front();
+    std::printf(
+        "%s [%s%s] sites %lld | tiles %lld | matches %lld | cycles %lld | %s | %.2f GOPS | "
+        "bit-exact\n",
+        frame.frame_id.c_str(), report.backend_name.c_str(),
+        frame.weights_resident ? ", weights resident" : "",
+        static_cast<long long>(s.sites),
+        static_cast<long long>(s.zero_removing.active_tiles),
+        static_cast<long long>(s.sdmu.matches), static_cast<long long>(s.total_cycles),
+        units::seconds(s.total_seconds).c_str(), s.effective_gops);
+  }
+  if (batch > 1) {
+    std::printf("batch total: %s, %.2f effective GOPS\n",
+                units::seconds(report.total_seconds()).c_str(), report.effective_gops());
+  }
+  return 0;
 }
 
 int cmd_resources(const Config& args) {
@@ -147,6 +151,7 @@ void usage() {
       "usage: esca_cli <stats|run|resources|generate> [key=value ...]\n"
       "  stats     in=<cloud.{ply,xyz}> [resolution=192]\n"
       "  run       in=<cloud.{ply,xyz}> [cin=1] [cout=16] [resolution=192]\n"
+      "            [backend=esca|dense|cpu] [batch=1]\n"
       "  resources [ic=16] [oc=16]\n"
       "  generate  out=<cloud.ply> [kind=shapenet|nyu] [index=0]\n");
 }

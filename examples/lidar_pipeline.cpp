@@ -11,11 +11,10 @@
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
-#include "core/accelerator.hpp"
 #include "datasets/depth_camera.hpp"
 #include "nn/submanifold_conv.hpp"
 #include "pointcloud/io.hpp"
-#include "quant/qsubconv.hpp"
+#include "runtime/engine.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "voxel/voxelizer.hpp"
 
@@ -90,29 +89,29 @@ int main(int argc, char** argv) {
   std::printf("voxelized: %zu sites (%.4f%% density)\n", input.size(),
               100.0 * grid.density());
 
-  // One 1 -> 8 feature-extraction Sub-Conv on the accelerator.
+  // One 1 -> 8 feature-extraction Sub-Conv, compiled and run through the
+  // runtime Engine on the simulated accelerator.
   nn::SubmanifoldConv3d conv(1, 8, 3);
   conv.init_kaiming(rng);
-  const float in_scale = quant::calibrate(input.abs_max(), quant::kInt16Max).scale;
-  const auto fy = conv.forward(input);
-  const float out_scale = quant::calibrate(fy.abs_max(), quant::kInt16Max).scale;
-  const auto layer = quant::QuantizedSubConv::from_float(conv, nullptr, /*relu=*/true,
-                                                         in_scale, out_scale, "lidar");
-  const auto qx = quant::QSparseTensor::from_float(input, quant::QuantParams{in_scale});
-
-  core::Accelerator accelerator{core::ArchConfig{}};
-  const core::LayerRunResult result = accelerator.run_layer(layer, qx);
+  runtime::Engine engine;
+  const runtime::Plan plan =
+      engine.compile_layer(conv, input, {.relu = true, .name = "lidar"});
+  const runtime::RunReport report =
+      engine.run(plan, runtime::FrameBatch::single("sweep0"), {.keep_outputs = true});
+  const runtime::FrameReport& frame = report.frames.front();
+  const core::LayerRunStats& stats = frame.stats.layers.front();
   std::printf("accelerator: %lld tiles, %lld matches, %s, %.1f GOPS\n",
-              static_cast<long long>(result.stats.zero_removing.active_tiles),
-              static_cast<long long>(result.stats.sdmu.matches),
-              units::seconds(result.stats.total_seconds).c_str(),
-              result.stats.effective_gops);
+              static_cast<long long>(stats.zero_removing.active_tiles),
+              static_cast<long long>(stats.sdmu.matches),
+              units::seconds(stats.total_seconds).c_str(), stats.effective_gops);
 
   // Export: voxel centers with their strongest feature response.
+  const quant::QSparseTensor& output = frame.outputs.front();
+  const float out_scale = plan.network.layers.front().layer.out_scale();
   pc::PointCloud labelled;
-  for (std::size_t i = 0; i < result.output.size(); ++i) {
-    const Coord3 c = result.output.coord(i);
-    const auto f = result.output.features(i);
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    const Coord3 c = output.coord(i);
+    const auto f = output.features(i);
     std::int16_t strongest = 0;
     for (const std::int16_t v : f) {
       if (v > strongest) strongest = v;
@@ -120,7 +119,7 @@ int main(int argc, char** argv) {
     labelled.add({(static_cast<float>(c.x) + 0.5F) / 192.0F,
                   (static_cast<float>(c.y) + 0.5F) / 192.0F,
                   (static_cast<float>(c.z) + 0.5F) / 192.0F},
-                 static_cast<float>(strongest) * layer.out_scale());
+                 static_cast<float>(strongest) * out_scale);
   }
   pc::write_xyz_file(out_path, labelled);
   std::printf("wrote %zu feature points to %s\n", labelled.size(), out_path.c_str());

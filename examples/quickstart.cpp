@@ -2,19 +2,19 @@
 //
 //   1. generate a synthetic object point cloud,
 //   2. voxelize it into a sparse tensor,
-//   3. quantize one submanifold convolution layer,
-//   4. run it on the simulated ESCA accelerator, and
-//   5. verify the result bit-exactly against the integer gold model.
+//   3. compile one submanifold convolution layer with the runtime Engine
+//      (calibration + INT8/INT16 quantization + integer gold output), and
+//   4. run it on the simulated ESCA accelerator, bit-exactly verified
+//      against the integer gold model.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
 #include "common/rng.hpp"
 #include "common/units.hpp"
-#include "core/accelerator.hpp"
 #include "datasets/shapenet_like.hpp"
 #include "nn/submanifold_conv.hpp"
-#include "quant/qsubconv.hpp"
+#include "runtime/engine.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "voxel/voxelizer.hpp"
 
@@ -34,37 +34,34 @@ int main() {
   std::printf("voxelized: %zu active sites, %.4f%% density\n", input.size(),
               100.0 * grid.density());
 
-  // 3. A 1 -> 16 channel Sub-Conv layer, quantized to INT8 weights / INT16
-  //    activations with calibrated scales.
+  // 3. An Engine over the default ESCA backend (the paper's ZCU102 point:
+  //    8^3 tiles, 16x16 MAC array, 270 MHz) compiles a 1 -> 16 channel
+  //    Sub-Conv layer: scale calibration, INT8 weights / INT16 activations,
+  //    integer gold output.
+  runtime::Engine engine;
   nn::SubmanifoldConv3d conv(1, 16, /*kernel_size=*/3);
   conv.init_kaiming(rng);
-  const float in_scale = quant::calibrate(input.abs_max(), quant::kInt16Max).scale;
-  const auto float_out = conv.forward(input);
-  const float out_scale = quant::calibrate(float_out.abs_max(), quant::kInt16Max).scale;
-  const auto layer = quant::QuantizedSubConv::from_float(conv, /*bn=*/nullptr, /*relu=*/false,
-                                                         in_scale, out_scale, "quickstart");
-  const auto qinput = quant::QSparseTensor::from_float(input, quant::QuantParams{in_scale});
+  const runtime::Plan plan =
+      engine.compile_layer(conv, input, {.name = "quickstart"});
 
-  // 4. Run on the simulated accelerator (default = the paper's ZCU102 point:
-  //    8^3 tiles, 16x16 MAC array, 270 MHz).
-  core::Accelerator accelerator{core::ArchConfig{}};
-  const core::LayerRunResult result = accelerator.run_layer(layer, qinput);
+  // 4. Run one frame; verify=true (the default) throws if the simulated
+  //    hardware ever diverged from the integer gold model.
+  const runtime::RunReport report = engine.run(plan);
+  const core::LayerRunStats& stats = report.frames.front().stats.layers.front();
 
-  // 5. Bit-exact check against the integer gold model.
-  const bool exact = result.output == layer.forward(qinput);
-  std::printf("\naccelerator run:\n");
-  std::printf("  bit-exact vs gold model : %s\n", exact ? "yes" : "NO (bug!)");
+  std::printf("\naccelerator run (backend '%s'):\n", report.backend_name.c_str());
+  std::printf("  bit-exact vs gold model : yes (verified)\n");
   std::printf("  zero removing           : %lld of %lld tiles kept (%.2f%% removed)\n",
-              static_cast<long long>(result.stats.zero_removing.active_tiles),
-              static_cast<long long>(result.stats.zero_removing.total_tiles),
-              100.0 * result.stats.zero_removing.removing_ratio);
+              static_cast<long long>(stats.zero_removing.active_tiles),
+              static_cast<long long>(stats.zero_removing.total_tiles),
+              100.0 * stats.zero_removing.removing_ratio);
   std::printf("  matches                 : %lld (%lld MACs)\n",
-              static_cast<long long>(result.stats.sdmu.matches),
-              static_cast<long long>(result.stats.mac_ops));
+              static_cast<long long>(stats.sdmu.matches),
+              static_cast<long long>(stats.mac_ops));
   std::printf("  cycles @ 270 MHz        : %lld (%s)\n",
-              static_cast<long long>(result.stats.total_cycles),
-              units::seconds(result.stats.total_seconds).c_str());
+              static_cast<long long>(stats.total_cycles),
+              units::seconds(stats.total_seconds).c_str());
   std::printf("  effective throughput    : %s\n",
-              units::ops_per_second(result.stats.effective_gops * 1e9).c_str());
-  return exact ? 0 : 1;
+              units::ops_per_second(stats.effective_gops * 1e9).c_str());
+  return 0;
 }

@@ -13,12 +13,11 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
-#include "core/accelerator.hpp"
-#include "core/layer_compiler.hpp"
 #include "core/report.hpp"
 #include "datasets/nyu_like.hpp"
 #include "nn/metrics.hpp"
 #include "nn/unet.hpp"
+#include "runtime/engine.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "voxel/voxelizer.hpp"
 
@@ -46,10 +45,12 @@ int main(int argc, char** argv) {
   std::vector<nn::TraceEntry> trace;
   const sparse::SparseTensor logits = net.forward(input, &trace);
 
-  // Quantize + compile every Sub-Conv layer, run on the accelerator.
-  const core::CompiledNetwork compiled = core::LayerCompiler::compile(trace);
-  core::Accelerator accelerator{core::ArchConfig{}};
-  const core::NetworkRunStats stats = core::run_network(accelerator, compiled, true);
+  // Quantize + compile every Sub-Conv layer, run on the accelerator
+  // (verify=true: every layer is checked bit-exactly against gold).
+  runtime::Engine engine;
+  const runtime::Plan plan = engine.compile(trace);
+  const runtime::RunReport report = engine.run(plan);
+  const core::NetworkRunStats stats = report.merged_stats();
 
   Table table("Per-layer accelerator report (bit-exact vs integer gold)");
   table.header({"Layer", "Cin", "Cout", "Sites", "Tiles", "Matches", "Cycles", "GOPS",

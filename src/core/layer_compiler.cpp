@@ -1,6 +1,7 @@
 #include "core/layer_compiler.hpp"
 
 #include "common/check.hpp"
+#include "nn/activations.hpp"
 
 namespace esca::core {
 
@@ -30,6 +31,24 @@ CompiledNetwork LayerCompiler::compile(const std::vector<nn::TraceEntry>& trace)
                                            std::move(gold), entry.macs});
   }
   return network;
+}
+
+CompiledLayer LayerCompiler::compile_layer(const nn::SubmanifoldConv3d& conv,
+                                           const sparse::SparseTensor& input,
+                                           const LayerCompileOptions& options) {
+  const std::int64_t macs = conv.macs(input);
+  sparse::SparseTensor float_out = conv.forward(input);
+  if (options.bn != nullptr) options.bn->forward_inplace(float_out);
+  if (options.relu) nn::relu_inplace(float_out);
+
+  const float in_scale = quant::calibrate(input.abs_max(), quant::kInt16Max).scale;
+  const float out_scale = quant::calibrate(float_out.abs_max(), quant::kInt16Max).scale;
+  quant::QuantizedSubConv qlayer = quant::QuantizedSubConv::from_float(
+      conv, options.bn, options.relu, in_scale, out_scale, options.name);
+  quant::QSparseTensor qinput =
+      quant::QSparseTensor::from_float(input, quant::QuantParams{in_scale});
+  quant::QSparseTensor gold = qlayer.forward(qinput);
+  return CompiledLayer{std::move(qlayer), std::move(qinput), std::move(gold), macs};
 }
 
 NetworkRunStats run_network(Accelerator& accelerator, const CompiledNetwork& network,

@@ -32,20 +32,44 @@ struct CompiledNetwork {
   std::int64_t total_macs() const;
 };
 
+/// Options for compiling a standalone float layer (outside a traced net).
+struct LayerCompileOptions {
+  const nn::BatchNorm* bn{nullptr};  ///< folded into the requantization
+  bool relu{false};                  ///< folded ReLU
+  std::string name{"layer"};
+};
+
 class LayerCompiler {
  public:
   /// Compile every Sub-Conv entry of a forward trace.
   static CompiledNetwork compile(const std::vector<nn::TraceEntry>& trace);
+
+  /// Compile one float Sub-Conv layer on a float input: runs the float model
+  /// to calibrate activation scales, quantizes (folding BN/ReLU) and
+  /// precomputes the integer gold output.
+  static CompiledLayer compile_layer(const nn::SubmanifoldConv3d& conv,
+                                     const sparse::SparseTensor& input,
+                                     const LayerCompileOptions& options = {});
 };
 
 /// Execute a compiled network layer by layer; verifies each layer's output
 /// against the integer gold model when `verify` is set (throws on mismatch).
+///
+/// @deprecated Thin shim kept for source compatibility — use
+/// runtime::Engine::run (runtime/engine.hpp), which drives any backend and
+/// reports per frame.
+[[deprecated("use runtime::Engine/Session instead")]]
 NetworkRunStats run_network(Accelerator& accelerator, const CompiledNetwork& network,
                             bool verify = true);
 
 /// Steady-state batch execution: the first frame pays the weight DRAM
 /// transfers, subsequent frames run with weights resident on chip. Returns
 /// one aggregated stats entry per (layer, frame) in execution order.
+///
+/// @deprecated Thin shim kept for source compatibility — use
+/// runtime::Session (runtime/session.hpp), which carries weight residency
+/// across arbitrary batched submissions.
+[[deprecated("use runtime::Engine/Session instead")]]
 NetworkRunStats run_network_batch(Accelerator& accelerator, const CompiledNetwork& network,
                                   int batch, bool verify = false);
 

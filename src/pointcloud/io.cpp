@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
+#include "pointcloud/ply.hpp"
 
 namespace esca::pc {
 
@@ -44,6 +45,11 @@ PointCloud read_xyz_file(const std::string& path) {
   std::ifstream is(path);
   ESCA_REQUIRE(is.good(), "cannot open '" << path << "' for reading");
   return read_xyz(is);
+}
+
+PointCloud read_cloud_auto(const std::string& path) {
+  if (path.ends_with(".ply")) return read_ply_file(path);
+  return read_xyz_file(path);
 }
 
 }  // namespace esca::pc

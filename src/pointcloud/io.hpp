@@ -17,4 +17,8 @@ void write_xyz_file(const std::string& path, const PointCloud& cloud);
 PointCloud read_xyz(std::istream& is);
 PointCloud read_xyz_file(const std::string& path);
 
+/// Extension-sniffing reader: `.ply` (ASCII or binary) dispatches to the PLY
+/// parser, anything else is read as plain-text xyz.
+PointCloud read_cloud_auto(const std::string& path);
+
 }  // namespace esca::pc

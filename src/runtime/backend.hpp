@@ -1,0 +1,153 @@
+// Pluggable execution backends behind one compile-then-execute interface.
+//
+// A Backend lowers a traced float network into a Plan (quantized layers +
+// calibration inputs + integer gold outputs) and executes Plans frame by
+// frame. Three implementations ship: the cycle-level ESCA simulator
+// (esca_backend), the dense-CNN-accelerator analytic model (dense_backend)
+// and the rulebook CPU gold path (cpu_backend). All of them report through
+// the same core::NetworkRunStats pathway, so tables/CSV from core/report
+// work unchanged for any backend.
+//
+// Weight residency: backends that model an on-chip weight buffer keep the
+// last executed Plan's weights "resident" — later frames of the same Plan
+// skip the weight DRAM transfer (the paper's steady-state batch execution).
+// Residency is keyed on the Plan's uid and survives across run_frame()
+// calls, which is what Session builds its batched submission on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/layer_compiler.hpp"
+#include "nn/unet.hpp"
+#include "quant/qtensor.hpp"
+#include "sim/energy.hpp"
+
+namespace esca::runtime {
+
+/// A compiled, backend-agnostic executable: the quantized Sub-Conv layers of
+/// one traced forward pass, each with its calibration input and integer gold
+/// output. Produced by Backend::compile / Engine::compile; immutable after.
+struct Plan {
+  std::uint64_t uid{0};  ///< process-unique id (weight-residency key)
+  core::CompiledNetwork network;
+
+  std::size_t layer_count() const { return network.layers.size(); }
+  std::int64_t total_macs() const { return network.total_macs(); }
+  /// INT8 weight bytes over all layers (first-frame DRAM cost).
+  std::int64_t weight_bytes() const;
+};
+
+/// Assign a fresh uid to a compiled network. Backends use this in compile();
+/// call it directly only when hand-building a Plan.
+Plan make_plan(core::CompiledNetwork network);
+
+/// A batch of frames to push through a Plan. Each frame replays the Plan's
+/// calibration inputs (steady-state replay — the paper's batch evaluation);
+/// ids label the per-frame reports.
+struct FrameBatch {
+  std::vector<std::string> frame_ids{"frame0"};
+
+  /// n identical frames named `<prefix>0 .. <prefix>n-1` (n >= 1).
+  static FrameBatch replay(int n, const std::string& prefix = "frame");
+  static FrameBatch single(std::string id = "frame0");
+
+  std::size_t size() const { return frame_ids.size(); }
+};
+
+/// Execution options for one submission (all frames of the batch).
+struct RunOptions {
+  /// Check every layer's output bit-exactly against the integer gold model;
+  /// throws esca::InternalError on divergence. Backends whose functional
+  /// path *is* the gold model treat this as a self-check.
+  bool verify{true};
+  /// Retain each frame's per-layer output tensors in the FrameReport.
+  bool keep_outputs{false};
+};
+
+/// Stats and (optionally) outputs of one frame on one backend.
+struct FrameReport {
+  std::string frame_id;
+  bool weights_resident{false};  ///< frame reused on-chip weights
+  core::NetworkRunStats stats;   ///< one entry per layer, execution order
+  /// Per-layer INT16 outputs; filled only when RunOptions::keep_outputs.
+  std::vector<quant::QSparseTensor> outputs;
+
+  std::int64_t dram_bytes_in() const;
+  double total_seconds() const { return stats.total_seconds(); }
+};
+
+/// Aggregate result of a submission: per-frame reports plus flattened views
+/// that feed the existing core/report tables and CSV writers.
+struct RunReport {
+  std::string backend_name;
+  std::vector<FrameReport> frames;
+
+  /// All (layer, frame) stats concatenated in execution order — the shape
+  /// core::layer_report_table / write_layer_csv consume.
+  core::NetworkRunStats merged_stats() const;
+
+  std::int64_t total_cycles() const;
+  std::int64_t total_mac_ops() const;
+  double total_seconds() const;
+  double effective_gops() const;
+};
+
+/// Abstract execution backend: compile a trace into a Plan, run Plans.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Lower a traced forward pass (quantize + gold). The default lowering is
+  /// shared by all backends so their Plans are interchangeable.
+  virtual Plan compile(const std::vector<nn::TraceEntry>& trace) const;
+
+  /// One-shot batched execution: residency is reset first, so the first
+  /// frame always pays the weight DRAM transfer and the rest reuse it.
+  RunReport run(const Plan& plan, const FrameBatch& batch = {},
+                const RunOptions& options = {});
+
+  /// Single-frame primitive carrying weight residency across calls (the
+  /// Session building block). Running a different Plan drops residency.
+  FrameReport run_frame(const Plan& plan, const std::string& frame_id,
+                        const RunOptions& options = {});
+
+  /// True when the next frame of `plan` would reuse on-chip weights.
+  bool weights_resident_for(const Plan& plan) const;
+
+  /// Drop weight residency (e.g. another tenant used the device).
+  void invalidate_weights() { resident_plan_uid_ = 0; }
+
+  /// Event-based energy meter, for backends that integrate one (the ESCA
+  /// simulator feeds it to core::PowerModel); nullptr otherwise.
+  virtual const sim::EnergyMeter* energy_meter() const { return nullptr; }
+
+ protected:
+  Backend() = default;
+
+  /// Execute one frame. `weights_resident` is the residency decision already
+  /// made by run_frame(); implementations that have no weight buffer ignore
+  /// it (and should report weights_resident = false).
+  virtual FrameReport execute_frame(const Plan& plan, const std::string& frame_id,
+                                    const RunOptions& options, bool weights_resident) = 0;
+
+  /// Whether this backend models an on-chip weight buffer at all.
+  virtual bool supports_weight_residency() const { return false; }
+
+ private:
+  std::uint64_t resident_plan_uid_{0};  ///< 0 = nothing resident
+};
+
+/// Shared verification helper: throws esca::InternalError when `output`
+/// differs from the layer's integer gold output.
+void check_bit_exact(const core::CompiledLayer& layer, const quant::QSparseTensor& output,
+                     const std::string& backend_name);
+
+}  // namespace esca::runtime

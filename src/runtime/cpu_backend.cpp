@@ -1,0 +1,55 @@
+#include "runtime/cpu_backend.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace esca::runtime {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+CpuBackend::CpuBackend(int repeats) : repeats_(repeats) {
+  ESCA_REQUIRE(repeats >= 1, "repeats must be >= 1, got " << repeats);
+}
+
+FrameReport CpuBackend::execute_frame(const Plan& plan, const std::string& frame_id,
+                                      const RunOptions& options, bool /*weights_resident*/) {
+  FrameReport report;
+  report.frame_id = frame_id;
+  for (const core::CompiledLayer& cl : plan.network.layers) {
+    auto start = std::chrono::steady_clock::now();
+    quant::QSparseTensor output = cl.layer.forward(cl.input);
+    double best_seconds = seconds_since(start);
+    for (int r = 1; r < repeats_; ++r) {
+      start = std::chrono::steady_clock::now();
+      output = cl.layer.forward(cl.input);
+      const double elapsed = seconds_since(start);
+      if (elapsed < best_seconds) best_seconds = elapsed;
+    }
+    if (options.verify) check_bit_exact(cl, output, name());
+
+    core::LayerRunStats stats;
+    stats.layer_name = cl.layer.name();
+    stats.in_channels = cl.layer.in_channels();
+    stats.out_channels = cl.layer.out_channels();
+    stats.sites = static_cast<std::int64_t>(cl.input.size());
+    stats.mac_ops = cl.gold_macs;
+    stats.compute_seconds = best_seconds;
+    stats.total_seconds = best_seconds;
+    stats.effective_gops = best_seconds > 0.0
+                               ? 2.0 * static_cast<double>(cl.gold_macs) / best_seconds / 1e9
+                               : 0.0;
+    report.stats.layers.push_back(std::move(stats));
+    if (options.keep_outputs) report.outputs.push_back(std::move(output));
+  }
+  return report;
+}
+
+}  // namespace esca::runtime

@@ -1,0 +1,29 @@
+// CPU backend: the rulebook-based integer gold path executed on the host,
+// wall-clock timed. Functionally it *is* the bit-exactness reference every
+// hardware backend is verified against, so it doubles as the parity oracle
+// in tests; its timing complements the analytic Xeon model in Fig. 10.
+#pragma once
+
+#include "runtime/backend.hpp"
+
+namespace esca::runtime {
+
+class CpuBackend final : public Backend {
+ public:
+  /// @param repeats  per-layer repetitions; the minimum wall-clock time is
+  ///                 reported (standard microtiming practice).
+  explicit CpuBackend(int repeats = 1);
+
+  std::string name() const override { return "cpu"; }
+
+ protected:
+  FrameReport execute_frame(const Plan& plan, const std::string& frame_id,
+                            const RunOptions& options, bool weights_resident) override;
+  // Host DRAM has no managed weight buffer: every frame reads weights from
+  // memory, so residency stays off.
+
+ private:
+  int repeats_;
+};
+
+}  // namespace esca::runtime

@@ -1,0 +1,25 @@
+#include "runtime/esca_backend.hpp"
+
+#include <utility>
+
+namespace esca::runtime {
+
+EscaBackend::EscaBackend(core::ArchConfig config) : accelerator_(std::move(config)) {}
+
+FrameReport EscaBackend::execute_frame(const Plan& plan, const std::string& frame_id,
+                                       const RunOptions& options, bool weights_resident) {
+  FrameReport report;
+  report.frame_id = frame_id;
+  report.weights_resident = weights_resident;
+  core::RunOptions hw_options;
+  hw_options.weights_resident = weights_resident;
+  for (const core::CompiledLayer& cl : plan.network.layers) {
+    core::LayerRunResult result = accelerator_.run_layer(cl.layer, cl.input, hw_options);
+    if (options.verify) check_bit_exact(cl, result.output, name());
+    report.stats.layers.push_back(std::move(result.stats));
+    if (options.keep_outputs) report.outputs.push_back(std::move(result.output));
+  }
+  return report;
+}
+
+}  // namespace esca::runtime

@@ -1,0 +1,16 @@
+// Umbrella header for the esca::runtime subsystem — the canonical
+// compile-then-execute surface over every backend:
+//
+//   Engine  — owns one configured Backend (RuntimeConfig selects it)
+//   Plan    — a compiled network (quantized layers + gold outputs)
+//   Session — batched frame submission with weight-residency caching
+//
+// See engine.hpp for the quickstart snippet.
+#pragma once
+
+#include "runtime/backend.hpp"         // IWYU pragma: export
+#include "runtime/cpu_backend.hpp"     // IWYU pragma: export
+#include "runtime/dense_backend.hpp"   // IWYU pragma: export
+#include "runtime/engine.hpp"          // IWYU pragma: export
+#include "runtime/esca_backend.hpp"    // IWYU pragma: export
+#include "runtime/session.hpp"         // IWYU pragma: export

@@ -1,0 +1,50 @@
+// Session: multi-frame batched submission over one compiled Plan with
+// weight-residency caching. The first frame ever submitted pays the weight
+// DRAM transfers; every later frame — including frames of *later*
+// submit() calls — runs with weights resident on chip, generalizing the
+// steady-state batch execution of the paper's evaluation. Per-frame and
+// aggregate statistics flow through the same core/report pathway as
+// everything else.
+#pragma once
+
+#include <cstddef>
+
+#include "runtime/backend.hpp"
+
+namespace esca::runtime {
+
+class Session {
+ public:
+  /// Borrows `backend` (usually via Engine::open_session); the Session must
+  /// not outlive it.
+  Session(Backend& backend, Plan plan);
+
+  const Plan& plan() const { return plan_; }
+  Backend& backend() { return *backend_; }
+
+  /// Run every frame of the batch, carrying weight residency from any
+  /// previous submission. Returns the per-frame reports of this batch only;
+  /// history() keeps the cumulative view.
+  RunReport submit(const FrameBatch& batch, const RunOptions& options = {});
+
+  std::size_t frames_submitted() const { return frames_submitted_; }
+
+  /// True when the next submitted frame would reuse on-chip weights.
+  bool weights_resident() const;
+
+  /// Drop residency: the next frame pays the weight DRAM transfer again.
+  void invalidate_weights();
+
+  /// Cumulative stats over every frame submitted through this session
+  /// (output tensors are not retained here — only the per-batch reports
+  /// returned by submit() carry them).
+  const RunReport& history() const { return history_; }
+
+ private:
+  Backend* backend_;
+  Plan plan_;
+  std::size_t frames_submitted_{0};
+  RunReport history_;
+};
+
+}  // namespace esca::runtime

@@ -153,6 +153,10 @@ TEST(LayerCompilerTest, CompilesAllSubConvLayers) {
   }
 }
 
+// Coverage for the deprecated run_network shim (the supported path is
+// runtime::Engine — see runtime_test.cpp).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 TEST(LayerCompilerTest, RunNetworkVerifiesBitExactness) {
   Rng rng(149);
   const auto x = test::clustered_tensor({24, 24, 24}, 1, rng, 7, 200);
@@ -177,6 +181,7 @@ TEST(LayerCompilerTest, RunNetworkVerifiesBitExactness) {
     return n;
   }());
 }
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace esca::core

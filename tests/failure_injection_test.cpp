@@ -15,6 +15,12 @@
 namespace esca::core {
 namespace {
 
+// This suite intentionally exercises the deprecated run_network /
+// run_network_batch shims: their failure behavior must stay intact until
+// they are removed (the supported path is runtime::Engine/Session).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 struct Fixture {
   quant::QuantizedSubConv layer;
   quant::QSparseTensor input;
@@ -114,6 +120,28 @@ TEST(FailureInjectionTest, KernelArchMismatchRejected) {
   EXPECT_THROW((void)acc.run_layer(fx.layer, fx.input), InvalidArgument);
 }
 
+TEST(DeprecatedShimTest, RunNetworkBatchStillChargesWeightsOnce) {
+  Rng rng(207);
+  const auto x = test::clustered_tensor({16, 16, 16}, 1, rng, 4, 60);
+  nn::SSUNetConfig cfg;
+  cfg.base_planes = 4;
+  cfg.levels = 1;
+  cfg.reps_per_level = 1;
+  const nn::SSUNet net(cfg, 4);
+  std::vector<nn::TraceEntry> trace;
+  (void)net.forward(x, &trace);
+  const CompiledNetwork compiled = LayerCompiler::compile(trace);
+  Accelerator acc{ArchConfig{}};
+  const NetworkRunStats stats = run_network_batch(acc, compiled, 2, /*verify=*/true);
+  ASSERT_EQ(stats.layers.size(), compiled.layers.size() * 2);
+  const std::size_t per_frame = compiled.layers.size();
+  for (std::size_t i = 0; i < per_frame; ++i) {
+    EXPECT_EQ(stats.layers[i].dram_bytes_in - stats.layers[per_frame + i].dram_bytes_in,
+              compiled.layers[i].layer.weight_bytes())
+        << "layer " << i;
+  }
+}
+
 TEST(FailureInjectionTest, BatchRequiresPositiveCount) {
   Rng rng(206);
   const auto x = test::clustered_tensor({16, 16, 16}, 1, rng, 4, 60);
@@ -140,6 +168,8 @@ TEST(FailureInjectionTest, InvalidArchConfigsRejectedAtConstruction) {
   cfg.mask_read_cycles = 0;
   EXPECT_THROW(Accelerator{cfg}, InvalidArgument);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace esca::core

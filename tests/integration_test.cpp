@@ -3,11 +3,11 @@
 // gold model and bounded quantization error against the float model.
 #include <gtest/gtest.h>
 
-#include "core/accelerator.hpp"
 #include "core/layer_compiler.hpp"
 #include "datasets/nyu_like.hpp"
 #include "datasets/shapenet_like.hpp"
 #include "nn/unet.hpp"
+#include "runtime/engine.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "voxel/voxelizer.hpp"
 
@@ -47,13 +47,14 @@ TEST(IntegrationTest, FullNetworkOnAcceleratorBitExact) {
   const sparse::SparseTensor logits = net.forward(input, &trace);
   EXPECT_EQ(logits.size(), input.size());
 
-  const core::CompiledNetwork compiled = core::LayerCompiler::compile(trace);
-  ASSERT_GT(compiled.layers.size(), 0U);
+  runtime::Engine engine;
+  const runtime::Plan plan = engine.compile(trace);
+  ASSERT_GT(plan.layer_count(), 0U);
 
-  core::Accelerator acc{core::ArchConfig{}};
-  // run_network(verify=true) throws if any layer diverges from gold.
-  const core::NetworkRunStats stats = core::run_network(acc, compiled, true);
-  EXPECT_EQ(stats.layers.size(), compiled.layers.size());
+  // verify=true (the default) throws if any layer diverges from gold.
+  const runtime::RunReport report = engine.run(plan);
+  const core::NetworkRunStats stats = report.merged_stats();
+  EXPECT_EQ(stats.layers.size(), plan.layer_count());
   EXPECT_GT(stats.effective_gops(), 0.0);
 }
 
@@ -96,10 +97,9 @@ TEST(IntegrationTest, NyuPipelineRunsEndToEnd) {
   const nn::SSUNet net(cfg, 55);
   std::vector<nn::TraceEntry> trace;
   (void)net.forward(input, &trace);
-  const core::CompiledNetwork compiled = core::LayerCompiler::compile(trace);
 
-  core::Accelerator acc{core::ArchConfig{}};
-  const core::NetworkRunStats stats = core::run_network(acc, compiled, true);
+  runtime::Engine engine;
+  const core::NetworkRunStats stats = engine.run(engine.compile(trace)).merged_stats();
   // Zero removing must be doing real work on this sparse map.
   for (const auto& layer : stats.layers) {
     EXPECT_GT(layer.zero_removing.removing_ratio, 0.5);
@@ -115,9 +115,9 @@ TEST(IntegrationTest, PerLayerStatsAggregateConsistently) {
   const nn::SSUNet net(cfg, 12);
   std::vector<nn::TraceEntry> trace;
   (void)net.forward(input, &trace);
-  const core::CompiledNetwork compiled = core::LayerCompiler::compile(trace);
-  core::Accelerator acc{core::ArchConfig{}};
-  const core::NetworkRunStats stats = core::run_network(acc, compiled, false);
+  runtime::Engine engine;
+  const core::NetworkRunStats stats =
+      engine.run(engine.compile(trace), {}, {.verify = false}).merged_stats();
 
   std::int64_t cycles = 0;
   double seconds = 0.0;

@@ -9,6 +9,7 @@
 #include "core/layer_compiler.hpp"
 #include "core/report.hpp"
 #include "nn/unet.hpp"
+#include "runtime/engine.hpp"
 #include "test_util.hpp"
 
 namespace esca::core {
@@ -28,9 +29,9 @@ CompiledNetwork small_network(Rng& rng) {
 
 TEST(ReportTest, TableListsEveryLayerAndTotal) {
   Rng rng(211);
-  const CompiledNetwork net = small_network(rng);
-  Accelerator acc{ArchConfig{}};
-  const NetworkRunStats stats = run_network(acc, net, false);
+  runtime::Engine engine;
+  const runtime::Plan plan = runtime::make_plan(small_network(rng));
+  const NetworkRunStats stats = engine.run(plan, {}, {.verify = false}).merged_stats();
   const std::string table = layer_report_table(stats, "test report");
   EXPECT_NE(table.find("test report"), std::string::npos);
   EXPECT_NE(table.find("stem"), std::string::npos);
@@ -42,9 +43,9 @@ TEST(ReportTest, TableListsEveryLayerAndTotal) {
 
 TEST(ReportTest, CsvHasHeaderEveryLayerAndTotalRow) {
   Rng rng(212);
-  const CompiledNetwork net = small_network(rng);
-  Accelerator acc{ArchConfig{}};
-  const NetworkRunStats stats = run_network(acc, net, false);
+  runtime::Engine engine;
+  const runtime::Plan plan = runtime::make_plan(small_network(rng));
+  const NetworkRunStats stats = engine.run(plan, {}, {.verify = false}).merged_stats();
 
   std::ostringstream os;
   write_layer_csv(os, stats);
@@ -67,18 +68,20 @@ TEST(ReportTest, CsvFileRejectsBadPath) {
 
 TEST(BatchRunTest, WeightTrafficChargedOnlyOnFirstFrame) {
   Rng rng(213);
-  const CompiledNetwork net = small_network(rng);
-  Accelerator acc{ArchConfig{}};
+  runtime::Engine engine;
+  const runtime::Plan plan = runtime::make_plan(small_network(rng));
   const int batch = 3;
-  const NetworkRunStats stats = run_network_batch(acc, net, batch, /*verify=*/true);
-  ASSERT_EQ(stats.layers.size(), net.layers.size() * batch);
+  const runtime::RunReport report = engine.run(plan, runtime::FrameBatch::replay(batch));
+  const NetworkRunStats stats = report.merged_stats();
+  ASSERT_EQ(stats.layers.size(), plan.layer_count() * batch);
 
-  const std::size_t per_frame = net.layers.size();
+  const std::size_t per_frame = plan.layer_count();
   for (std::size_t i = 0; i < per_frame; ++i) {
     const auto& first = stats.layers[i];
     const auto& second = stats.layers[per_frame + i];
     const auto& third = stats.layers[2 * per_frame + i];
-    EXPECT_EQ(first.dram_bytes_in - second.dram_bytes_in, net.layers[i].layer.weight_bytes())
+    EXPECT_EQ(first.dram_bytes_in - second.dram_bytes_in,
+              plan.network.layers[i].layer.weight_bytes())
         << "layer " << i;
     EXPECT_EQ(second.dram_bytes_in, third.dram_bytes_in);
     // Compute cycles are identical across frames (same input).
@@ -88,17 +91,12 @@ TEST(BatchRunTest, WeightTrafficChargedOnlyOnFirstFrame) {
 
 TEST(BatchRunTest, SteadyStateIsFasterPerFrame) {
   Rng rng(214);
-  const CompiledNetwork net = small_network(rng);
-  Accelerator acc{ArchConfig{}};
-  const NetworkRunStats stats = run_network_batch(acc, net, 2, false);
-  const std::size_t per_frame = net.layers.size();
-  double first_frame = 0.0;
-  double second_frame = 0.0;
-  for (std::size_t i = 0; i < per_frame; ++i) {
-    first_frame += stats.layers[i].total_seconds;
-    second_frame += stats.layers[per_frame + i].total_seconds;
-  }
-  EXPECT_LT(second_frame, first_frame);
+  runtime::Engine engine;
+  const runtime::Plan plan = runtime::make_plan(small_network(rng));
+  const runtime::RunReport report =
+      engine.run(plan, runtime::FrameBatch::replay(2), {.verify = false});
+  ASSERT_EQ(report.frames.size(), 2U);
+  EXPECT_LT(report.frames[1].total_seconds(), report.frames[0].total_seconds());
 }
 
 TEST(RunOptionsTest, WeightsResidentStillBitExact) {

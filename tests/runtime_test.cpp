@@ -1,0 +1,225 @@
+// runtime::Engine/Session tests: backend parity (the ESCA simulator's
+// outputs are bit-exact vs. the CPU gold backend on the same Plan), batched
+// weight-residency caching, and the Engine/Backend plumbing.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "nn/unet.hpp"
+#include "runtime/runtime.hpp"
+#include "test_util.hpp"
+
+namespace esca::runtime {
+namespace {
+
+/// A small compiled U-Net trace (2 levels, 4 base planes).
+Plan small_unet_plan(const Backend& backend, std::uint64_t seed = 21) {
+  Rng rng(211);
+  const auto x = test::clustered_tensor({20, 20, 20}, 1, rng, 6, 150);
+  nn::SSUNetConfig cfg;
+  cfg.base_planes = 4;
+  cfg.levels = 2;
+  cfg.reps_per_level = 1;
+  const nn::SSUNet net(cfg, seed);
+  std::vector<nn::TraceEntry> trace;
+  (void)net.forward(x, &trace);
+  return backend.compile(trace);
+}
+
+TEST(RuntimeParityTest, EscaOutputsBitExactVsCpuBackend) {
+  Engine esca_engine;  // default = ESCA simulator
+  RuntimeConfig cpu_cfg;
+  cpu_cfg.backend = BackendKind::kCpu;
+  Engine cpu_engine{cpu_cfg};
+
+  // One Plan runs on both backends: Plans are backend-agnostic.
+  const Plan plan = small_unet_plan(esca_engine.backend());
+  ASSERT_GT(plan.layer_count(), 0U);
+
+  const RunOptions keep{.verify = true, .keep_outputs = true};
+  const RunReport esca_report = esca_engine.run(plan, {}, keep);
+  const RunReport cpu_report = cpu_engine.run(plan, {}, keep);
+
+  ASSERT_EQ(esca_report.frames.size(), 1U);
+  ASSERT_EQ(cpu_report.frames.size(), 1U);
+  const auto& esca_outputs = esca_report.frames.front().outputs;
+  const auto& cpu_outputs = cpu_report.frames.front().outputs;
+  ASSERT_EQ(esca_outputs.size(), plan.layer_count());
+  ASSERT_EQ(cpu_outputs.size(), plan.layer_count());
+  for (std::size_t i = 0; i < esca_outputs.size(); ++i) {
+    EXPECT_TRUE(esca_outputs[i] == cpu_outputs[i])
+        << "layer " << plan.network.layers[i].layer.name();
+  }
+}
+
+TEST(RuntimeParityTest, DenseBackendIsFunctionallyGoldAndFullGridIsSlower) {
+  RuntimeConfig dense_cfg;
+  dense_cfg.backend = BackendKind::kDense;
+  Engine dense_engine{dense_cfg};
+
+  // A genuinely sparse map (48^3, a few clusters): zero removing leaves most
+  // tiles empty, which is the regime the two dense modes differ in.
+  Rng rng(311);
+  const auto x = test::clustered_tensor({48, 48, 48}, 2, rng, 5, 300);
+  nn::SubmanifoldConv3d conv(2, 4, 3);
+  conv.init_kaiming(rng);
+  const Plan plan = dense_engine.compile_layer(conv, x, {.name = "dense-modes"});
+
+  const RunReport dense = dense_engine.run(plan, {}, {.keep_outputs = true});
+  for (std::size_t i = 0; i < plan.layer_count(); ++i) {
+    EXPECT_TRUE(dense.frames.front().outputs[i] == plan.network.layers[i].gold_output);
+  }
+  // Sparsity-blind mode (a) — convolving the whole grid — schedules far more
+  // MAC slots than the tiling DMA of mode (b), so it must be slower.
+  RuntimeConfig full_cfg = dense_cfg;
+  full_cfg.dense.full_grid = true;
+  Engine full_engine{full_cfg};
+  const RunReport full = full_engine.run(plan);
+  EXPECT_GT(full.total_seconds(), dense.total_seconds());
+  EXPECT_LT(full.effective_gops(), dense.effective_gops());
+}
+
+TEST(RuntimeSessionTest, WeightDramChargedOnlyOnFirstFrame) {
+  Engine engine;
+  Session session = engine.open_session(small_unet_plan(engine.backend()));
+  const Plan& plan = session.plan();
+
+  EXPECT_FALSE(session.weights_resident());
+  const RunReport report = session.submit(FrameBatch::replay(2));
+  ASSERT_EQ(report.frames.size(), 2U);
+  EXPECT_FALSE(report.frames[0].weights_resident);
+  EXPECT_TRUE(report.frames[1].weights_resident);
+  EXPECT_EQ(report.frames[0].dram_bytes_in() - report.frames[1].dram_bytes_in(),
+            plan.weight_bytes());
+
+  // Residency survives across submit() calls: a later batch is still free
+  // of weight traffic.
+  EXPECT_TRUE(session.weights_resident());
+  const RunReport later = session.submit(FrameBatch::single("late"));
+  EXPECT_TRUE(later.frames.front().weights_resident);
+  EXPECT_EQ(later.frames.front().dram_bytes_in(), report.frames[1].dram_bytes_in());
+
+  // Invalidation makes the next frame pay the weight transfer again.
+  session.invalidate_weights();
+  EXPECT_FALSE(session.weights_resident());
+  const RunReport repaid = session.submit(FrameBatch::single("repaid"));
+  EXPECT_FALSE(repaid.frames.front().weights_resident);
+  EXPECT_EQ(repaid.frames.front().dram_bytes_in(), report.frames[0].dram_bytes_in());
+
+  EXPECT_EQ(session.frames_submitted(), 4U);
+  EXPECT_EQ(session.history().frames.size(), 4U);
+}
+
+TEST(RuntimeSessionTest, RunningAnotherPlanDropsResidency) {
+  Engine engine;
+  const Plan plan_a = small_unet_plan(engine.backend(), 21);
+  const Plan plan_b = small_unet_plan(engine.backend(), 22);
+
+  Session session_a = engine.open_session(plan_a);
+  (void)session_a.submit(FrameBatch::single());
+  EXPECT_TRUE(session_a.weights_resident());
+
+  // Another plan on the same device evicts A's weights.
+  Session session_b = engine.open_session(plan_b);
+  (void)session_b.submit(FrameBatch::single());
+  EXPECT_TRUE(session_b.weights_resident());
+  EXPECT_FALSE(session_a.weights_resident());
+}
+
+TEST(RuntimeSessionTest, EngineRunIsOneShotAndResetsResidency) {
+  Engine engine;
+  const Plan plan = small_unet_plan(engine.backend());
+  const RunReport first = engine.run(plan, FrameBatch::replay(2));
+  const RunReport second = engine.run(plan, FrameBatch::replay(2));
+  // Both runs pay the weight DRAM on their first frame.
+  EXPECT_FALSE(second.frames[0].weights_resident);
+  EXPECT_EQ(first.frames[0].dram_bytes_in(), second.frames[0].dram_bytes_in());
+  EXPECT_GT(first.frames[0].dram_bytes_in(), first.frames[1].dram_bytes_in());
+}
+
+TEST(RuntimeReportTest, MergedStatsConcatenateAllFrames) {
+  Engine engine;
+  const Plan plan = small_unet_plan(engine.backend());
+  const RunReport report = engine.run(plan, FrameBatch::replay(3), {.verify = false});
+  EXPECT_EQ(report.merged_stats().layers.size(), plan.layer_count() * 3);
+  EXPECT_GT(report.total_cycles(), 0);
+  EXPECT_GT(report.total_seconds(), 0.0);
+  EXPECT_GT(report.effective_gops(), 0.0);
+  EXPECT_EQ(report.total_mac_ops(), 3 * plan.total_macs());
+}
+
+TEST(RuntimeConfigTest, BackendKindParsesAndRoundTrips) {
+  EXPECT_EQ(parse_backend_kind("esca"), BackendKind::kEsca);
+  EXPECT_EQ(parse_backend_kind("dense"), BackendKind::kDense);
+  EXPECT_EQ(parse_backend_kind("cpu"), BackendKind::kCpu);
+  for (const auto kind : {BackendKind::kEsca, BackendKind::kDense, BackendKind::kCpu}) {
+    EXPECT_EQ(parse_backend_kind(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)parse_backend_kind("tpu"), InvalidArgument);
+}
+
+TEST(RuntimeConfigTest, FactoryBuildsTheRequestedBackend) {
+  RuntimeConfig cfg;
+  cfg.backend = BackendKind::kDense;
+  EXPECT_EQ(make_backend(cfg)->name(), "dense");
+  cfg.backend = BackendKind::kCpu;
+  EXPECT_EQ(make_backend(cfg)->name(), "cpu");
+  cfg.backend = BackendKind::kEsca;
+  EXPECT_EQ(make_backend(cfg)->name(), "esca");
+}
+
+TEST(RuntimeValidationTest, EmptyBatchAndEmptyPlanRejected) {
+  Engine engine;
+  EXPECT_THROW((void)FrameBatch::replay(0), InvalidArgument);
+  EXPECT_THROW((void)engine.open_session(Plan{}), InvalidArgument);
+  const Plan plan = small_unet_plan(engine.backend());
+  EXPECT_THROW((void)engine.run(plan, FrameBatch{.frame_ids = {}}), InvalidArgument);
+}
+
+TEST(RuntimeValidationTest, TamperedGoldIsCaughtByEveryBackend) {
+  for (const auto kind : {BackendKind::kEsca, BackendKind::kCpu, BackendKind::kDense}) {
+    RuntimeConfig cfg;
+    cfg.backend = kind;
+    Engine engine{cfg};
+    Plan plan = small_unet_plan(engine.backend());
+    auto f = plan.network.layers.front().gold_output.features(0);
+    f[0] = static_cast<std::int16_t>(f[0] + 1);
+    EXPECT_THROW((void)engine.run(plan), InternalError) << to_string(kind);
+  }
+}
+
+TEST(RuntimeCompileTest, SingleLayerPlanRunsOnEveryBackend) {
+  Rng rng(77);
+  const auto x = test::clustered_tensor({16, 16, 16}, 2, rng, 4, 80);
+  nn::SubmanifoldConv3d conv(2, 4, 3);
+  conv.init_kaiming(rng);
+
+  Engine esca_engine;
+  const Plan plan = esca_engine.compile_layer(conv, x, {.relu = true, .name = "single"});
+  ASSERT_EQ(plan.layer_count(), 1U);
+  EXPECT_GT(plan.total_macs(), 0);
+  EXPECT_EQ(plan.network.layers.front().layer.name(), "single");
+
+  for (const auto kind : {BackendKind::kEsca, BackendKind::kCpu, BackendKind::kDense}) {
+    RuntimeConfig cfg;
+    cfg.backend = kind;
+    Engine engine{cfg};
+    const RunReport report = engine.run(plan, {}, {.keep_outputs = true});
+    EXPECT_TRUE(report.frames.front().outputs.front() ==
+                plan.network.layers.front().gold_output)
+        << to_string(kind);
+  }
+}
+
+TEST(RuntimeBackendTest, OnlyEscaExposesAnEnergyMeter) {
+  RuntimeConfig cfg;
+  cfg.backend = BackendKind::kEsca;
+  EXPECT_NE(make_backend(cfg)->energy_meter(), nullptr);
+  cfg.backend = BackendKind::kCpu;
+  EXPECT_EQ(make_backend(cfg)->energy_meter(), nullptr);
+  cfg.backend = BackendKind::kDense;
+  EXPECT_EQ(make_backend(cfg)->energy_meter(), nullptr);
+}
+
+}  // namespace
+}  // namespace esca::runtime
