@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "sparse/geometry.hpp"
 #include "sparse/sparse_tensor.hpp"
 
 namespace esca::baseline {
@@ -17,9 +18,15 @@ struct CpuRunResult {
   double effective_gops{0.0};
 };
 
-/// Time one Sub-Conv layer (random weights) end to end; the minimum over
-/// `repeats` runs is reported (standard practice for wall-clock microtiming).
+/// Time one Sub-Conv layer (random weights) end to end — geometry build
+/// (Morton engine) plus compute; the minimum over `repeats` runs is
+/// reported (standard practice for wall-clock microtiming).
 CpuRunResult time_cpu_subconv(const sparse::SparseTensor& input, int out_channels,
                               int kernel_size, int repeats = 5);
+
+/// Steady-state variant: replay a precompiled LayerGeometry (the Plan-cached
+/// frame regime) so only the gather-GEMM-scatter compute is timed.
+CpuRunResult time_cpu_subconv(const sparse::SparseTensor& input, int out_channels,
+                              const sparse::LayerGeometry& geometry, int repeats = 5);
 
 }  // namespace esca::baseline

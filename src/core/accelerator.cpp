@@ -33,9 +33,19 @@ LayerRunResult Accelerator::run_layer(const quant::QuantizedSubConv& layer,
   st.out_channels = layer.out_channels();
   st.sites = static_cast<std::int64_t>(input.size());
 
-  // Geometry (coordinate set) shared by the matching pipeline.
-  sparse::SparseTensor geometry(input.spatial_extent(), 1);
-  for (const Coord3& c : input.coords()) geometry.add_site(c);
+  // Geometry (coordinate set) shared by the matching pipeline — reuse the
+  // caller's precompiled site tensor when provided (steady-state frames).
+  sparse::SparseTensor local_geometry(input.spatial_extent(), 1);
+  if (options.geometry == nullptr) {
+    local_geometry.reserve(input.size());
+    for (const Coord3& c : input.coords()) local_geometry.add_site(c);
+  } else {
+    ESCA_REQUIRE(options.geometry->size() == input.size() &&
+                     options.geometry->spatial_extent() == input.spatial_extent(),
+                 "precompiled geometry does not match the input tensor");
+  }
+  const sparse::SparseTensor& geometry =
+      options.geometry != nullptr ? *options.geometry : local_geometry;
 
   // --- §III.A zero removing ---------------------------------------------------
   const ZeroRemoving zr(config_.tile_size);

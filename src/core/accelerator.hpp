@@ -60,6 +60,10 @@ struct RunOptions {
   /// Weights already reside in the on-chip weight buffer (steady-state /
   /// batch execution): no weight DRAM transfer is charged.
   bool weights_resident{false};
+  /// Precompiled coordinate-set tensor for this layer (row r == input row
+  /// r), e.g. the Plan-cached LayerGeometry::sites. When null, run_layer
+  /// rebuilds it from the input coords.
+  const sparse::SparseTensor* geometry{nullptr};
 };
 
 class Accelerator {

@@ -18,6 +18,15 @@ CompiledNetwork LayerCompiler::compile(const std::vector<nn::TraceEntry>& trace)
     ESCA_CHECK(entry.subconv != nullptr, "trace entry '" << entry.name
                                                          << "' missing conv pointer");
 
+    // The trace carries the geometry each layer actually executed with
+    // (one build per scale); fall back to a fresh build for hand-made
+    // traces. Either way the Plan caches it for steady-state replay.
+    const sparse::LayerGeometryPtr geometry =
+        entry.geometry != nullptr
+            ? entry.geometry
+            : sparse::make_submanifold_geometry(entry.input,
+                                                entry.subconv->kernel_size());
+
     const float in_scale = quant::calibrate(entry.input.abs_max(), quant::kInt16Max).scale;
     const float out_scale = quant::calibrate(entry.output.abs_max(), quant::kInt16Max).scale;
 
@@ -25,10 +34,10 @@ CompiledNetwork LayerCompiler::compile(const std::vector<nn::TraceEntry>& trace)
         *entry.subconv, entry.bn, entry.relu, in_scale, out_scale, entry.name);
     quant::QSparseTensor qinput =
         quant::QSparseTensor::from_float(entry.input, quant::QuantParams{in_scale});
-    quant::QSparseTensor gold = qlayer.forward(qinput);
+    quant::QSparseTensor gold = qlayer.forward(qinput, geometry->rulebook);
 
     network.layers.push_back(CompiledLayer{std::move(qlayer), std::move(qinput),
-                                           std::move(gold), entry.macs});
+                                           std::move(gold), entry.macs, geometry});
   }
   return network;
 }
@@ -36,8 +45,10 @@ CompiledNetwork LayerCompiler::compile(const std::vector<nn::TraceEntry>& trace)
 CompiledLayer LayerCompiler::compile_layer(const nn::SubmanifoldConv3d& conv,
                                            const sparse::SparseTensor& input,
                                            const LayerCompileOptions& options) {
-  const std::int64_t macs = conv.macs(input);
-  sparse::SparseTensor float_out = conv.forward(input);
+  const sparse::LayerGeometryPtr geometry =
+      sparse::make_submanifold_geometry(input, conv.kernel_size());
+  const std::int64_t macs = geometry->macs(conv.in_channels(), conv.out_channels());
+  sparse::SparseTensor float_out = conv.forward(input, *geometry);
   if (options.bn != nullptr) options.bn->forward_inplace(float_out);
   if (options.relu) nn::relu_inplace(float_out);
 
@@ -47,8 +58,8 @@ CompiledLayer LayerCompiler::compile_layer(const nn::SubmanifoldConv3d& conv,
       conv, options.bn, options.relu, in_scale, out_scale, options.name);
   quant::QSparseTensor qinput =
       quant::QSparseTensor::from_float(input, quant::QuantParams{in_scale});
-  quant::QSparseTensor gold = qlayer.forward(qinput);
-  return CompiledLayer{std::move(qlayer), std::move(qinput), std::move(gold), macs};
+  quant::QSparseTensor gold = qlayer.forward(qinput, geometry->rulebook);
+  return CompiledLayer{std::move(qlayer), std::move(qinput), std::move(gold), macs, geometry};
 }
 
 NetworkRunStats run_network(Accelerator& accelerator, const CompiledNetwork& network,

@@ -16,6 +16,7 @@
 #include "nn/unet.hpp"
 #include "quant/qsubconv.hpp"
 #include "quant/qtensor.hpp"
+#include "sparse/geometry.hpp"
 
 namespace esca::core {
 
@@ -24,6 +25,19 @@ struct CompiledLayer {
   quant::QSparseTensor input;
   quant::QSparseTensor gold_output;
   std::int64_t gold_macs{0};  ///< rulebook MACs from the float trace
+  /// Precompiled geometry (rulebook + site tensor) over `input`'s coords.
+  /// Built once at compile time; every frame and every backend replays it
+  /// — the geometry analogue of weight residency. Never null for layers
+  /// produced by LayerCompiler.
+  sparse::LayerGeometryPtr geometry;
+
+  /// Execute the integer gold model on the calibration input — against the
+  /// cached geometry when present, ad hoc otherwise (hand-built layers).
+  /// The single fallback policy every backend shares.
+  quant::QSparseTensor run_gold() const {
+    return geometry != nullptr ? layer.forward(input, geometry->rulebook)
+                               : layer.forward(input);
+  }
 };
 
 struct CompiledNetwork {

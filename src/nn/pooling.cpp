@@ -13,11 +13,19 @@ MaxPool3d::MaxPool3d(int kernel_size, int stride) : kernel_size_(kernel_size), s
 }
 
 sparse::SparseTensor MaxPool3d::forward(const sparse::SparseTensor& input) const {
-  const sparse::DownsamplePlan plan =
-      sparse::build_strided_rulebook(input, kernel_size_, stride_);
+  return forward(input,
+                 sparse::build_downsample_geometry(input, kernel_size_, stride_));
+}
 
-  sparse::SparseTensor output(plan.out_extent, input.channels());
-  for (const Coord3& c : plan.out_coords) output.add_site(c);
+sparse::SparseTensor MaxPool3d::forward(const sparse::SparseTensor& input,
+                                        const sparse::LayerGeometry& geometry) const {
+  ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kDownsample &&
+                   geometry.kernel_size == kernel_size_ && geometry.stride == stride_,
+               "geometry " << sparse::to_string(geometry.kind)
+                           << " does not match pooling k" << kernel_size_ << "/s" << stride_);
+  sparse::SparseTensor output(geometry.out_extent, input.channels());
+  output.reserve(geometry.out_coords.size());
+  for (const Coord3& c : geometry.out_coords) output.add_site(c);
 
   // Initialize active outputs to -inf so maxing over contributors is exact,
   // then take channelwise maxima over every (in -> out) rule.
@@ -26,8 +34,8 @@ sparse::SparseTensor MaxPool3d::forward(const sparse::SparseTensor& input) const
     auto f = output.features(row);
     std::fill(f.begin(), f.end(), kNegInf);
   }
-  for (int o = 0; o < plan.rulebook.kernel_volume(); ++o) {
-    for (const sparse::Rule& rule : plan.rulebook.rules_for(o)) {
+  for (int o = 0; o < geometry.rulebook.kernel_volume(); ++o) {
+    for (const sparse::Rule& rule : geometry.rulebook.rules_for(o)) {
       const auto in = input.features(static_cast<std::size_t>(rule.in_row));
       auto out = output.features(static_cast<std::size_t>(rule.out_row));
       for (std::size_t c = 0; c < in.size(); ++c) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "sparse/geometry.hpp"
 #include "sparse/sparse_tensor.hpp"
 
 namespace esca::nn {
@@ -21,6 +22,10 @@ class MaxPool3d {
   int stride() const { return stride_; }
 
   sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
+  /// Reuse precompiled downsample geometry (pooling shares the strided-conv
+  /// output rule, so the same LayerGeometry drives both).
+  sparse::SparseTensor forward(const sparse::SparseTensor& input,
+                               const sparse::LayerGeometry& geometry) const;
 
  private:
   int kernel_size_;

@@ -24,19 +24,28 @@ void SparseConv3d::init_kaiming(Rng& rng) {
 }
 
 sparse::SparseTensor SparseConv3d::forward(const sparse::SparseTensor& input) const {
+  return forward(input,
+                 sparse::build_downsample_geometry(input, kernel_size_, stride_));
+}
+
+sparse::SparseTensor SparseConv3d::forward(const sparse::SparseTensor& input,
+                                           const sparse::LayerGeometry& geometry) const {
   ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
-  const sparse::DownsamplePlan plan =
-      sparse::build_strided_rulebook(input, kernel_size_, stride_);
-  sparse::SparseTensor output(plan.out_extent, out_channels_);
-  for (const Coord3& c : plan.out_coords) output.add_site(c);
-  sparse::apply_rulebook(input, plan.rulebook, weights_, output);
+  ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kDownsample &&
+                   geometry.kernel_size == kernel_size_ && geometry.stride == stride_,
+               "geometry " << sparse::to_string(geometry.kind)
+                           << " does not match strided conv k" << kernel_size_ << "/s"
+                           << stride_);
+  sparse::SparseTensor output(geometry.out_extent, out_channels_);
+  output.reserve(geometry.out_coords.size());
+  for (const Coord3& c : geometry.out_coords) output.add_site(c);
+  sparse::apply_rulebook(input, geometry.rulebook, weights_, output);
   return output;
 }
 
 std::int64_t SparseConv3d::macs(const sparse::SparseTensor& input) const {
-  const sparse::DownsamplePlan plan =
-      sparse::build_strided_rulebook(input, kernel_size_, stride_);
-  return sparse::rulebook_macs(plan.rulebook, in_channels_, out_channels_);
+  return sparse::build_downsample_geometry(input, kernel_size_, stride_)
+      .macs(in_channels_, out_channels_);
 }
 
 InverseConv3d::InverseConv3d(int in_channels, int out_channels, int kernel_size, int stride)
@@ -58,19 +67,28 @@ void InverseConv3d::init_kaiming(Rng& rng) {
 
 sparse::SparseTensor InverseConv3d::forward(const sparse::SparseTensor& input,
                                             const sparse::SparseTensor& target) const {
+  return forward(input, target,
+                 sparse::build_inverse_geometry(input, target, kernel_size_, stride_));
+}
+
+sparse::SparseTensor InverseConv3d::forward(const sparse::SparseTensor& input,
+                                            const sparse::SparseTensor& target,
+                                            const sparse::LayerGeometry& geometry) const {
   ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
-  const sparse::RuleBook rb =
-      sparse::build_inverse_rulebook(input, target, kernel_size_, stride_);
+  ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kInverse &&
+                   geometry.kernel_size == kernel_size_ && geometry.stride == stride_,
+               "geometry " << sparse::to_string(geometry.kind)
+                           << " does not match inverse conv k" << kernel_size_ << "/s"
+                           << stride_);
   sparse::SparseTensor output = target.zeros_like(out_channels_);
-  sparse::apply_rulebook(input, rb, weights_, output);
+  sparse::apply_rulebook(input, geometry.rulebook, weights_, output);
   return output;
 }
 
 std::int64_t InverseConv3d::macs(const sparse::SparseTensor& input,
                                  const sparse::SparseTensor& target) const {
-  const sparse::RuleBook rb =
-      sparse::build_inverse_rulebook(input, target, kernel_size_, stride_);
-  return sparse::rulebook_macs(rb, in_channels_, out_channels_);
+  return sparse::build_inverse_geometry(input, target, kernel_size_, stride_)
+      .macs(in_channels_, out_channels_);
 }
 
 }  // namespace esca::nn

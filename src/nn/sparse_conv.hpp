@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sparse/geometry.hpp"
 #include "sparse/rulebook.hpp"
 #include "sparse/sparse_tensor.hpp"
 
@@ -31,6 +32,9 @@ class SparseConv3d {
   void init_kaiming(Rng& rng);
 
   sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
+  /// Reuse precompiled downsample geometry built on this input's coords.
+  sparse::SparseTensor forward(const sparse::SparseTensor& input,
+                               const sparse::LayerGeometry& geometry) const;
   std::int64_t macs(const sparse::SparseTensor& input) const;
 
  private:
@@ -58,6 +62,10 @@ class InverseConv3d {
   ///               ignored) — in U-Net, the encoder tensor at this scale.
   sparse::SparseTensor forward(const sparse::SparseTensor& input,
                                const sparse::SparseTensor& target) const;
+  /// Reuse precompiled inverse geometry built on (input, target).
+  sparse::SparseTensor forward(const sparse::SparseTensor& input,
+                               const sparse::SparseTensor& target,
+                               const sparse::LayerGeometry& geometry) const;
   std::int64_t macs(const sparse::SparseTensor& input,
                     const sparse::SparseTensor& target) const;
 

@@ -33,6 +33,15 @@ sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& inpu
 }
 
 sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& input,
+                                                const sparse::LayerGeometry& geometry) const {
+  ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kSubmanifold &&
+                   geometry.kernel_size == kernel_size_,
+               "geometry " << sparse::to_string(geometry.kind) << "/k" << geometry.kernel_size
+                           << " does not match Sub-Conv k" << kernel_size_);
+  return forward(input, geometry.rulebook);
+}
+
+sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& input,
                                                 const sparse::RuleBook& rulebook) const {
   ESCA_REQUIRE(input.channels() == in_channels_,
                "input channels " << input.channels() << " != layer in_channels "
@@ -83,8 +92,8 @@ sparse::SparseTensor SubmanifoldConv3d::forward_naive(const sparse::SparseTensor
 }
 
 std::int64_t SubmanifoldConv3d::macs(const sparse::SparseTensor& input) const {
-  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(input, kernel_size_);
-  return sparse::rulebook_macs(rb, in_channels_, out_channels_);
+  return sparse::build_submanifold_geometry(input, kernel_size_)
+      .macs(in_channels_, out_channels_);
 }
 
 }  // namespace esca::nn

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "sparse/geometry.hpp"
 #include "sparse/rulebook.hpp"
 #include "sparse/sparse_tensor.hpp"
 
@@ -36,6 +37,9 @@ class SubmanifoldConv3d {
   void init_kaiming(Rng& rng);
 
   sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
+  /// Reuse precompiled geometry (shared across all layers at one scale).
+  sparse::SparseTensor forward(const sparse::SparseTensor& input,
+                               const sparse::LayerGeometry& geometry) const;
   /// Reuse a prebuilt rulebook (e.g. shared across layers at one scale).
   sparse::SparseTensor forward(const sparse::SparseTensor& input,
                                const sparse::RuleBook& rulebook) const;

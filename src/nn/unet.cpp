@@ -59,9 +59,10 @@ SSUNet::SSUNet(SSUNetConfig config, std::uint64_t seed) : config_(config) {
 }
 
 sparse::SparseTensor SSUNet::run_block(const Block& block, const sparse::SparseTensor& x,
+                                       const sparse::LayerGeometryPtr& geometry,
                                        const std::string& name,
                                        std::vector<TraceEntry>* trace) const {
-  sparse::SparseTensor y = block.conv->forward(x);
+  sparse::SparseTensor y = block.conv->forward(x, *geometry);
   block.bn->forward_inplace(y);
   relu_inplace(y);
   if (trace != nullptr) {
@@ -69,12 +70,13 @@ sparse::SparseTensor SSUNet::run_block(const Block& block, const sparse::SparseT
                  LayerKind::kSubmanifoldConv,
                  block.conv->in_channels(),
                  block.conv->out_channels(),
-                 block.conv->macs(x),
+                 geometry->macs(block.conv->in_channels(), block.conv->out_channels()),
                  x,
                  y,
                  block.conv.get(),
                  block.bn.get(),
-                 /*relu=*/true};
+                 /*relu=*/true,
+                 geometry};
     trace->push_back(std::move(e));
   }
   return y;
@@ -86,49 +88,69 @@ sparse::SparseTensor SSUNet::forward(const sparse::SparseTensor& input,
                "input channels " << input.channels() << " != model in_channels "
                                  << config_.in_channels);
 
+  // One submanifold geometry per scale: Sub-Conv never moves the active
+  // set, so the stem, every encoder block, and (after the inverse conv
+  // restores the scale) every decoder block at a level share one build.
+  sparse::LayerGeometryPtr scale_geo =
+      sparse::make_submanifold_geometry(input, config_.kernel_size);
+
   // Stem.
-  sparse::SparseTensor x = stem_->forward(input);
+  sparse::SparseTensor x = stem_->forward(input, *scale_geo);
   stem_bn_->forward_inplace(x);
   relu_inplace(x);
   if (trace != nullptr) {
     trace->push_back(TraceEntry{"stem", LayerKind::kSubmanifoldConv, stem_->in_channels(),
-                                stem_->out_channels(), stem_->macs(input), input, x,
-                                stem_.get(), stem_bn_.get(), true});
+                                stem_->out_channels(),
+                                scale_geo->macs(stem_->in_channels(), stem_->out_channels()),
+                                input, x, stem_.get(), stem_bn_.get(), true, scale_geo});
   }
 
-  // Encoder: keep each level's output for the skip connections.
+  // Encoder: keep each level's output (and geometry) for the skip path.
   std::vector<sparse::SparseTensor> skips;
+  std::vector<sparse::LayerGeometryPtr> skip_geos;
   for (int l = 0; l < config_.levels; ++l) {
     const Level& level = levels_[static_cast<std::size_t>(l)];
     for (std::size_t r = 0; r < level.encoder_blocks.size(); ++r) {
-      x = run_block(level.encoder_blocks[r], x,
+      x = run_block(level.encoder_blocks[r], x, scale_geo,
                     str::format("enc%d.block%d", l, static_cast<int>(r)), trace);
     }
     skips.push_back(x);
+    skip_geos.push_back(scale_geo);
     if (level.down) {
-      sparse::SparseTensor y = level.down->forward(x);
+      const sparse::LayerGeometryPtr down_geo =
+          sparse::make_downsample_geometry(x, level.down->kernel_size(), level.down->stride());
+      sparse::SparseTensor y = level.down->forward(x, *down_geo);
       if (trace != nullptr) {
-        trace->push_back(TraceEntry{str::format("down%d", l), LayerKind::kDownsampleConv,
-                                    level.down->in_channels(), level.down->out_channels(),
-                                    level.down->macs(x), x, y, nullptr, nullptr, false});
+        trace->push_back(
+            TraceEntry{str::format("down%d", l), LayerKind::kDownsampleConv,
+                       level.down->in_channels(), level.down->out_channels(),
+                       down_geo->macs(level.down->in_channels(), level.down->out_channels()),
+                       x, y, nullptr, nullptr, false, down_geo});
       }
       x = std::move(y);
+      scale_geo = sparse::make_submanifold_geometry(x, config_.kernel_size);
     }
   }
 
-  // Decoder.
+  // Decoder: the inverse conv restores the encoder scale, so its blocks
+  // replay the encoder geometry recorded above.
   for (int l = config_.levels - 2; l >= 0; --l) {
     const Level& level = levels_[static_cast<std::size_t>(l)];
     const sparse::SparseTensor& skip = skips[static_cast<std::size_t>(l)];
-    sparse::SparseTensor y = level.up->forward(x, skip);
+    const sparse::LayerGeometryPtr up_geo = sparse::make_inverse_geometry(
+        x, skip, level.up->kernel_size(), level.up->stride());
+    sparse::SparseTensor y = level.up->forward(x, skip, *up_geo);
     if (trace != nullptr) {
-      trace->push_back(TraceEntry{str::format("up%d", l), LayerKind::kInverseConv,
-                                  level.up->in_channels(), level.up->out_channels(),
-                                  level.up->macs(x, skip), x, y, nullptr, nullptr, false});
+      trace->push_back(
+          TraceEntry{str::format("up%d", l), LayerKind::kInverseConv,
+                     level.up->in_channels(), level.up->out_channels(),
+                     up_geo->macs(level.up->in_channels(), level.up->out_channels()), x, y,
+                     nullptr, nullptr, false, up_geo});
     }
     x = concat_channels(y, skip);
+    scale_geo = skip_geos[static_cast<std::size_t>(l)];
     for (std::size_t r = 0; r < level.decoder_blocks.size(); ++r) {
-      x = run_block(level.decoder_blocks[r], x,
+      x = run_block(level.decoder_blocks[r], x, scale_geo,
                     str::format("dec%d.block%d", l, static_cast<int>(r)), trace);
     }
   }

@@ -19,6 +19,7 @@
 #include "nn/linear.hpp"
 #include "nn/sparse_conv.hpp"
 #include "nn/submanifold_conv.hpp"
+#include "sparse/geometry.hpp"
 #include "sparse/sparse_tensor.hpp"
 
 namespace esca::nn {
@@ -53,6 +54,10 @@ struct TraceEntry {
   const SubmanifoldConv3d* subconv{nullptr};  ///< set for kSubmanifoldConv
   const BatchNorm* bn{nullptr};               ///< folded BN, may be null
   bool relu{false};                           ///< folded ReLU
+  /// Geometry the layer executed with — shared across every layer at the
+  /// same scale; the layer compiler caches it into the Plan. Null for
+  /// kLinear entries.
+  sparse::LayerGeometryPtr geometry{};
 };
 
 class SSUNet {
@@ -87,6 +92,7 @@ class SSUNet {
   };
 
   sparse::SparseTensor run_block(const Block& block, const sparse::SparseTensor& x,
+                                 const sparse::LayerGeometryPtr& geometry,
                                  const std::string& name,
                                  std::vector<TraceEntry>* trace) const;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "sparse/geometry.hpp"
 
 namespace esca::quant {
 
@@ -89,13 +90,20 @@ QuantizedSubConv QuantizedSubConv::from_float(const nn::SubmanifoldConv3d& conv,
 }
 
 QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input) const {
-  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
-
   // Build the rulebook on a coordinate-only float tensor (geometry is shared
   // between the float and integer worlds).
   sparse::SparseTensor geometry(input.spatial_extent(), 1);
+  geometry.reserve(input.size());
   for (const Coord3& c : input.coords()) geometry.add_site(c);
-  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(geometry, kernel_size_);
+  return forward(input, sparse::build_submanifold_geometry(geometry, kernel_size_).rulebook);
+}
+
+QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input,
+                                        const sparse::RuleBook& rb) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+  ESCA_REQUIRE(rb.kernel_volume() == kernel_volume(),
+               "rulebook kernel volume " << rb.kernel_volume() << " != layer "
+                                         << kernel_volume());
 
   const auto cin = static_cast<std::size_t>(in_channels_);
   const auto cout = static_cast<std::size_t>(out_channels_);
@@ -118,6 +126,7 @@ QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input) const {
   }
 
   QSparseTensor output(input.spatial_extent(), out_channels_, QuantParams{out_scale_});
+  output.reserve(input.size());
   for (std::size_t row = 0; row < input.size(); ++row) {
     const std::int32_t r = output.add_site(input.coord(row));
     auto dst = output.features(static_cast<std::size_t>(r));

@@ -77,8 +77,12 @@ class QuantizedSubConv {
   const std::vector<float>& requant_scale() const { return requant_scale_; }
   const std::vector<float>& requant_shift() const { return requant_shift_; }
 
-  /// Integer gold forward (rulebook path).
+  /// Integer gold forward (rulebook path); builds the geometry ad hoc.
   QSparseTensor forward(const QSparseTensor& input) const;
+  /// Integer gold forward against precompiled geometry (rulebook rows must
+  /// index `input`'s rows — e.g. the Plan-cached LayerGeometry built on the
+  /// same coordinate set).
+  QSparseTensor forward(const QSparseTensor& input, const sparse::RuleBook& rulebook) const;
 
   /// Total weight bytes (INT8) — DRAM-traffic input for the perf model.
   std::int64_t weight_bytes() const { return static_cast<std::int64_t>(weights_.size()); }

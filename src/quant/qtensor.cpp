@@ -1,18 +1,23 @@
 #include "quant/qtensor.hpp"
 
 #include "common/check.hpp"
+#include "voxel/morton.hpp"
 
 namespace esca::quant {
 
 QSparseTensor::QSparseTensor(Coord3 spatial_extent, int channels, QuantParams params)
     : extent_(spatial_extent), channels_(channels), params_(params) {
   ESCA_REQUIRE(extent_.x > 0 && extent_.y > 0 && extent_.z > 0, "extent must be positive");
+  ESCA_REQUIRE(extent_.x <= voxel::kMortonMaxCoord && extent_.y <= voxel::kMortonMaxCoord &&
+                   extent_.z <= voxel::kMortonMaxCoord,
+               "extent " << extent_ << " exceeds the 2^21 Morton range");
   ESCA_REQUIRE(channels > 0, "channels must be positive");
   ESCA_REQUIRE(params.scale > 0.0F, "scale must be positive");
 }
 
 QSparseTensor QSparseTensor::from_float(const sparse::SparseTensor& t, QuantParams params) {
   QSparseTensor q(t.spatial_extent(), t.channels(), params);
+  q.reserve(t.size());
   for (std::size_t row = 0; row < t.size(); ++row) {
     const std::int32_t r = q.add_site(t.coord(row));
     auto dst = q.features(static_cast<std::size_t>(r));
@@ -28,18 +33,24 @@ QSparseTensor QSparseTensor::from_float_calibrated(const sparse::SparseTensor& t
   return from_float(t, calibrate(t.abs_max(), kInt16Max));
 }
 
+void QSparseTensor::reserve(std::size_t n) {
+  coords_.reserve(n);
+  features_.reserve(n * static_cast<std::size_t>(channels_));
+  index_.reserve(n);
+}
+
 std::int32_t QSparseTensor::add_site(const Coord3& c) {
   ESCA_REQUIRE(in_bounds(c, extent_), "site " << c << " outside extent " << extent_);
-  const auto [it, inserted] = index_.try_emplace(c, static_cast<std::int32_t>(coords_.size()));
-  ESCA_REQUIRE(inserted, "site " << c << " already present");
+  const auto row = static_cast<std::int32_t>(coords_.size());
+  ESCA_REQUIRE(index_.insert(c, row), "site " << c << " already present");
   coords_.push_back(c);
   features_.resize(features_.size() + static_cast<std::size_t>(channels_), 0);
-  return it->second;
+  return row;
 }
 
 std::int32_t QSparseTensor::find(const Coord3& c) const {
-  const auto it = index_.find(c);
-  return it == index_.end() ? -1 : it->second;
+  if (!in_bounds(c, extent_)) return -1;
+  return index_.find(c);
 }
 
 std::span<std::int16_t> QSparseTensor::features(std::size_t row) {
@@ -56,6 +67,7 @@ std::span<const std::int16_t> QSparseTensor::features(std::size_t row) const {
 
 sparse::SparseTensor QSparseTensor::to_float() const {
   sparse::SparseTensor t(extent_, channels_);
+  t.reserve(coords_.size());
   for (std::size_t row = 0; row < coords_.size(); ++row) {
     const std::int32_t r = t.add_site(coords_[row]);
     auto dst = t.features(static_cast<std::size_t>(r));

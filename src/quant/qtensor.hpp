@@ -1,13 +1,15 @@
 // Quantized sparse tensor: INT16 activations at active sites + a scale.
+// Coordinate lookup uses the same Morton-ordered CoordIndex as the float
+// SparseTensor (no hash table).
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "quant/quantizer.hpp"
+#include "sparse/coord_index.hpp"
 #include "sparse/sparse_tensor.hpp"
 
 namespace esca::quant {
@@ -24,6 +26,9 @@ class QSparseTensor {
   int channels() const { return channels_; }
   std::size_t size() const { return coords_.size(); }
   const QuantParams& params() const { return params_; }
+
+  /// Pre-allocate storage for n sites.
+  void reserve(std::size_t n);
 
   std::int32_t add_site(const Coord3& c);
   std::int32_t find(const Coord3& c) const;
@@ -45,7 +50,7 @@ class QSparseTensor {
   QuantParams params_;
   std::vector<Coord3> coords_;
   std::vector<std::int16_t> features_;
-  std::unordered_map<Coord3, std::int32_t, Coord3Hash> index_;
+  sparse::CoordIndex index_;
 };
 
 }  // namespace esca::quant

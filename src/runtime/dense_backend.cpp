@@ -10,9 +10,11 @@ namespace esca::runtime {
 
 namespace {
 
-/// Geometry-only copy of a quantized tensor's coordinate set.
+/// Geometry-only copy of a quantized tensor's coordinate set (fallback for
+/// hand-built plans without cached geometry).
 sparse::SparseTensor geometry_of(const quant::QSparseTensor& t) {
   sparse::SparseTensor geometry(t.spatial_extent(), 1);
+  geometry.reserve(t.size());
   for (const Coord3& c : t.coords()) (void)geometry.add_site(c);
   return geometry;
 }
@@ -37,7 +39,12 @@ FrameReport DenseAccelBackend::execute_frame(const Plan& plan, const std::string
                                             cl.gold_macs, config_.model);
     } else {
       core::ZeroRemovingStats zr;
-      (void)core::ZeroRemoving(config_.tile_size).apply(geometry_of(cl.input), &zr);
+      if (cl.geometry != nullptr) {
+        // Tile statistics from the Plan-cached site tensor — no rebuild.
+        (void)core::ZeroRemoving(config_.tile_size).apply(cl.geometry->sites, &zr);
+      } else {
+        (void)core::ZeroRemoving(config_.tile_size).apply(geometry_of(cl.input), &zr);
+      }
       run = baseline::model_dense_active_tiles(zr.active_tiles, config_.tile_size, kernel,
                                                cl.layer.in_channels(),
                                                cl.layer.out_channels(), cl.gold_macs,
@@ -63,7 +70,7 @@ FrameReport DenseAccelBackend::execute_frame(const Plan& plan, const std::string
     // the forward as a plan-integrity check; without it the precomputed
     // gold output is returned directly.
     if (options.verify) {
-      quant::QSparseTensor output = cl.layer.forward(cl.input);
+      quant::QSparseTensor output = cl.run_gold();
       check_bit_exact(cl, output, name());
       if (options.keep_outputs) report.outputs.push_back(std::move(output));
     } else if (options.keep_outputs) {

@@ -14,6 +14,9 @@ FrameReport EscaBackend::execute_frame(const Plan& plan, const std::string& fram
   core::RunOptions hw_options;
   hw_options.weights_resident = weights_resident;
   for (const core::CompiledLayer& cl : plan.network.layers) {
+    // Plan-cached geometry: the site tensor (and its Morton index) was
+    // built once at compile time; no per-frame rebuild.
+    hw_options.geometry = cl.geometry != nullptr ? &cl.geometry->sites : nullptr;
     core::LayerRunResult result = accelerator_.run_layer(cl.layer, cl.input, hw_options);
     if (options.verify) check_bit_exact(cl, result.output, name());
     report.stats.layers.push_back(std::move(result.stats));

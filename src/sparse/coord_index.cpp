@@ -1,0 +1,122 @@
+#include "sparse/coord_index.hpp"
+
+#include <algorithm>
+
+#include "voxel/morton.hpp"
+
+namespace esca::sparse {
+
+namespace {
+
+/// lower_bound by code over a sorted entry run.
+std::vector<CoordIndex::Entry>::const_iterator lower_bound_code(
+    const std::vector<CoordIndex::Entry>& run, std::uint64_t code) {
+  return std::lower_bound(run.begin(), run.end(), code,
+                          [](const CoordIndex::Entry& e, std::uint64_t c) { return e.code < c; });
+}
+
+}  // namespace
+
+void CoordIndex::clear() {
+  sorted_.clear();
+  tail_.clear();
+}
+
+std::size_t CoordIndex::merge_threshold() const {
+  return std::clamp(sorted_.size() / 4, std::size_t{64}, std::size_t{4096});
+}
+
+bool CoordIndex::insert(const Coord3& c, std::int32_t row) {
+  const std::uint64_t code = voxel::morton_encode(c);
+  const auto main_it = lower_bound_code(sorted_, code);
+  if (main_it != sorted_.end() && main_it->code == code) return false;
+  const auto tail_it = lower_bound_code(tail_, code);
+  if (tail_it != tail_.end() && tail_it->code == code) return false;
+
+  tail_.insert(tail_it, Entry{code, row});
+  if (tail_.size() >= merge_threshold()) compact();
+  return true;
+}
+
+std::int32_t CoordIndex::find(const Coord3& c) const {
+  if (c.x < 0 || c.y < 0 || c.z < 0) return -1;
+  const std::uint64_t code = voxel::morton_encode(c);
+  const auto it = lower_bound_code(sorted_, code);
+  if (it != sorted_.end() && it->code == code) return it->row;
+  const auto tail_it = lower_bound_code(tail_, code);
+  return (tail_it != tail_.end() && tail_it->code == code) ? tail_it->row : -1;
+}
+
+bool CoordIndex::rebuild(std::span<const Coord3> coords) {
+  tail_.clear();
+  sorted_.clear();
+  sorted_.reserve(coords.size());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    sorted_.push_back(Entry{voxel::morton_encode(coords[i]), static_cast<std::int32_t>(i)});
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  const auto dup = std::adjacent_find(
+      sorted_.begin(), sorted_.end(),
+      [](const Entry& a, const Entry& b) { return a.code == b.code; });
+  if (dup != sorted_.end()) {
+    sorted_.clear();
+    return false;
+  }
+  return true;
+}
+
+std::span<const CoordIndex::Entry> CoordIndex::entries() const {
+  if (!tail_.empty()) compact();
+  return sorted_;
+}
+
+std::int32_t CoordIndex::find_sorted(std::uint64_t code) const {
+  const auto it = lower_bound_code(sorted_, code);
+  return (it != sorted_.end() && it->code == code) ? it->row : -1;
+}
+
+std::int32_t CoordIndex::find_near(std::uint64_t code, std::size_t& cursor) const {
+  const std::size_t n = sorted_.size();
+  if (n == 0) return -1;
+  if (cursor >= n) cursor = n - 1;
+
+  // Bracket [lo, hi) around the query by galloping away from the cursor.
+  std::size_t lo = cursor;
+  std::size_t hi = cursor;
+  if (sorted_[cursor].code < code) {
+    std::size_t step = 1;
+    hi = cursor + 1;
+    while (hi < n && sorted_[hi].code < code) {
+      lo = hi;
+      hi = std::min(n, hi + step);
+      step *= 2;
+    }
+  } else {
+    std::size_t step = 1;
+    while (lo > 0 && sorted_[lo - 1].code >= code) {
+      hi = lo;
+      lo = (lo > step) ? lo - step : 0;
+      step *= 2;
+    }
+    hi = std::max(hi, lo + 1);
+  }
+
+  const auto first = sorted_.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto last = sorted_.begin() + static_cast<std::ptrdiff_t>(std::min(hi, n));
+  const auto it = std::lower_bound(
+      first, last, code,
+      [](const Entry& e, std::uint64_t c) { return e.code < c; });
+  cursor = std::min(static_cast<std::size_t>(it - sorted_.begin()), n - 1);
+  return (it != sorted_.end() && it->code == code) ? it->row : -1;
+}
+
+void CoordIndex::compact() const {
+  if (tail_.empty()) return;
+  const std::size_t old_size = sorted_.size();
+  sorted_.insert(sorted_.end(), tail_.begin(), tail_.end());
+  std::inplace_merge(sorted_.begin(),
+                     sorted_.begin() + static_cast<std::ptrdiff_t>(old_size), sorted_.end());
+  tail_.clear();
+}
+
+}  // namespace esca::sparse

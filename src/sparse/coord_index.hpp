@@ -1,0 +1,81 @@
+// Morton-ordered coordinate index — the software model of the paper's
+// coordinate-mapping stage (and of PointAcc-style "mapping by sorting").
+//
+// A CoordIndex maps Coord3 -> row through a single sorted array of
+// (morton code, row) entries instead of a hash table. Lookups are binary
+// searches; streaming lookups whose queries are spatially local (kernel
+// offsets enumerated over a Morton-ordered site list) use a galloping
+// cursor (`find_near`) that degenerates to O(1) when locality holds.
+//
+// Incremental inserts land in a small sorted tail that is merged into the
+// main run once it grows past a threshold (amortized O(log n) per insert,
+// bounded memmove); bulk (re)builds sort once. Copying the index is a flat
+// vector copy — no rehash.
+//
+// Thread-safety: find() never mutates and is safe alongside other readers.
+// entries() lazily merges the pending tail — call it once from a single
+// thread; afterwards concurrent find_sorted()/find_near() calls are pure
+// reads and safe.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esca::sparse {
+
+class CoordIndex {
+ public:
+  struct Entry {
+    std::uint64_t code{0};  ///< Morton code of the coordinate
+    std::int32_t row{-1};   ///< payload row
+
+    friend bool operator<(const Entry& a, const Entry& b) { return a.code < b.code; }
+  };
+
+  CoordIndex() = default;
+
+  std::size_t size() const { return sorted_.size() + tail_.size(); }
+  bool empty() const { return size() == 0; }
+
+  void reserve(std::size_t n) { sorted_.reserve(n); }
+  void clear();
+
+  /// Insert c -> row. Returns false when c is already present (nothing is
+  /// inserted). Coordinates must be non-negative and below 2^21 per axis.
+  bool insert(const Coord3& c, std::int32_t row);
+
+  /// Row of c, or -1. Searches both runs; never mutates.
+  std::int32_t find(const Coord3& c) const;
+
+  /// Rebuild from a coordinate list: row i = coords[i]. Returns false (and
+  /// leaves the index empty) when the list contains a duplicate.
+  bool rebuild(std::span<const Coord3> coords);
+
+  /// The full Morton-sorted entry list (merges the pending tail first).
+  /// The span is invalidated by the next insert().
+  std::span<const Entry> entries() const;
+
+  /// Binary search by code over the compacted run. Requires no pending
+  /// tail (call entries() first); safe for concurrent readers.
+  std::int32_t find_sorted(std::uint64_t code) const;
+
+  /// Galloping search around a caller-owned cursor: starts at `cursor`
+  /// and widens exponentially, then binary-searches the bracketed window.
+  /// `cursor` is updated to the match (or insertion point), which makes a
+  /// run of spatially local queries nearly O(1) each. Same preconditions
+  /// as find_sorted().
+  std::int32_t find_near(std::uint64_t code, std::size_t& cursor) const;
+
+ private:
+  void compact() const;
+  std::size_t merge_threshold() const;
+
+  // Lazily-merged storage; mutable so const lookups can absorb the tail.
+  mutable std::vector<Entry> sorted_;  ///< Morton-sorted main run
+  mutable std::vector<Entry> tail_;    ///< small sorted overflow run
+};
+
+}  // namespace esca::sparse

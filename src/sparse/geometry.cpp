@@ -1,0 +1,331 @@
+#include "sparse/geometry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+
+#include "common/check.hpp"
+#include "voxel/morton.hpp"
+
+// Compile-time default shard count: -1 = auto (environment override, then
+// hardware concurrency); 0 = hard-disable thread spawning (shard bodies run
+// inline); N > 0 = default to N shards. Set via -DESCA_GEOMETRY_THREADS=<n>.
+#ifndef ESCA_GEOMETRY_THREADS
+#define ESCA_GEOMETRY_THREADS -1
+#endif
+
+namespace esca::sparse {
+
+namespace {
+
+constexpr bool kThreadingEnabled = (ESCA_GEOMETRY_THREADS != 0);
+constexpr int kMaxShards = 64;
+
+std::atomic<std::uint64_t> g_geometry_builds{0};
+
+int default_shards() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("ESCA_GEOMETRY_THREADS")) {
+      // "0" means serial, like the compile-time knob; junk falls through.
+      const int n = std::atoi(env);
+      if (n == 0 && env[0] == '0') return 1;
+      if (n >= 1) return std::min(n, kMaxShards);
+    }
+    if constexpr (ESCA_GEOMETRY_THREADS > 0) {
+      return std::min(static_cast<int>(ESCA_GEOMETRY_THREADS), kMaxShards);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hw, 1U, 8U));
+  }();
+  return cached;
+}
+
+/// Contiguous [begin, end) row range of shard s out of `shards`.
+struct ShardRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+ShardRange shard_range(std::size_t n, int shards, int s) {
+  const std::size_t per = n / static_cast<std::size_t>(shards);
+  const std::size_t rem = n % static_cast<std::size_t>(shards);
+  const auto u = static_cast<std::size_t>(s);
+  const std::size_t begin = u * per + std::min(u, rem);
+  return {begin, begin + per + (u < rem ? 1 : 0)};
+}
+
+/// Run fn(0..shards-1); in parallel when threading is enabled and there is
+/// more than one shard. The first worker exception is rethrown here.
+template <typename Fn>
+void run_sharded(int shards, const Fn& fn) {
+  if (!kThreadingEnabled || shards <= 1) {
+    for (int s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(shards));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(shards) - 1);
+  auto guarded = [&](int s) {
+    try {
+      fn(s);
+    } catch (...) {
+      errors[static_cast<std::size_t>(s)] = std::current_exception();
+    }
+  };
+  for (int s = 1; s < shards; ++s) workers.emplace_back(guarded, s);
+  guarded(0);
+  for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+/// Concatenate per-shard per-offset rule lists into the rulebook, shard
+/// order preserved (== the serial emission order).
+void merge_shards(std::vector<std::vector<std::vector<Rule>>>& shard_rules, RuleBook& rulebook) {
+  const int volume = rulebook.kernel_volume();
+  for (int o = 0; o < volume; ++o) {
+    for (auto& per_offset : shard_rules) {
+      for (const Rule& r : per_offset[static_cast<std::size_t>(o)]) rulebook.add(o, r);
+    }
+  }
+}
+
+/// Sites below which an extra default shard isn't worth a thread spawn.
+constexpr std::size_t kMinSitesPerShard = 2048;
+
+/// Shard count for a build over n sites. An explicit request is honored
+/// exactly (tests pin shard determinism on tiny tensors); the default is
+/// additionally bounded by the work available.
+int pick_shards(const GeometryOptions& options, std::size_t n) {
+  int resolved = resolve_geometry_shards(options.shards);
+  if (options.shards <= 0) {
+    resolved = std::min<int>(resolved, static_cast<int>(n / kMinSitesPerShard) + 1);
+  }
+  return std::max(1, std::min<int>(resolved, static_cast<int>(std::max<std::size_t>(n, 1))));
+}
+
+/// One candidate rule of a strided/inverse build: input site `in_row`
+/// contributes through kernel cell `offset` to the output cell at `code`.
+struct Candidate {
+  std::uint64_t code;
+  std::int32_t offset;
+  std::int32_t in_row;
+};
+
+}  // namespace
+
+const char* to_string(GeometryKind kind) {
+  switch (kind) {
+    case GeometryKind::kSubmanifold: return "submanifold";
+    case GeometryKind::kDownsample: return "downsample";
+    case GeometryKind::kInverse: return "inverse";
+  }
+  return "?";
+}
+
+std::int64_t LayerGeometry::macs(int in_channels, int out_channels) const {
+  return total_rules() * static_cast<std::int64_t>(in_channels) *
+         static_cast<std::int64_t>(out_channels);
+}
+
+std::uint64_t geometry_builds() { return g_geometry_builds.load(std::memory_order_relaxed); }
+
+int resolve_geometry_shards(int requested) {
+  if (requested > 0) return std::min(requested, kMaxShards);
+  return default_shards();
+}
+
+LayerGeometry build_submanifold_geometry(const SparseTensor& input, int kernel_size,
+                                         const GeometryOptions& options) {
+  ESCA_REQUIRE(kernel_size % 2 == 1, "submanifold convolution requires odd kernel size, got "
+                                         << kernel_size);
+  g_geometry_builds.fetch_add(1, std::memory_order_relaxed);
+  const int k = kernel_size;
+  const int volume = k * k * k;
+  LayerGeometry g(GeometryKind::kSubmanifold, k, 1, input.zeros_like(1));
+
+  std::vector<Coord3> offsets(static_cast<std::size_t>(volume));
+  for (int o = 0; o < volume; ++o) offsets[static_cast<std::size_t>(o)] = kernel_offset(o, k);
+
+  // Compact the index on this thread; worker lookups are then pure reads.
+  const CoordIndex& index = g.sites.index();
+  const auto entries = index.entries();
+  const Coord3 extent = input.spatial_extent();
+
+  const int shards = pick_shards(options, entries.size());
+  std::vector<std::vector<std::vector<Rule>>> shard_rules(
+      static_cast<std::size_t>(shards),
+      std::vector<std::vector<Rule>>(static_cast<std::size_t>(volume)));
+
+  // Outputs are walked in Morton order, so each offset's shifted queries
+  // stay spatially local and the galloping cursor rarely moves far.
+  run_sharded(shards, [&](int s) {
+    const ShardRange range = shard_range(entries.size(), shards, s);
+    auto& rules = shard_rules[static_cast<std::size_t>(s)];
+    std::vector<std::size_t> cursors(static_cast<std::size_t>(volume), range.begin);
+    for (std::size_t e = range.begin; e < range.end; ++e) {
+      const std::int32_t j = entries[e].row;
+      const Coord3 out_c = voxel::morton_decode(entries[e].code);
+      for (int o = 0; o < volume; ++o) {
+        const Coord3 in_c = out_c + offsets[static_cast<std::size_t>(o)];
+        if (!in_bounds(in_c, extent)) continue;
+        const std::int32_t i =
+            index.find_near(voxel::morton_encode(in_c), cursors[static_cast<std::size_t>(o)]);
+        if (i >= 0) rules[static_cast<std::size_t>(o)].push_back(Rule{i, j});
+      }
+    }
+  });
+  merge_shards(shard_rules, g.rulebook);
+  return g;
+}
+
+LayerGeometry build_downsample_geometry(const SparseTensor& input, int kernel_size, int stride,
+                                        const GeometryOptions& options) {
+  ESCA_REQUIRE(kernel_size >= 1, "kernel size must be >= 1");
+  ESCA_REQUIRE(stride >= 1, "stride must be >= 1");
+  g_geometry_builds.fetch_add(1, std::memory_order_relaxed);
+  const int k = kernel_size;
+  const int volume = k * k * k;
+
+  LayerGeometry g(GeometryKind::kDownsample, k, stride, input.zeros_like(1));
+  const Coord3 in_extent = input.spatial_extent();
+  g.out_extent = {(in_extent.x + stride - 1) / stride, (in_extent.y + stride - 1) / stride,
+                  (in_extent.z + stride - 1) / stride};
+
+  const std::size_t n = input.size();
+  const int shards = pick_shards(options, n);
+
+  // Pass 1 — enumerate (input site, kernel cell) -> output cell candidates.
+  // Output cell c covers input window [c*stride, c*stride + k); kernel cell
+  // (kx, ky, kz) places the output at (p - kcell) / stride.
+  std::vector<std::vector<Candidate>> shard_cands(static_cast<std::size_t>(shards));
+  run_sharded(shards, [&](int s) {
+    const ShardRange range = shard_range(n, shards, s);
+    auto& cands = shard_cands[static_cast<std::size_t>(s)];
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const Coord3 p = input.coord(i);
+      for (int kz = 0; kz < k; ++kz) {
+        for (int ky = 0; ky < k; ++ky) {
+          for (int kx = 0; kx < k; ++kx) {
+            const Coord3 shifted = p - Coord3{kx, ky, kz};
+            if (shifted.x % stride != 0 || shifted.y % stride != 0 ||
+                shifted.z % stride != 0) {
+              continue;
+            }
+            if (shifted.x < 0 || shifted.y < 0 || shifted.z < 0) continue;
+            const Coord3 c = {shifted.x / stride, shifted.y / stride, shifted.z / stride};
+            if (!in_bounds(c, g.out_extent)) continue;
+            const int o = (kz * k + ky) * k + kx;
+            cands.push_back(Candidate{voxel::morton_encode(c), o,
+                                      static_cast<std::int32_t>(i)});
+          }
+        }
+      }
+    }
+  });
+
+  // Pass 2 — the distinct output cells, Morton-ordered: row numbering is
+  // canonical and independent of shard count.
+  std::vector<std::uint64_t> out_codes;
+  for (const auto& cands : shard_cands) {
+    for (const Candidate& c : cands) out_codes.push_back(c.code);
+  }
+  std::sort(out_codes.begin(), out_codes.end());
+  out_codes.erase(std::unique(out_codes.begin(), out_codes.end()), out_codes.end());
+  g.out_coords.reserve(out_codes.size());
+  for (const std::uint64_t code : out_codes) g.out_coords.push_back(voxel::morton_decode(code));
+
+  // Pass 3 — resolve candidates to output rows (binary search over the
+  // sorted code list) and emit rules in candidate order.
+  std::vector<std::vector<std::vector<Rule>>> shard_rules(
+      static_cast<std::size_t>(shards),
+      std::vector<std::vector<Rule>>(static_cast<std::size_t>(volume)));
+  run_sharded(shards, [&](int s) {
+    auto& rules = shard_rules[static_cast<std::size_t>(s)];
+    for (const Candidate& c : shard_cands[static_cast<std::size_t>(s)]) {
+      const auto it = std::lower_bound(out_codes.begin(), out_codes.end(), c.code);
+      const auto out_row = static_cast<std::int32_t>(it - out_codes.begin());
+      rules[static_cast<std::size_t>(c.offset)].push_back(Rule{c.in_row, out_row});
+    }
+  });
+  merge_shards(shard_rules, g.rulebook);
+  return g;
+}
+
+LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTensor& target,
+                                     int kernel_size, int stride,
+                                     const GeometryOptions& options) {
+  ESCA_REQUIRE(kernel_size >= 1 && stride >= 1, "bad inverse-conv geometry");
+  g_geometry_builds.fetch_add(1, std::memory_order_relaxed);
+  const int k = kernel_size;
+  const int volume = k * k * k;
+  LayerGeometry g(GeometryKind::kInverse, k, stride, input.zeros_like(1));
+  g.out_extent = target.spatial_extent();
+
+  const CoordIndex& index = g.sites.index();
+  (void)index.entries();  // compact before sharing across workers
+  const Coord3 in_extent = input.spatial_extent();
+
+  const std::size_t n = target.size();
+  const int shards = pick_shards(options, n);
+  std::vector<std::vector<std::vector<Rule>>> shard_rules(
+      static_cast<std::size_t>(shards),
+      std::vector<std::vector<Rule>>(static_cast<std::size_t>(volume)));
+
+  // Forward downsample maps target site p to input site c via kernel cell
+  // (p - c*stride); the inverse flips the rule: in_row = row(c) in `input`,
+  // out_row = row(p) in `target`, same weight cell.
+  run_sharded(shards, [&](int s) {
+    const ShardRange range = shard_range(n, shards, s);
+    auto& rules = shard_rules[static_cast<std::size_t>(s)];
+    std::size_t cursor = 0;
+    for (std::size_t j = range.begin; j < range.end; ++j) {
+      const Coord3 p = target.coord(j);
+      for (int kz = 0; kz < k; ++kz) {
+        for (int ky = 0; ky < k; ++ky) {
+          for (int kx = 0; kx < k; ++kx) {
+            const Coord3 shifted = p - Coord3{kx, ky, kz};
+            if (shifted.x % stride != 0 || shifted.y % stride != 0 ||
+                shifted.z % stride != 0) {
+              continue;
+            }
+            if (shifted.x < 0 || shifted.y < 0 || shifted.z < 0) continue;
+            const Coord3 c = {shifted.x / stride, shifted.y / stride, shifted.z / stride};
+            if (!in_bounds(c, in_extent)) continue;
+            const std::int32_t i = index.find_near(voxel::morton_encode(c), cursor);
+            if (i < 0) continue;
+            const int o = (kz * k + ky) * k + kx;
+            rules[static_cast<std::size_t>(o)].push_back(
+                Rule{i, static_cast<std::int32_t>(j)});
+          }
+        }
+      }
+    }
+  });
+  merge_shards(shard_rules, g.rulebook);
+  return g;
+}
+
+LayerGeometryPtr make_submanifold_geometry(const SparseTensor& input, int kernel_size,
+                                           const GeometryOptions& options) {
+  return std::make_shared<const LayerGeometry>(
+      build_submanifold_geometry(input, kernel_size, options));
+}
+
+LayerGeometryPtr make_downsample_geometry(const SparseTensor& input, int kernel_size,
+                                          int stride, const GeometryOptions& options) {
+  return std::make_shared<const LayerGeometry>(
+      build_downsample_geometry(input, kernel_size, stride, options));
+}
+
+LayerGeometryPtr make_inverse_geometry(const SparseTensor& input, const SparseTensor& target,
+                                       int kernel_size, int stride,
+                                       const GeometryOptions& options) {
+  return std::make_shared<const LayerGeometry>(
+      build_inverse_geometry(input, target, kernel_size, stride, options));
+}
+
+}  // namespace esca::sparse

@@ -1,0 +1,123 @@
+// Unified sparse geometry engine.
+//
+// All sparse-convolution variants (submanifold, strided/downsample, inverse)
+// derive their work lists from one coordinate-mapping primitive: enumerate
+// kernel offsets over a Morton-ordered site list and resolve each shifted
+// query against a sorted CoordIndex (galloping binary search — no hash
+// probes). This mirrors the paper's SDMU, which derives every MAC from the
+// coordinate mapping stage, and PointAcc's sorted-stream mapping unit.
+//
+// The result is a LayerGeometry: the rulebook plus the layer's coordinate
+// sets. A LayerGeometry depends only on geometry (coordinate set, kernel,
+// stride) — never on feature values — so it can be built once per layer at
+// plan-compile time and replayed for every frame; nn/, quant/, baseline/
+// and the runtime backends all consume the same handle.
+//
+// Construction can be sharded across threads: sites are partitioned into
+// contiguous Morton ranges, each shard emits per-offset rule lists, and the
+// shards are concatenated in order. The merged rule sequence is identical
+// for any shard count (including 1), so results are deterministic and
+// independent of ESCA_GEOMETRY_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/rulebook.hpp"
+#include "sparse/sparse_tensor.hpp"
+
+namespace esca::sparse {
+
+/// Which conv variant a LayerGeometry describes.
+enum class GeometryKind : std::uint8_t {
+  kSubmanifold,  ///< outputs == inputs (Sub-Conv)
+  kDownsample,   ///< strided conv / pooling: outputs are the covered cells
+  kInverse,      ///< transposed conv restoring a recorded coordinate set
+};
+
+const char* to_string(GeometryKind kind);
+
+/// Options for one geometry build.
+struct GeometryOptions {
+  /// Shard count for rulebook construction. 0 = default (the
+  /// ESCA_GEOMETRY_THREADS compile definition, overridable by the
+  /// ESCA_GEOMETRY_THREADS environment variable, else hardware
+  /// concurrency). Shards beyond the site count are clamped.
+  int shards{0};
+};
+
+/// Compiled geometry of one sparse layer: the rulebook plus the coordinate
+/// sets it indexes into. Immutable after construction; share via
+/// LayerGeometryPtr (plan caching, per-scale reuse inside a network).
+struct LayerGeometry {
+  LayerGeometry(GeometryKind kind_, int kernel_size_, int stride_, SparseTensor sites_)
+      : kind(kind_),
+        kernel_size(kernel_size_),
+        stride(stride_),
+        out_extent(sites_.spatial_extent()),
+        sites(std::move(sites_)),
+        rulebook(kernel_size_ * kernel_size_ * kernel_size_) {}
+
+  GeometryKind kind;
+  int kernel_size;
+  int stride;
+  Coord3 out_extent;  ///< kDownsample: ceil(extent / stride); else sites extent
+
+  /// Coordinate-only (1-channel) tensor of the layer's input domain; row r
+  /// here is row r of the layer input. Backends reuse it for zero removing,
+  /// tile encoding and SDMU matching instead of rebuilding per frame.
+  SparseTensor sites;
+
+  /// Output coordinate set (kDownsample only, Morton-ordered; rulebook
+  /// out_rows index into it). Empty for kSubmanifold (outputs == sites) and
+  /// kInverse (outputs == the recorded target rows).
+  std::vector<Coord3> out_coords;
+
+  RuleBook rulebook;
+
+  std::int64_t total_rules() const { return rulebook.total_rules(); }
+  /// Effective MACs of executing this geometry at the given channel widths.
+  std::int64_t macs(int in_channels, int out_channels) const;
+};
+
+using LayerGeometryPtr = std::shared_ptr<const LayerGeometry>;
+
+/// Submanifold geometry: outputs exist exactly at input sites; rule
+/// (i -> j) exists when coord(i) == coord(j) + offset. Kernel must be odd.
+LayerGeometry build_submanifold_geometry(const SparseTensor& input, int kernel_size,
+                                         const GeometryOptions& options = {});
+
+/// Strided ("regular") downsample geometry: an output cell exists when any
+/// input site falls inside its receptive field. out_coords is Morton-ordered
+/// (deterministic for any shard count).
+LayerGeometry build_downsample_geometry(const SparseTensor& input, int kernel_size, int stride,
+                                        const GeometryOptions& options = {});
+
+/// Inverse (transposed) geometry restoring `target`'s coordinate set from
+/// `input` (the matching downsampled scale): rule direction is flipped
+/// relative to the forward strided conv.
+LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTensor& target,
+                                     int kernel_size, int stride,
+                                     const GeometryOptions& options = {});
+
+/// Convenience: build and wrap in a shared handle.
+LayerGeometryPtr make_submanifold_geometry(const SparseTensor& input, int kernel_size,
+                                           const GeometryOptions& options = {});
+LayerGeometryPtr make_downsample_geometry(const SparseTensor& input, int kernel_size,
+                                          int stride, const GeometryOptions& options = {});
+LayerGeometryPtr make_inverse_geometry(const SparseTensor& input, const SparseTensor& target,
+                                       int kernel_size, int stride,
+                                       const GeometryOptions& options = {});
+
+/// Process-wide count of geometry builds (any kind). Monotonic; tests use
+/// it to prove that steady-state frames replay cached geometry instead of
+/// rebuilding it.
+std::uint64_t geometry_builds();
+
+/// The shard count a build with `requested` shards would actually use
+/// (0 = resolve the default; see GeometryOptions::shards).
+int resolve_geometry_shards(int requested);
+
+}  // namespace esca::sparse

@@ -1,8 +1,7 @@
 #include "sparse/rulebook.hpp"
 
-#include <unordered_map>
-
 #include "common/check.hpp"
+#include "sparse/geometry.hpp"
 
 namespace esca::sparse {
 
@@ -32,102 +31,25 @@ int kernel_offset_index(const Coord3& offset, int kernel_size) {
   return ((offset.z + r) * k + (offset.y + r)) * k + (offset.x + r);
 }
 
+// The three legacy builders are thin wrappers over the Morton-ordered
+// geometry engine (sparse/geometry.hpp); no hash probing anywhere.
+
 RuleBook build_submanifold_rulebook(const SparseTensor& input, int kernel_size) {
-  ESCA_REQUIRE(kernel_size % 2 == 1, "submanifold convolution requires odd kernel size, got "
-                                         << kernel_size);
-  const int k = kernel_size;
-  const int volume = k * k * k;
-  RuleBook rb(volume);
-  // For every output site (== input site) and kernel offset, look up the
-  // input neighbour. Offsets address the *input* position:
-  //   out[j] += W[k] * in[i]  where  coord(i) = coord(j) + offset(k).
-  for (std::size_t j = 0; j < input.size(); ++j) {
-    const Coord3 out_c = input.coord(j);
-    for (int o = 0; o < volume; ++o) {
-      const Coord3 in_c = out_c + kernel_offset(o, k);
-      const std::int32_t i = input.find(in_c);
-      if (i >= 0) {
-        rb.add(o, Rule{i, static_cast<std::int32_t>(j)});
-      }
-    }
-  }
-  return rb;
+  return build_submanifold_geometry(input, kernel_size).rulebook;
 }
 
 DownsamplePlan build_strided_rulebook(const SparseTensor& input, int kernel_size, int stride) {
-  ESCA_REQUIRE(kernel_size >= 1, "kernel size must be >= 1");
-  ESCA_REQUIRE(stride >= 1, "stride must be >= 1");
-  const int k = kernel_size;
-  const int volume = k * k * k;
-
+  LayerGeometry g = build_downsample_geometry(input, kernel_size, stride);
   DownsamplePlan plan;
-  const Coord3 in_extent = input.spatial_extent();
-  plan.out_extent = {(in_extent.x + stride - 1) / stride, (in_extent.y + stride - 1) / stride,
-                     (in_extent.z + stride - 1) / stride};
-  plan.rulebook = RuleBook(volume);
-
-  // Output site c covers input window [c*stride, c*stride + k). For each
-  // input site enumerate the outputs whose window contains it.
-  std::unordered_map<Coord3, std::int32_t, Coord3Hash> out_index;
-  auto out_row = [&](const Coord3& c) {
-    const auto [it, inserted] =
-        out_index.try_emplace(c, static_cast<std::int32_t>(plan.out_coords.size()));
-    if (inserted) plan.out_coords.push_back(c);
-    return it->second;
-  };
-
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    const Coord3 p = input.coord(i);
-    // Kernel cell (kx, ky, kz) places the output at (p - kcell) / stride.
-    for (int kz = 0; kz < k; ++kz) {
-      for (int ky = 0; ky < k; ++ky) {
-        for (int kx = 0; kx < k; ++kx) {
-          const Coord3 shifted = p - Coord3{kx, ky, kz};
-          if (shifted.x % stride != 0 || shifted.y % stride != 0 || shifted.z % stride != 0) {
-            continue;
-          }
-          if (shifted.x < 0 || shifted.y < 0 || shifted.z < 0) continue;
-          const Coord3 c = {shifted.x / stride, shifted.y / stride, shifted.z / stride};
-          if (!in_bounds(c, plan.out_extent)) continue;
-          const int o = (kz * k + ky) * k + kx;
-          plan.rulebook.add(o, Rule{static_cast<std::int32_t>(i), out_row(c)});
-        }
-      }
-    }
-  }
+  plan.out_coords = std::move(g.out_coords);
+  plan.out_extent = g.out_extent;
+  plan.rulebook = std::move(g.rulebook);
   return plan;
 }
 
 RuleBook build_inverse_rulebook(const SparseTensor& input, const SparseTensor& target,
                                 int kernel_size, int stride) {
-  ESCA_REQUIRE(kernel_size >= 1 && stride >= 1, "bad inverse-conv geometry");
-  const int k = kernel_size;
-  const int volume = k * k * k;
-  RuleBook rb(volume);
-
-  // Forward downsample maps target site p to input site c via kernel cell
-  // (p - c*stride); the inverse flips the rule: in_row = row(c) in `input`,
-  // out_row = row(p) in `target`, same weight cell.
-  for (std::size_t j = 0; j < target.size(); ++j) {
-    const Coord3 p = target.coord(j);
-    for (int kz = 0; kz < k; ++kz) {
-      for (int ky = 0; ky < k; ++ky) {
-        for (int kx = 0; kx < k; ++kx) {
-          const Coord3 shifted = p - Coord3{kx, ky, kz};
-          if (shifted.x % stride != 0 || shifted.y % stride != 0 || shifted.z % stride != 0) {
-            continue;
-          }
-          if (shifted.x < 0 || shifted.y < 0 || shifted.z < 0) continue;
-          const Coord3 c = {shifted.x / stride, shifted.y / stride, shifted.z / stride};
-          const std::int32_t i = input.find(c);
-          if (i < 0) continue;
-          const int o = (kz * k + ky) * k + kx;
-          rb.add(o, Rule{i, static_cast<std::int32_t>(j)});
-        }
-      }
-    }
-  }
-  return rb;
+  return build_inverse_geometry(input, target, kernel_size, stride).rulebook;
 }
 
 }  // namespace esca::sparse

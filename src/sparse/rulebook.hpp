@@ -55,7 +55,8 @@ RuleBook build_submanifold_rulebook(const SparseTensor& input, int kernel_size);
 
 /// Strided ("regular") sparse convolution: output site exists when any input
 /// site falls inside its receptive field. Returns the output coordinate set
-/// together with the rulebook.
+/// (Morton-ordered — canonical for any build configuration) together with
+/// the rulebook.
 struct DownsamplePlan {
   std::vector<Coord3> out_coords;
   Coord3 out_extent;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "voxel/morton.hpp"
 
 namespace esca::sparse {
 
@@ -11,11 +12,15 @@ SparseTensor::SparseTensor(Coord3 spatial_extent, int channels)
     : extent_(spatial_extent), channels_(channels) {
   ESCA_REQUIRE(extent_.x > 0 && extent_.y > 0 && extent_.z > 0,
                "spatial extent must be positive, got " << extent_);
+  ESCA_REQUIRE(extent_.x <= voxel::kMortonMaxCoord && extent_.y <= voxel::kMortonMaxCoord &&
+                   extent_.z <= voxel::kMortonMaxCoord,
+               "spatial extent " << extent_ << " exceeds the 2^21 Morton range");
   ESCA_REQUIRE(channels > 0, "channels must be positive, got " << channels);
 }
 
 SparseTensor SparseTensor::from_voxel_grid(const voxel::VoxelGrid& grid, int channels) {
   SparseTensor t(grid.extent(), channels);
+  t.reserve(grid.occupied_count());
   for (const Coord3& c : grid.coords()) {
     const std::int32_t row = t.add_site(c);
     t.set_feature(static_cast<std::size_t>(row), 0, grid.feature_at(c));
@@ -24,13 +29,20 @@ SparseTensor SparseTensor::from_voxel_grid(const voxel::VoxelGrid& grid, int cha
   return t;
 }
 
+void SparseTensor::reserve(std::size_t n) {
+  coords_.reserve(n);
+  features_.reserve(n * static_cast<std::size_t>(channels_));
+  index_.reserve(n);
+}
+
 std::int32_t SparseTensor::add_site(const Coord3& c) {
   ESCA_REQUIRE(in_bounds(c, extent_), "site " << c << " outside extent " << extent_);
-  const auto [it, inserted] = index_.try_emplace(c, static_cast<std::int32_t>(coords_.size()));
-  ESCA_REQUIRE(inserted, "site " << c << " already present");
+  const auto row = static_cast<std::int32_t>(coords_.size());
+  ESCA_REQUIRE(index_.insert(c, row), "site " << c << " already present");
+  canonically_sorted_ = canonically_sorted_ && (coords_.empty() || coords_.back() < c);
   coords_.push_back(c);
   features_.resize(features_.size() + static_cast<std::size_t>(channels_), 0.0F);
-  return it->second;
+  return row;
 }
 
 std::int32_t SparseTensor::add_site(const Coord3& c, std::span<const float> features) {
@@ -45,8 +57,8 @@ std::int32_t SparseTensor::add_site(const Coord3& c, std::span<const float> feat
 }
 
 std::int32_t SparseTensor::find(const Coord3& c) const {
-  const auto it = index_.find(c);
-  return it == index_.end() ? -1 : it->second;
+  if (!in_bounds(c, extent_)) return -1;
+  return index_.find(c);
 }
 
 std::span<float> SparseTensor::features(std::size_t row) {
@@ -76,11 +88,16 @@ SparseTensor SparseTensor::zeros_like(int channels) const {
   SparseTensor out(extent_, channels);
   out.coords_ = coords_;
   out.index_ = index_;
+  out.canonically_sorted_ = canonically_sorted_;
   out.features_.assign(coords_.size() * static_cast<std::size_t>(channels), 0.0F);
   return out;
 }
 
 void SparseTensor::sort_canonical() {
+  // add_site() keeps the index in sync, so an already-sorted tensor needs
+  // neither the permutation nor an index rebuild.
+  if (canonically_sorted_) return;
+
   std::vector<std::size_t> order(coords_.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(),
@@ -96,10 +113,8 @@ void SparseTensor::sort_canonical() {
   }
   coords_ = std::move(new_coords);
   features_ = std::move(new_features);
-  index_.clear();
-  for (std::size_t i = 0; i < coords_.size(); ++i) {
-    index_.emplace(coords_[i], static_cast<std::int32_t>(i));
-  }
+  canonically_sorted_ = true;
+  ESCA_CHECK(index_.rebuild(coords_), "duplicate coordinate while rebuilding index");
 }
 
 float SparseTensor::abs_max() const {
@@ -113,6 +128,19 @@ float max_abs_diff(const SparseTensor& a, const SparseTensor& b) {
                "tensor shapes differ: " << a.size() << "x" << a.channels() << " vs " << b.size()
                                         << "x" << b.channels());
   float m = 0.0F;
+  if (a.canonically_sorted() && b.canonically_sorted()) {
+    // Rows of two canonically sorted tensors over one coordinate set align
+    // 1:1 — compare row-wise without any per-row lookup.
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ESCA_REQUIRE(a.coord(i) == b.coord(i), "coordinate sets differ at " << a.coord(i));
+    }
+    const auto& fa = a.raw_features();
+    const auto& fb = b.raw_features();
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      m = std::max(m, std::fabs(fa[i] - fb[i]));
+    }
+    return m;
+  }
   for (std::size_t i = 0; i < a.size(); ++i) {
     const std::int32_t j = b.find(a.coord(i));
     ESCA_REQUIRE(j >= 0, "coordinate sets differ at " << a.coord(i));

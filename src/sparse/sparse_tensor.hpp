@@ -2,21 +2,25 @@
 //
 // This is the SSCN data structure: "nonzero activations" live at coords, all
 // other sites are implicit zeros. Feature storage is row-major (site-major).
+// Coordinate lookup goes through a Morton-ordered CoordIndex (binary search)
+// rather than a hash table, so copying a tensor's geometry (zeros_like) is a
+// flat array copy and the rulebook engine can stream its sorted entries.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
+#include "sparse/coord_index.hpp"
 #include "voxel/voxel_grid.hpp"
 
 namespace esca::sparse {
 
 class SparseTensor {
  public:
-  /// Empty tensor over the given spatial extent.
+  /// Empty tensor over the given spatial extent (each axis at most 2^21,
+  /// the Morton coordinate range).
   SparseTensor(Coord3 spatial_extent, int channels);
 
   /// Build a 1..C channel tensor from a voxel grid occupancy (channel 0 is
@@ -27,6 +31,9 @@ class SparseTensor {
   int channels() const { return channels_; }
   std::size_t size() const { return coords_.size(); }
   bool empty() const { return coords_.empty(); }
+
+  /// Pre-allocate storage for n sites (coords, features and index).
+  void reserve(std::size_t n);
 
   /// Append a site (must be new and in bounds); returns its row.
   std::int32_t add_site(const Coord3& c);
@@ -40,6 +47,10 @@ class SparseTensor {
   const Coord3& coord(std::size_t row) const { return coords_[row]; }
   const std::vector<Coord3>& coords() const { return coords_; }
 
+  /// The Morton-ordered coordinate index (rulebook-engine input). The
+  /// reference is invalidated by add_site()/sort_canonical().
+  const CoordIndex& index() const { return index_; }
+
   std::span<float> features(std::size_t row);
   std::span<const float> features(std::size_t row) const;
   float feature(std::size_t row, int channel) const;
@@ -49,10 +60,15 @@ class SparseTensor {
   const std::vector<float>& raw_features() const { return features_; }
 
   /// A tensor with the same coords/extent but `channels` zero channels.
+  /// The coordinate index is shared by copy (no per-site re-indexing).
   SparseTensor zeros_like(int channels) const;
 
   /// Sort sites into canonical (z, y, x) order and rebuild the index.
   void sort_canonical();
+
+  /// True when rows are in canonical (z, y, x) order — set by
+  /// sort_canonical() and preserved by in-order add_site()/zeros_like().
+  bool canonically_sorted() const { return canonically_sorted_; }
 
   /// Max |feature| over all sites/channels (quantization calibration).
   float abs_max() const;
@@ -60,12 +76,15 @@ class SparseTensor {
  private:
   Coord3 extent_;
   int channels_;
+  bool canonically_sorted_{true};  ///< vacuously true while empty
   std::vector<Coord3> coords_;
   std::vector<float> features_;
-  std::unordered_map<Coord3, std::int32_t, Coord3Hash> index_;
+  CoordIndex index_;
 };
 
 /// Max |a - b| over matching sites; requires identical coordinate sets.
+/// When both tensors are canonically sorted, rows align and the per-row
+/// coordinate lookup is skipped.
 float max_abs_diff(const SparseTensor& a, const SparseTensor& b);
 
 }  // namespace esca::sparse

@@ -8,6 +8,10 @@
 
 namespace esca::voxel {
 
+/// Exclusive upper bound of a Morton-encodable coordinate (21 bits per
+/// axis). Tensors guard their extents with this so codes never alias.
+inline constexpr std::int32_t kMortonMaxCoord = 1 << 21;
+
 namespace detail {
 
 /// Spread the low 21 bits of v so consecutive bits land 3 apart.

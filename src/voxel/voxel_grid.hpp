@@ -20,6 +20,13 @@ class VoxelGrid {
   std::size_t occupied_count() const { return coords_.size(); }
   bool empty() const { return coords_.empty(); }
 
+  /// Pre-allocate for n occupied voxels (an upper bound — e.g. the point
+  /// count — avoids per-insert regrowth while voxelizing).
+  void reserve(std::size_t n) {
+    coords_.reserve(n);
+    index_.reserve(n);
+  }
+
   /// Insert (or merge into) a voxel. Feature values accumulate; the count
   /// tracks how many points landed in the voxel.
   void insert(const Coord3& c, float feature = 1.0F);

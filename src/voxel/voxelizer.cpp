@@ -20,6 +20,7 @@ VoxelGrid voxelize(const pc::PointCloud& cloud, const VoxelizerConfig& config) {
 
   const auto res = config.resolution;
   VoxelGrid grid({res, res, res});
+  grid.reserve(source->size());
   const float scale = static_cast<float>(res);
   for (std::size_t i = 0; i < source->size(); ++i) {
     const auto& p = source->position(i);

@@ -153,5 +153,25 @@ TEST(DeviceModelsTest, RejectsBadWorkloads) {
   EXPECT_THROW((void)model_cpu_subconv(w), InvalidArgument);
 }
 
+TEST(CpuBaselineTest, SteadyStateOverloadReplaysGeometryWithoutBuildCost) {
+  Rng rng(153);
+  const auto x = test::clustered_tensor({14, 14, 14}, 2, rng, 4, 80);
+  const sparse::LayerGeometry geometry = sparse::build_submanifold_geometry(x, 3);
+
+  const CpuRunResult end_to_end = time_cpu_subconv(x, 4, 3, /*repeats=*/1);
+  const CpuRunResult steady = time_cpu_subconv(x, 4, geometry, /*repeats=*/1);
+
+  // Same workload (identical MAC count), but the steady-state run charges
+  // no rulebook build.
+  EXPECT_EQ(steady.macs, end_to_end.macs);
+  EXPECT_EQ(steady.rulebook_seconds, 0.0);
+  EXPECT_GT(steady.compute_seconds, 0.0);
+  EXPECT_EQ(steady.total_seconds, steady.compute_seconds);
+
+  // Wrong geometry kind is rejected.
+  const sparse::LayerGeometry down = sparse::build_downsample_geometry(x, 2, 2);
+  EXPECT_THROW((void)time_cpu_subconv(x, 4, down, 1), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace esca::baseline

@@ -1,0 +1,190 @@
+// Unit tests for the Morton-ordered CoordIndex and the sparse geometry
+// engine: lookup semantics, shard determinism, per-scale geometry sharing
+// in the U-Net trace, and the build counter the runtime caching tests key
+// off.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/unet.hpp"
+#include "sparse/coord_index.hpp"
+#include "sparse/geometry.hpp"
+#include "test_util.hpp"
+#include "voxel/morton.hpp"
+
+namespace esca::sparse {
+namespace {
+
+TEST(CoordIndexTest, InsertFindAndDuplicates) {
+  CoordIndex idx;
+  EXPECT_TRUE(idx.insert({1, 2, 3}, 0));
+  EXPECT_TRUE(idx.insert({3, 2, 1}, 1));
+  EXPECT_FALSE(idx.insert({1, 2, 3}, 2));  // duplicate rejected
+  EXPECT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx.find({1, 2, 3}), 0);
+  EXPECT_EQ(idx.find({3, 2, 1}), 1);
+  EXPECT_EQ(idx.find({0, 0, 0}), -1);
+  EXPECT_EQ(idx.find({-1, 0, 0}), -1);  // negative coords never match
+}
+
+TEST(CoordIndexTest, ManyInsertsSurviveTailMerges) {
+  // Enough inserts to force several tail merges; every row stays findable.
+  Rng rng(5);
+  CoordIndex idx;
+  std::vector<Coord3> coords;
+  std::set<Coord3> seen;
+  while (coords.size() < 2000) {
+    const Coord3 c{static_cast<std::int32_t>(rng.uniform_int(0, 63)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, 63)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, 63))};
+    if (!seen.insert(c).second) continue;
+    ASSERT_TRUE(idx.insert(c, static_cast<std::int32_t>(coords.size())));
+    coords.push_back(c);
+  }
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(idx.find(coords[i]), static_cast<std::int32_t>(i));
+  }
+  EXPECT_FALSE(idx.insert(coords.front(), 9999));
+}
+
+TEST(CoordIndexTest, RebuildDetectsDuplicates) {
+  CoordIndex idx;
+  const std::vector<Coord3> unique = {{0, 0, 0}, {5, 5, 5}, {1, 2, 3}};
+  EXPECT_TRUE(idx.rebuild(unique));
+  EXPECT_EQ(idx.find({5, 5, 5}), 1);
+
+  const std::vector<Coord3> dup = {{0, 0, 0}, {5, 5, 5}, {0, 0, 0}};
+  EXPECT_FALSE(idx.rebuild(dup));
+  EXPECT_TRUE(idx.empty());
+}
+
+TEST(CoordIndexTest, EntriesAreMortonSorted) {
+  Rng rng(6);
+  const auto t = test::random_sparse_tensor({20, 20, 20}, 1, 0.05, rng);
+  const auto entries = t.index().entries();
+  ASSERT_EQ(entries.size(), t.size());
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].code, entries[i].code);
+  }
+  for (const auto& e : entries) {
+    EXPECT_EQ(voxel::morton_encode(t.coord(static_cast<std::size_t>(e.row))), e.code);
+  }
+}
+
+TEST(CoordIndexTest, FindNearAgreesWithFindFromAnyCursor) {
+  Rng rng(7);
+  const auto t = test::random_sparse_tensor({24, 24, 24}, 1, 0.04, rng);
+  const CoordIndex& idx = t.index();
+  const auto entries = idx.entries();
+  ASSERT_FALSE(entries.empty());
+
+  // Hits from wildly wrong cursors.
+  for (std::size_t i = 0; i < entries.size(); i += 7) {
+    std::size_t cursor = (i * 131) % entries.size();
+    EXPECT_EQ(idx.find_near(entries[i].code, cursor), entries[i].row);
+    EXPECT_EQ(cursor, i);  // cursor lands on the match
+  }
+  // Misses: probe codes between existing ones and beyond both ends.
+  std::size_t cursor = entries.size() / 2;
+  EXPECT_EQ(idx.find_near(entries.back().code + 1, cursor), -1);
+  cursor = 0;
+  if (entries.front().code > 0) {
+    EXPECT_EQ(idx.find_near(entries.front().code - 1, cursor), -1);
+  }
+}
+
+TEST(GeometryEngineTest, ShardedBuildsAreBitIdentical) {
+  // Not just permutation-equal: shard concatenation must reproduce the
+  // serial rule sequence exactly, so results never depend on thread count.
+  Rng rng(81);
+  const auto t = test::clustered_tensor({24, 24, 24}, 1, rng, 8, 500);
+  const LayerGeometry serial = build_submanifold_geometry(t, 3, {.shards = 1});
+  for (const int shards : {2, 3, 4, 8}) {
+    const LayerGeometry sharded = build_submanifold_geometry(t, 3, {.shards = shards});
+    for (int o = 0; o < serial.rulebook.kernel_volume(); ++o) {
+      EXPECT_EQ(serial.rulebook.rules_for(o), sharded.rulebook.rules_for(o))
+          << "offset " << o << " shards " << shards;
+    }
+  }
+
+  const LayerGeometry down1 = build_downsample_geometry(t, 2, 2, {.shards = 1});
+  const LayerGeometry down4 = build_downsample_geometry(t, 2, 2, {.shards = 4});
+  EXPECT_EQ(down1.out_coords, down4.out_coords);
+  for (int o = 0; o < down1.rulebook.kernel_volume(); ++o) {
+    EXPECT_EQ(down1.rulebook.rules_for(o), down4.rulebook.rules_for(o));
+  }
+}
+
+TEST(GeometryEngineTest, SitesTensorPreservesInputRows) {
+  Rng rng(82);
+  const auto t = test::random_sparse_tensor({12, 12, 12}, 3, 0.1, rng);
+  const LayerGeometry g = build_submanifold_geometry(t, 3);
+  ASSERT_EQ(g.sites.size(), t.size());
+  EXPECT_EQ(g.sites.channels(), 1);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(g.sites.coord(i), t.coord(i));
+  }
+}
+
+TEST(GeometryEngineTest, MacsScaleWithChannels) {
+  Rng rng(83);
+  const auto t = test::random_sparse_tensor({10, 10, 10}, 1, 0.1, rng);
+  const LayerGeometry g = build_submanifold_geometry(t, 3);
+  EXPECT_EQ(g.macs(4, 8), g.total_rules() * 32);
+  EXPECT_GE(g.total_rules(), static_cast<std::int64_t>(t.size()));  // center rules
+}
+
+TEST(GeometryEngineTest, BuildCounterCountsEveryBuild) {
+  Rng rng(84);
+  const auto t = test::random_sparse_tensor({10, 10, 10}, 1, 0.08, rng);
+  const std::uint64_t before = geometry_builds();
+  (void)build_submanifold_geometry(t, 3);
+  (void)build_downsample_geometry(t, 2, 2);
+  const auto fine = t;
+  const DownsamplePlan down = build_strided_rulebook(t, 2, 2);
+  SparseTensor coarse(down.out_extent, 1);
+  for (const Coord3& c : down.out_coords) coarse.add_site(c);
+  (void)build_inverse_geometry(coarse, fine, 2, 2);
+  EXPECT_EQ(geometry_builds(), before + 4);  // 3 direct + 1 via the wrapper
+}
+
+TEST(GeometryEngineTest, ResolveShardsHonorsRequest) {
+  EXPECT_EQ(resolve_geometry_shards(3), 3);
+  EXPECT_GE(resolve_geometry_shards(0), 1);
+}
+
+TEST(GeometryEngineTest, UNetTraceSharesOneGeometryPerScale) {
+  // Sub-Conv never moves the active set: the stem, the encoder blocks and
+  // the decoder blocks at one scale must reference the *same* LayerGeometry
+  // object, not equal copies.
+  Rng rng(85);
+  const auto x = test::clustered_tensor({16, 16, 16}, 1, rng, 5, 120);
+  nn::SSUNetConfig cfg;
+  cfg.base_planes = 2;
+  cfg.levels = 2;
+  cfg.reps_per_level = 2;
+  const nn::SSUNet net(cfg, 9);
+  std::vector<nn::TraceEntry> trace;
+  (void)net.forward(x, &trace);
+
+  const LayerGeometryPtr* scale0 = nullptr;
+  for (const nn::TraceEntry& e : trace) {
+    if (e.kind != nn::LayerKind::kSubmanifoldConv) continue;
+    ASSERT_NE(e.geometry, nullptr) << e.name;
+    if (e.input.size() == x.size()) {
+      if (scale0 == nullptr) {
+        scale0 = &e.geometry;
+      } else {
+        EXPECT_EQ(e.geometry.get(), scale0->get()) << e.name << " rebuilt scale-0 geometry";
+      }
+    }
+  }
+  ASSERT_NE(scale0, nullptr);
+  // stem + 2 encoder blocks + 2 decoder blocks share scale 0.
+  EXPECT_GE(scale0->use_count(), 5);
+}
+
+}  // namespace
+}  // namespace esca::sparse

@@ -6,7 +6,9 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "sparse/geometry.hpp"
 #include "sparse/rulebook.hpp"
+#include "sparse/testing/rulebook_oracle.hpp"
 #include "test_util.hpp"
 
 namespace esca::sparse {
@@ -168,6 +170,129 @@ TEST(RuleBookTest, TotalRulesSumsOffsets) {
   rb.add(13, {2, 2});
   EXPECT_EQ(rb.total_rules(), 3);
   EXPECT_EQ(rb.rules_for(13).size(), 2U);
+}
+
+// ---------------------------------------------------------------------------
+// Morton engine vs. hash oracle: the rewritten builders must produce rule
+// sets permutation-equal to the original hash-probing path, for any shard
+// count. Downsample row numbering differs (Morton vs. first-seen), so those
+// rules are compared through the output *coordinate*.
+// ---------------------------------------------------------------------------
+
+using CoordRule = std::tuple<int, std::int32_t, Coord3>;  // (offset, in_row, out_coord)
+
+std::set<CoordRule> coord_rules(const RuleBook& rb, const std::vector<Coord3>& out_coords) {
+  std::set<CoordRule> s;
+  for (int o = 0; o < rb.kernel_volume(); ++o) {
+    for (const Rule& r : rb.rules_for(o)) {
+      const auto [it, inserted] =
+          s.insert({o, r.in_row, out_coords[static_cast<std::size_t>(r.out_row)]});
+      EXPECT_TRUE(inserted) << "duplicate rule";
+    }
+  }
+  return s;
+}
+
+TEST(GeometryEquivalenceTest, SubmanifoldMatchesHashOracleAcrossShards) {
+  Rng rng(71);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto t = test::random_sparse_tensor({16, 16, 16}, 1, 0.02 + 0.03 * trial, rng);
+    const std::set<RuleTuple> expected = rulebook_set(oracle::submanifold(t, 3));
+    for (const int shards : {1, 2, 4}) {
+      const LayerGeometry g = build_submanifold_geometry(t, 3, {.shards = shards});
+      EXPECT_EQ(rulebook_set(g.rulebook), expected)
+          << "trial " << trial << " shards " << shards;
+    }
+  }
+}
+
+TEST(GeometryEquivalenceTest, StridedMatchesHashOracleAcrossShards) {
+  Rng rng(72);
+  for (const auto [k, stride] : {std::pair{2, 2}, {3, 2}, {2, 3}, {3, 3}}) {
+    const auto t = test::random_sparse_tensor({15, 15, 15}, 1, 0.06, rng);
+    const DownsamplePlan ref = oracle::strided(t, k, stride);
+    const std::set<CoordRule> expected = coord_rules(ref.rulebook, ref.out_coords);
+    for (const int shards : {1, 2, 4}) {
+      const LayerGeometry g = build_downsample_geometry(t, k, stride, {.shards = shards});
+      EXPECT_EQ(g.out_extent, ref.out_extent);
+      EXPECT_EQ(std::set<Coord3>(g.out_coords.begin(), g.out_coords.end()),
+                std::set<Coord3>(ref.out_coords.begin(), ref.out_coords.end()));
+      EXPECT_EQ(coord_rules(g.rulebook, g.out_coords), expected)
+          << "k=" << k << " s=" << stride << " shards " << shards;
+    }
+  }
+}
+
+TEST(GeometryEquivalenceTest, InverseMatchesHashOracleAcrossShards) {
+  Rng rng(73);
+  for (const auto [k, stride] : {std::pair{2, 2}, {3, 2}, {2, 3}}) {
+    const auto fine = test::random_sparse_tensor({14, 14, 14}, 1, 0.05, rng);
+    const DownsamplePlan down = build_strided_rulebook(fine, k, stride);
+    SparseTensor coarse(down.out_extent, 1);
+    for (const Coord3& c : down.out_coords) coarse.add_site(c);
+
+    const std::set<RuleTuple> expected =
+        rulebook_set(oracle::inverse(coarse, fine, k, stride));
+    for (const int shards : {1, 2, 4}) {
+      const LayerGeometry g = build_inverse_geometry(coarse, fine, k, stride,
+                                                     {.shards = shards});
+      EXPECT_EQ(rulebook_set(g.rulebook), expected)
+          << "k=" << k << " s=" << stride << " shards " << shards;
+    }
+  }
+}
+
+TEST(StridedRulebookTest, StrideLargerThanKernelLeavesGaps) {
+  // k=2, s=3: only sites with every coordinate = 0 or 1 (mod 3) fall inside
+  // some output window; a site at 2 (mod 3) on any axis is dropped.
+  SparseTensor t({9, 9, 9}, 1);
+  t.add_site({0, 0, 0});  // window of cell (0,0,0)
+  t.add_site({4, 4, 4});  // 1 (mod 3) on every axis -> cell (1,1,1)
+  t.add_site({2, 0, 0});  // 2 (mod 3) on x -> in no window
+  t.add_site({8, 8, 8});  // 2 (mod 3) everywhere -> dropped boundary site
+  const DownsamplePlan plan = build_strided_rulebook(t, 2, 3);
+  EXPECT_EQ(plan.out_extent, (Coord3{3, 3, 3}));
+  EXPECT_EQ(plan.rulebook.total_rules(), 2);
+  const std::set<Coord3> coords(plan.out_coords.begin(), plan.out_coords.end());
+  EXPECT_EQ(coords, (std::set<Coord3>{{0, 0, 0}, {1, 1, 1}}));
+
+  // And the oracle agrees about the gap structure.
+  const DownsamplePlan ref = oracle::strided(t, 2, 3);
+  EXPECT_EQ(coord_rules(plan.rulebook, plan.out_coords),
+            coord_rules(ref.rulebook, ref.out_coords));
+}
+
+TEST(StridedRulebookTest, ExtentBoundarySitesClampToOutExtent) {
+  // Sites on the max corner of an odd extent: the k=3 window enumeration
+  // must not invent output cells beyond ceil(extent / stride).
+  SparseTensor t({7, 7, 7}, 1);
+  t.add_site({6, 6, 6});
+  t.add_site({0, 0, 0});
+  t.add_site({6, 0, 6});
+  const DownsamplePlan plan = build_strided_rulebook(t, 3, 2);
+  EXPECT_EQ(plan.out_extent, (Coord3{4, 4, 4}));
+  for (const Coord3& c : plan.out_coords) {
+    EXPECT_TRUE(in_bounds(c, plan.out_extent)) << c;
+  }
+  const DownsamplePlan ref = oracle::strided(t, 3, 2);
+  EXPECT_EQ(coord_rules(plan.rulebook, plan.out_coords),
+            coord_rules(ref.rulebook, ref.out_coords));
+}
+
+TEST(InverseRulebookTest, StrideGapsAndBoundaryMatchOracle) {
+  // Fine sites that no coarse window reaches (stride > kernel) must yield
+  // no rules, including at the extent boundary.
+  SparseTensor fine({9, 9, 9}, 1);
+  fine.add_site({0, 0, 0});
+  fine.add_site({2, 2, 2});  // unreachable for k=2, s=3
+  fine.add_site({8, 8, 8});  // unreachable boundary site
+  SparseTensor coarse({3, 3, 3}, 1);
+  coarse.add_site({0, 0, 0});
+  coarse.add_site({2, 2, 2});
+
+  const RuleBook inv = build_inverse_rulebook(coarse, fine, 2, 3);
+  EXPECT_EQ(rulebook_set(inv), rulebook_set(oracle::inverse(coarse, fine, 2, 3)));
+  EXPECT_EQ(inv.total_rules(), 1);  // only (0,0,0) -> (0,0,0)
 }
 
 }  // namespace

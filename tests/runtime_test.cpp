@@ -7,6 +7,7 @@
 #include "nn/submanifold_conv.hpp"
 #include "nn/unet.hpp"
 #include "runtime/runtime.hpp"
+#include "sparse/geometry.hpp"
 #include "test_util.hpp"
 
 namespace esca::runtime {
@@ -77,6 +78,43 @@ TEST(RuntimeParityTest, DenseBackendIsFunctionallyGoldAndFullGridIsSlower) {
   const RunReport full = full_engine.run(plan);
   EXPECT_GT(full.total_seconds(), dense.total_seconds());
   EXPECT_LT(full.effective_gops(), dense.effective_gops());
+}
+
+TEST(RuntimeGeometryCacheTest, FramesReplayPlanCachedGeometryOnEveryBackend) {
+  // Geometry is compiled into the Plan exactly like weight residency:
+  // compile() builds it once, and no frame on any backend triggers another
+  // geometry build. Parity between the ESCA simulator and the CPU gold
+  // path must hold while replaying the cached geometry.
+  Engine esca_engine;
+  const Plan plan = small_unet_plan(esca_engine.backend());
+  for (const core::CompiledLayer& cl : plan.network.layers) {
+    ASSERT_NE(cl.geometry, nullptr);
+    EXPECT_EQ(cl.geometry->sites.size(), cl.input.size());
+  }
+
+  const RunOptions keep{.verify = true, .keep_outputs = true};
+  std::vector<quant::QSparseTensor> esca_outputs;
+  std::vector<quant::QSparseTensor> cpu_outputs;
+
+  const std::uint64_t builds_before = sparse::geometry_builds();
+  for (const auto kind : {BackendKind::kEsca, BackendKind::kCpu, BackendKind::kDense}) {
+    RuntimeConfig cfg;
+    cfg.backend = kind;
+    Engine engine{cfg};
+    const RunReport report = engine.run(plan, FrameBatch::replay(2), keep);
+    ASSERT_EQ(report.frames.size(), 2U);
+    if (kind == BackendKind::kEsca) esca_outputs = report.frames[1].outputs;
+    if (kind == BackendKind::kCpu) cpu_outputs = report.frames[1].outputs;
+  }
+  // Two frames on each of the three backends: zero geometry rebuilds.
+  EXPECT_EQ(sparse::geometry_builds(), builds_before);
+
+  ASSERT_EQ(esca_outputs.size(), plan.layer_count());
+  ASSERT_EQ(cpu_outputs.size(), plan.layer_count());
+  for (std::size_t i = 0; i < esca_outputs.size(); ++i) {
+    EXPECT_TRUE(esca_outputs[i] == cpu_outputs[i])
+        << "layer " << plan.network.layers[i].layer.name();
+  }
 }
 
 TEST(RuntimeSessionTest, WeightDramChargedOnlyOnFirstFrame) {

@@ -112,6 +112,53 @@ TEST(SparseTensorTest, MaxAbsDiff) {
   EXPECT_NEAR(max_abs_diff(a, b), 0.25F, 1e-6F);
 }
 
+TEST(SparseTensorTest, ReservePreservesSemantics) {
+  SparseTensor t({16, 16, 16}, 2);
+  t.reserve(100);
+  const float f[] = {1.0F, 2.0F};
+  for (int i = 0; i < 10; ++i) t.add_site({i, i, i}, f);
+  EXPECT_EQ(t.size(), 10U);
+  EXPECT_EQ(t.find({4, 4, 4}), 4);
+  EXPECT_FLOAT_EQ(t.feature(7, 1), 2.0F);
+}
+
+TEST(SparseTensorTest, CanonicallySortedFlagTracksInsertionOrder) {
+  SparseTensor t({8, 8, 8}, 1);
+  EXPECT_TRUE(t.canonically_sorted());  // vacuously
+  t.add_site({0, 0, 0});
+  t.add_site({1, 0, 0});
+  t.add_site({0, 1, 0});  // (z,y,x) order: still ascending
+  EXPECT_TRUE(t.canonically_sorted());
+  t.add_site({5, 0, 0});  // out of order
+  EXPECT_FALSE(t.canonically_sorted());
+  t.sort_canonical();
+  EXPECT_TRUE(t.canonically_sorted());
+  EXPECT_TRUE(t.zeros_like(3).canonically_sorted());
+}
+
+TEST(SparseTensorTest, MaxAbsDiffFastPathMatchesLookupPath) {
+  // a: canonically sorted; b: same sites in a different row order. The
+  // sorted/sorted pair takes the row-aligned fast path, the mixed pair the
+  // lookup fallback — both must agree.
+  Rng rng(9);
+  const SparseTensor a = test::random_sparse_tensor({10, 10, 10}, 2, 0.15, rng);
+  ASSERT_TRUE(a.canonically_sorted());
+
+  SparseTensor sorted_copy = a;
+  sorted_copy.set_feature(0, 0, a.feature(0, 0) + 0.5F);
+  ASSERT_TRUE(sorted_copy.canonically_sorted());
+  EXPECT_NEAR(max_abs_diff(a, sorted_copy), 0.5F, 1e-6F);
+
+  SparseTensor reversed(a.spatial_extent(), a.channels());
+  for (std::size_t i = a.size(); i-- > 0;) {
+    reversed.add_site(a.coord(i), a.features(i));
+  }
+  ASSERT_FALSE(reversed.canonically_sorted());
+  reversed.set_feature(reversed.size() - 1, 0, a.feature(0, 0) + 0.5F);
+  EXPECT_NEAR(max_abs_diff(a, reversed), 0.5F, 1e-6F);
+  EXPECT_NEAR(max_abs_diff(reversed, a), 0.5F, 1e-6F);
+}
+
 TEST(SparseTensorTest, MaxAbsDiffRejectsMismatchedShapes) {
   SparseTensor a({4, 4, 4}, 1);
   SparseTensor b({4, 4, 4}, 2);
