@@ -1,0 +1,124 @@
+// Serving-layer load generator: pushes a stream of FrameBatch requests
+// through esca::serve::Server and reports the latency distribution
+// (p50/p95/p99), queue behaviour and throughput.
+//
+// Two load models:
+//   mode=closed  N client threads, each submitting its next request the
+//                moment the previous one completes (classic closed loop —
+//                concurrency is the knob, arrival rate adapts).
+//   mode=open    one generator submitting at a fixed arrival rate
+//                (rate=... req/s, 0 = burst everything at once); a full
+//                queue sheds, which is the overload behaviour this mode
+//                exists to show.
+//
+// Usage: bench_serve_throughput [workers=4] [requests=64] [queue=64]
+//          [clients=8] [frames=1] [resolution=64] [mode=closed] [rate=0]
+//          [backend=esca] [verify=1]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "serve/serve.hpp"
+
+namespace {
+
+using namespace esca;  // NOLINT(google-build-using-namespace): bench main
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config args = Config::from_args(argc, argv);
+  const int workers = static_cast<int>(args.get_int("workers", 4));
+  const int requests = static_cast<int>(args.get_int("requests", 64));
+  const auto queue = static_cast<std::size_t>(args.get_int("queue", 64));
+  const int clients = static_cast<int>(args.get_int("clients", 8));
+  const int frames = static_cast<int>(args.get_int("frames", 1));
+  const int resolution = static_cast<int>(args.get_int("resolution", 64));
+  const std::string mode = args.get_string("mode", "closed");
+  const double rate = args.get_double("rate", 0.0);
+  const bool verify = args.get_bool("verify", true);
+
+  std::printf("ESCA bench: serve throughput — %d workers, %d requests (%s loop)\n\n", workers,
+              requests, mode.c_str());
+
+  // Workload: one 1 -> 8 Sub-Conv layer on a ShapeNet-like sample, compiled
+  // once; every worker replica replays the shared Plan.
+  const sparse::SparseTensor input = bench::shapenet_tensor(0, resolution);
+  Rng rng(bench::kSeed);
+  nn::SubmanifoldConv3d conv(1, 8, 3);
+  conv.init_kaiming(rng);
+
+  serve::ServerConfig cfg;
+  cfg.workers = workers;
+  cfg.queue_capacity = queue;
+  cfg.runtime.backend = runtime::parse_backend_kind(args.get_string("backend", "esca"));
+  runtime::Engine compiler{cfg.runtime};
+  const runtime::PlanPtr plan =
+      runtime::share_plan(compiler.compile_layer(conv, input, {.name = "serve-bench"}));
+  std::printf("workload: %zu sites, %lld MACs/frame, %d frame(s)/request\n\n", input.size(),
+              static_cast<long long>(plan->total_macs()), frames);
+
+  serve::Server server(cfg, plan);
+  const serve::SubmitOptions submit{.run = {.verify = verify}};
+  const runtime::FrameBatch batch = runtime::FrameBatch::replay(frames);
+
+  if (mode == "closed") {
+    // Closed loop: `clients` threads share the request budget.
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(clients));
+    std::atomic<int> remaining{requests};
+    for (int c = 0; c < clients; ++c) {
+      pool.emplace_back([&] {
+        serve::Client client = server.client();
+        while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+          (void)client.submit_sync(batch, submit);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  } else if (mode == "open") {
+    serve::Client client = server.client();
+    std::vector<std::future<serve::Response>> futures;
+    futures.reserve(static_cast<std::size_t>(requests));
+    const auto gap = rate > 0.0
+                         ? std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(1.0 / rate))
+                         : std::chrono::steady_clock::duration::zero();
+    auto next = std::chrono::steady_clock::now();
+    for (int r = 0; r < requests; ++r) {
+      futures.push_back(client.submit(batch, submit));
+      if (gap.count() > 0) {
+        next += gap;
+        std::this_thread::sleep_until(next);
+      }
+    }
+    for (auto& f : futures) (void)f.get();
+  } else {
+    std::fprintf(stderr, "unknown mode '%s' (want closed|open)\n", mode.c_str());
+    return 1;
+  }
+
+  const serve::TelemetrySnapshot s = server.telemetry_snapshot();
+  std::fputs(s.table("Serve throughput — " + mode + " loop").c_str(), stdout);
+
+  // Machine-readable summary for trend tracking.
+  std::printf(
+      "\nBENCH {\"bench\":\"serve_throughput\",\"mode\":\"%s\",\"workers\":%d,"
+      "\"requests\":%d,\"completed\":%lld,\"shed\":%lld,\"expired\":%lld,"
+      "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
+      "\"mean_queue_ms\":%.4f,\"throughput_rps\":%.2f,\"frames_per_s\":%.2f}\n",
+      mode.c_str(), workers, requests, static_cast<long long>(s.completed),
+      static_cast<long long>(s.shed), static_cast<long long>(s.expired), s.p50_seconds * 1e3,
+      s.p95_seconds * 1e3, s.p99_seconds * 1e3, s.mean_queue_seconds * 1e3,
+      s.requests_per_second, s.frames_per_second);
+  return 0;
+}

@@ -43,12 +43,46 @@ class Histogram {
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;
 
+  /// Value at quantile q in [0, 1], linearly interpolated inside the
+  /// bucket that crosses the target rank. 0 while empty.
+  double quantile(double q) const;
+
   /// Multi-line ASCII rendering (one row per non-empty bucket).
   std::string to_string(const std::string& label) const;
 
  private:
   double lo_;
   double hi_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_{0};
+};
+
+/// Log-spaced histogram over [lo, hi): bucket edges grow geometrically, so
+/// one instance resolves values spanning several decades (e.g. request
+/// latencies from microseconds to seconds) with bounded relative error.
+/// Samples below lo / at or above hi clamp to the first/last bucket.
+class LogHistogram {
+ public:
+  /// `buckets_per_decade` buckets for every 10x of range (>= 1).
+  LogHistogram(double lo, double hi, std::size_t buckets_per_decade = 16);
+
+  void add(double x);
+  std::int64_t total() const { return total_; }
+  std::size_t buckets() const { return counts_.size(); }
+  std::int64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+
+  /// Value at quantile q in [0, 1], geometrically interpolated inside the
+  /// bucket that crosses the target rank. 0 while empty.
+  double quantile(double q) const;
+
+  /// Fold another histogram with identical bucketing into this one.
+  void merge(const LogHistogram& other);
+
+ private:
+  double log_lo_;
+  double log_step_;  ///< log-domain bucket width
   std::vector<std::int64_t> counts_;
   std::int64_t total_{0};
 };

@@ -105,9 +105,12 @@ sparse::SparseTensor SSUNet::forward(const sparse::SparseTensor& input,
                                 input, x, stem_.get(), stem_bn_.get(), true, scale_geo});
   }
 
-  // Encoder: keep each level's output (and geometry) for the skip path.
+  // Encoder: keep each level's output (and geometries) for the skip path —
+  // the decoder replays the Sub-Conv geometry and derives the inverse-conv
+  // geometry by transposing the recorded downsample geometry.
   std::vector<sparse::SparseTensor> skips;
   std::vector<sparse::LayerGeometryPtr> skip_geos;
+  std::vector<sparse::LayerGeometryPtr> down_geos;
   for (int l = 0; l < config_.levels; ++l) {
     const Level& level = levels_[static_cast<std::size_t>(l)];
     for (std::size_t r = 0; r < level.encoder_blocks.size(); ++r) {
@@ -128,17 +131,19 @@ sparse::SparseTensor SSUNet::forward(const sparse::SparseTensor& input,
                        x, y, nullptr, nullptr, false, down_geo});
       }
       x = std::move(y);
+      down_geos.push_back(down_geo);
       scale_geo = sparse::make_submanifold_geometry(x, config_.kernel_size);
     }
   }
 
   // Decoder: the inverse conv restores the encoder scale, so its blocks
-  // replay the encoder geometry recorded above.
+  // replay the encoder geometry recorded above; the inverse-conv geometry
+  // is the transpose of the recorded downsample geometry (no extra build).
   for (int l = config_.levels - 2; l >= 0; --l) {
     const Level& level = levels_[static_cast<std::size_t>(l)];
     const sparse::SparseTensor& skip = skips[static_cast<std::size_t>(l)];
-    const sparse::LayerGeometryPtr up_geo = sparse::make_inverse_geometry(
-        x, skip, level.up->kernel_size(), level.up->stride());
+    const sparse::LayerGeometryPtr up_geo = sparse::make_transposed_inverse_geometry(
+        *down_geos[static_cast<std::size_t>(l)], x, skip);
     sparse::SparseTensor y = level.up->forward(x, skip, *up_geo);
     if (trace != nullptr) {
       trace->push_back(

@@ -26,6 +26,8 @@ Plan make_plan(core::CompiledNetwork network) {
   return Plan{next_plan_uid(), std::move(network)};
 }
 
+PlanPtr share_plan(Plan plan) { return std::make_shared<const Plan>(std::move(plan)); }
+
 FrameBatch FrameBatch::replay(int n, const std::string& prefix) {
   ESCA_REQUIRE(n >= 1, "batch must contain at least one frame, got " << n);
   FrameBatch batch;

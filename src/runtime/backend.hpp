@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,16 @@ struct Plan {
 /// Assign a fresh uid to a compiled network. Backends use this in compile();
 /// call it directly only when hand-building a Plan.
 Plan make_plan(core::CompiledNetwork network);
+
+/// Shared ownership of an immutable Plan. Compiled networks are heavy
+/// (quantized weights + calibration tensors + gold outputs), so anything
+/// that replicates execution — one Session per serve worker, multi-backend
+/// comparisons — shares one Plan instead of copying it. Every read path of
+/// a Plan is const and lock-free, so concurrent executors are safe.
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// Wrap a Plan for sharing (serve workers, multi-session execution).
+PlanPtr share_plan(Plan plan);
 
 /// A batch of frames to push through a Plan. Each frame replays the Plan's
 /// calibration inputs (steady-state replay — the paper's batch evaluation);

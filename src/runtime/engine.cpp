@@ -54,4 +54,6 @@ RunReport Engine::run(const Plan& plan, const FrameBatch& batch, const RunOption
 
 Session Engine::open_session(Plan plan) { return Session(*backend_, std::move(plan)); }
 
+Session Engine::open_session(PlanPtr plan) { return Session(*backend_, std::move(plan)); }
+
 }  // namespace esca::runtime

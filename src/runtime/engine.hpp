@@ -70,6 +70,10 @@ class Engine {
   /// must not outlive it.
   Session open_session(Plan plan);
 
+  /// Open a session over an already-shared Plan (serve worker replication:
+  /// every worker's Engine opens its own Session over one PlanPtr).
+  Session open_session(PlanPtr plan);
+
  private:
   RuntimeConfig config_;
   std::unique_ptr<Backend> backend_;

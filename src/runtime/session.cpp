@@ -6,8 +6,13 @@
 
 namespace esca::runtime {
 
-Session::Session(Backend& backend, Plan plan) : backend_(&backend), plan_(std::move(plan)) {
-  ESCA_REQUIRE(!plan_.network.layers.empty(), "session plan has no layers");
+Session::Session(Backend& backend, Plan plan)
+    : Session(backend, share_plan(std::move(plan))) {}
+
+Session::Session(Backend& backend, PlanPtr plan)
+    : backend_(&backend), plan_(std::move(plan)) {
+  ESCA_REQUIRE(plan_ != nullptr, "session plan is null");
+  ESCA_REQUIRE(!plan_->network.layers.empty(), "session plan has no layers");
 }
 
 RunReport Session::submit(const FrameBatch& batch, const RunOptions& options) {
@@ -16,7 +21,7 @@ RunReport Session::submit(const FrameBatch& batch, const RunOptions& options) {
   report.backend_name = backend_->name();
   history_.backend_name = report.backend_name;
   for (const std::string& frame_id : batch.frame_ids) {
-    report.frames.push_back(backend_->run_frame(plan_, frame_id, options));
+    report.frames.push_back(backend_->run_frame(*plan_, frame_id, options));
     ++frames_submitted_;
     // Record history per frame (so a mid-batch verify failure still leaves
     // the completed frames accounted for), keeping the cumulative stats but
@@ -31,7 +36,7 @@ RunReport Session::submit(const FrameBatch& batch, const RunOptions& options) {
   return report;
 }
 
-bool Session::weights_resident() const { return backend_->weights_resident_for(plan_); }
+bool Session::weights_resident() const { return backend_->weights_resident_for(*plan_); }
 
 void Session::invalidate_weights() { backend_->invalidate_weights(); }
 

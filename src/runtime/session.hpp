@@ -16,10 +16,18 @@ namespace esca::runtime {
 class Session {
  public:
   /// Borrows `backend` (usually via Engine::open_session); the Session must
-  /// not outlive it.
+  /// not outlive it. The Plan is wrapped for sharing — prefer the PlanPtr
+  /// overload when several Sessions execute the same network.
   Session(Backend& backend, Plan plan);
 
-  const Plan& plan() const { return plan_; }
+  /// Shared-plan Session: any number of Sessions (each over its own
+  /// Backend replica) can execute one compiled Plan concurrently — the
+  /// serve worker-pool building block. `plan` must be non-null.
+  Session(Backend& backend, PlanPtr plan);
+
+  const Plan& plan() const { return *plan_; }
+  /// The shared Plan handle (open a replica Session with it).
+  const PlanPtr& plan_ptr() const { return plan_; }
   Backend& backend() { return *backend_; }
 
   /// Run every frame of the batch, carrying weight residency from any
@@ -42,7 +50,7 @@ class Session {
 
  private:
   Backend* backend_;
-  Plan plan_;
+  PlanPtr plan_;
   std::size_t frames_submitted_{0};
   RunReport history_;
 };

@@ -1,0 +1,104 @@
+// Bounded MPMC request queue with priorities — the admission-control stage
+// of the serving layer.
+//
+// Producers (client threads) call try_push(), which never blocks: a full
+// queue rejects the item and the caller sheds the request immediately
+// (backpressure is surfaced to the client instead of queueing unboundedly,
+// the standard overload response for a latency-bound service). Consumers
+// (worker threads) call pop(), which blocks until an item arrives or the
+// queue is closed; after close() the remaining items drain in order before
+// pop() returns nullopt.
+//
+// Ordering: highest priority first, FIFO within a priority (a monotonic
+// sequence number breaks ties), so equal-priority traffic keeps arrival
+// order and latency percentiles stay meaningful.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace esca::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    ESCA_REQUIRE(capacity >= 1, "queue capacity must be >= 1, got " << capacity);
+  }
+
+  /// Non-blocking admission: false when the queue is full or closed (the
+  /// caller sheds the request).
+  bool try_push(T item, int priority = 0) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || heap_.size() >= capacity_) return false;
+      heap_.push_back(Slot{std::move(item), priority, next_seq_++});
+      std::push_heap(heap_.begin(), heap_.end(), SlotLess{});
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !heap_.empty(); });
+    if (heap_.empty()) return std::nullopt;
+    std::pop_heap(heap_.begin(), heap_.end(), SlotLess{});
+    T item = std::move(heap_.back().item);
+    heap_.pop_back();
+    return item;
+  }
+
+  /// Stop admitting; wake every blocked consumer once the backlog drains.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    T item;
+    int priority;
+    std::uint64_t seq;
+  };
+
+  /// Max-heap order: higher priority wins, earlier sequence breaks ties.
+  struct SlotLess {
+    bool operator()(const Slot& a, const Slot& b) const {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<Slot> heap_;
+  std::uint64_t next_seq_{0};
+  bool closed_{false};
+};
+
+}  // namespace esca::serve

@@ -1,0 +1,14 @@
+// Umbrella header for the esca::serve subsystem — concurrent multi-session
+// serving over the runtime layer:
+//
+//   Server    — worker pool, one Backend+Session replica per worker over a
+//               shared Plan, bounded priority queue with admission control
+//   Client    — submission handle returning future<Response>
+//   Telemetry — streaming latency percentiles, queue depth, shed counts
+//
+// See server.hpp for the architecture sketch.
+#pragma once
+
+#include "serve/request_queue.hpp"  // IWYU pragma: export
+#include "serve/server.hpp"         // IWYU pragma: export
+#include "serve/telemetry.hpp"      // IWYU pragma: export

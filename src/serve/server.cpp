@@ -1,0 +1,161 @@
+#include "serve/server.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace esca::serve {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* to_string(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kShed: return "shed";
+    case RequestStatus::kExpired: return "expired";
+    case RequestStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::future<Response> Client::submit(const runtime::FrameBatch& batch,
+                                     const SubmitOptions& options) {
+  return server_->submit(batch, options);
+}
+
+Response Client::submit_sync(const runtime::FrameBatch& batch, const SubmitOptions& options) {
+  return server_->submit(batch, options).get();
+}
+
+Server::Server(ServerConfig config, runtime::PlanPtr plan)
+    : config_(std::move(config)),
+      plan_(std::move(plan)),
+      queue_(config_.queue_capacity) {
+  ESCA_REQUIRE(config_.workers >= 1, "server needs at least one worker, got "
+                                         << config_.workers);
+  ESCA_REQUIRE(plan_ != nullptr, "server plan is null");
+  ESCA_REQUIRE(!plan_->network.layers.empty(), "server plan has no layers");
+  if (!config_.start_paused) start();
+}
+
+Server::Server(ServerConfig config, runtime::Plan plan)
+    : Server(std::move(config), runtime::share_plan(std::move(plan))) {}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  ESCA_REQUIRE(!stopped_.load(), "server is shut down; it cannot be restarted");
+  if (started_.exchange(true)) return;
+  workers_.reserve(static_cast<std::size_t>(config_.workers));
+  for (int w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void Server::shutdown() {
+  if (stopped_.exchange(true)) return;
+  queue_.close();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // A never-started server may still hold queued requests; shed them so
+  // every promise resolves.
+  while (auto request = queue_.pop()) {
+    telemetry_.on_shed();
+    Response response;
+    response.status = RequestStatus::kShed;
+    fulfill(*request, std::move(response));
+  }
+}
+
+std::future<Response> Server::submit(const runtime::FrameBatch& batch,
+                                     const SubmitOptions& options) {
+  ESCA_REQUIRE(batch.size() >= 1, "batch must contain at least one frame");
+  telemetry_.on_submitted();
+
+  PendingRequest request;
+  request.id = ++next_request_id_;
+  request.batch = batch;
+  request.options = options;
+  request.enqueued = std::chrono::steady_clock::now();
+  if (options.timeout_seconds > 0.0) {
+    request.deadline = request.enqueued +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(options.timeout_seconds));
+  }
+  std::future<Response> future = request.promise.get_future();
+  const std::uint64_t id = request.id;
+
+  if (!queue_.try_push(std::move(request), options.priority)) {
+    // Admission control: full (or stopped) queue sheds synchronously — the
+    // client learns about overload now, not after a timeout.
+    telemetry_.on_shed();
+    std::promise<Response> shed_promise;
+    future = shed_promise.get_future();
+    Response response;
+    response.status = RequestStatus::kShed;
+    response.request_id = id;
+    shed_promise.set_value(std::move(response));
+    return future;
+  }
+  telemetry_.sample_queue_depth(queue_.depth());
+  return future;
+}
+
+Client Server::client() { return Client(this, ++next_client_id_); }
+
+void Server::worker_loop(int worker_id) {
+  // Worker-private execution state: its own Backend (simulator + weight
+  // residency) and a Session replica over the shared immutable Plan.
+  const std::unique_ptr<runtime::Backend> backend = runtime::make_backend(config_.runtime);
+  runtime::Session session(*backend, plan_);
+
+  while (auto request = queue_.pop()) {
+    telemetry_.sample_queue_depth(queue_.depth());
+    const auto picked_up = std::chrono::steady_clock::now();
+    const double queue_seconds = seconds_between(request->enqueued, picked_up);
+
+    Response response;
+    response.request_id = request->id;
+    response.queue_seconds = queue_seconds;
+
+    if (request->deadline && picked_up > *request->deadline) {
+      response.status = RequestStatus::kExpired;
+      response.total_seconds = queue_seconds;
+      telemetry_.on_expired(queue_seconds);
+      fulfill(*request, std::move(response));
+      continue;
+    }
+
+    response.worker_id = worker_id;
+    try {
+      response.report = session.submit(request->batch, request->options.run);
+      response.status = RequestStatus::kOk;
+    } catch (const std::exception& e) {
+      response.status = RequestStatus::kFailed;
+      response.error = e.what();
+    }
+    const auto finished = std::chrono::steady_clock::now();
+    response.execute_seconds = seconds_between(picked_up, finished);
+    response.total_seconds = seconds_between(request->enqueued, finished);
+    if (response.status == RequestStatus::kOk) {
+      telemetry_.on_completed(queue_seconds, response.total_seconds, request->batch.size());
+    } else {
+      telemetry_.on_failed(response.total_seconds);
+    }
+    fulfill(*request, std::move(response));
+  }
+}
+
+void Server::fulfill(PendingRequest& request, Response response) {
+  request.promise.set_value(std::move(response));
+}
+
+}  // namespace esca::serve

@@ -1,0 +1,168 @@
+// esca::serve — concurrent multi-session serving over one compiled Plan.
+//
+// The paper evaluates single-stream batch latency; a deployed accelerator
+// is a shared resource fed by many concurrent streams (PointAcc frames the
+// same scenario). The Server turns the runtime into that system:
+//
+//   clients ── submit(FrameBatch) ──► bounded priority queue ──► worker pool
+//                  │ (full → shed)        (deadline checked        │
+//                  ▼                       at pickup)              ▼
+//            future<Response>                        one Backend + Session
+//                                                    replica per worker over
+//                                                    the SHARED PlanPtr
+//
+// Each worker owns a private Backend (its own simulator state and weight
+// residency) and a runtime::Session over the shared immutable Plan, so
+// execution needs no locking and results are bit-identical to a sequential
+// Session::submit of the same batches. Admission control sheds requests
+// when the queue is full; per-request deadlines expire in the queue without
+// ever executing; Telemetry aggregates latency percentiles, queue depth,
+// shed counts and throughput.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/telemetry.hpp"
+
+namespace esca::serve {
+
+/// Terminal state of one request.
+enum class RequestStatus : std::uint8_t {
+  kOk,       ///< executed; `report` carries the per-frame results
+  kShed,     ///< rejected at admission (queue full or server stopped)
+  kExpired,  ///< deadline passed while queued; never executed
+  kFailed,   ///< execution threw; `error` carries the message
+};
+
+const char* to_string(RequestStatus status);
+
+/// Per-request submission knobs.
+struct SubmitOptions {
+  /// Higher-priority requests are picked up first (FIFO within a priority).
+  int priority{0};
+  /// Relative deadline in seconds; <= 0 means none. A request whose
+  /// deadline passes before a worker picks it up is dropped unexecuted.
+  double timeout_seconds{0.0};
+  /// Execution options forwarded to runtime::Session::submit.
+  runtime::RunOptions run{};
+};
+
+/// Everything a client gets back for one request.
+struct Response {
+  RequestStatus status{RequestStatus::kShed};
+  std::uint64_t request_id{0};
+  int worker_id{-1};            ///< -1 when the request never executed
+  runtime::RunReport report;    ///< filled for kOk (core/report-compatible)
+  std::string error;            ///< filled for kFailed
+  double queue_seconds{0.0};    ///< admission -> worker pickup
+  double execute_seconds{0.0};  ///< wall clock inside Session::submit
+  double total_seconds{0.0};    ///< admission -> completion
+
+  bool ok() const { return status == RequestStatus::kOk; }
+};
+
+struct ServerConfig {
+  int workers{2};
+  std::size_t queue_capacity{64};
+  /// Backend every worker replicates (one Backend instance per worker).
+  runtime::RuntimeConfig runtime{};
+  /// When true the constructor does not launch the worker pool; call
+  /// start(). Deterministic queue tests fill the queue before any worker
+  /// can drain it.
+  bool start_paused{false};
+};
+
+class Server;
+
+/// Lightweight submission handle — copyable, safe to use from any thread;
+/// must not outlive the Server.
+class Client {
+ public:
+  std::future<Response> submit(const runtime::FrameBatch& batch,
+                               const SubmitOptions& options = {});
+  /// Submit and block for the response.
+  Response submit_sync(const runtime::FrameBatch& batch, const SubmitOptions& options = {});
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Server;
+  Client(Server* server, std::uint64_t id) : server_(server), id_(id) {}
+
+  Server* server_;
+  std::uint64_t id_;
+};
+
+class Server {
+ public:
+  /// Spawns `config.workers` worker threads (unless start_paused), each
+  /// with a private Backend and a Session over the shared `plan`.
+  Server(ServerConfig config, runtime::PlanPtr plan);
+
+  /// Convenience: compile-once, serve-many (wraps the Plan for sharing).
+  Server(ServerConfig config, runtime::Plan plan);
+
+  /// Drains the queue and joins the workers.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launch the worker pool (no-op when already running).
+  void start();
+
+  /// Stop admitting, let workers drain the backlog, join them. Requests
+  /// still queued on a never-started server are shed. Idempotent.
+  void shutdown();
+
+  /// Submit a batch; the future resolves when a worker finishes it (or
+  /// immediately with kShed when admission rejects it).
+  std::future<Response> submit(const runtime::FrameBatch& batch,
+                               const SubmitOptions& options = {});
+
+  /// A new client handle (distinct id, shared queue).
+  Client client();
+
+  const ServerConfig& config() const { return config_; }
+  const runtime::Plan& plan() const { return *plan_; }
+  int workers() const { return config_.workers; }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  bool running() const { return started_ && !stopped_; }
+
+  const Telemetry& telemetry() const { return telemetry_; }
+  TelemetrySnapshot telemetry_snapshot() const { return telemetry_.snapshot(); }
+
+ private:
+  struct PendingRequest {
+    std::uint64_t id;
+    runtime::FrameBatch batch;
+    SubmitOptions options;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  void worker_loop(int worker_id);
+  void fulfill(PendingRequest& request, Response response);
+
+  ServerConfig config_;
+  runtime::PlanPtr plan_;
+  BoundedQueue<PendingRequest> queue_;
+  Telemetry telemetry_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_request_id_{0};
+  std::atomic<std::uint64_t> next_client_id_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace esca::serve

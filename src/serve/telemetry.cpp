@@ -1,0 +1,118 @@
+#include "serve/telemetry.hpp"
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace esca::serve {
+
+namespace {
+
+// Latency histogram range: 100 ns .. 1000 s, 20 buckets per decade keeps
+// quantile error under ~12 % anywhere in the range.
+constexpr double kLatencyLo = 1e-7;
+constexpr double kLatencyHi = 1e3;
+constexpr std::size_t kBucketsPerDecade = 20;
+
+}  // namespace
+
+Telemetry::Telemetry() : latency_hist_(kLatencyLo, kLatencyHi, kBucketsPerDecade) {}
+
+void Telemetry::on_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!saw_submit_) {
+    first_submit_ = std::chrono::steady_clock::now();
+    saw_submit_ = true;
+  }
+  ++submitted_;
+}
+
+void Telemetry::on_shed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++shed_;
+}
+
+void Telemetry::on_expired(double queue_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++expired_;
+  queue_wait_.add(queue_seconds);
+}
+
+void Telemetry::on_failed(double total_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++failed_;
+  // Failed requests executed too: mean/max and the quantile histogram must
+  // describe the same population.
+  latency_.add(total_seconds);
+  latency_hist_.add(total_seconds);
+}
+
+void Telemetry::on_completed(double queue_seconds, double total_seconds, std::size_t frames) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++completed_;
+  frames_ += static_cast<std::int64_t>(frames);
+  queue_wait_.add(queue_seconds);
+  latency_.add(total_seconds);
+  latency_hist_.add(total_seconds);
+}
+
+void Telemetry::sample_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_depth_.add(static_cast<double>(depth));
+}
+
+TelemetrySnapshot Telemetry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TelemetrySnapshot s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.shed = shed_;
+  s.expired = expired_;
+  s.failed = failed_;
+  s.frames = frames_;
+  s.p50_seconds = latency_hist_.quantile(0.50);
+  s.p95_seconds = latency_hist_.quantile(0.95);
+  s.p99_seconds = latency_hist_.quantile(0.99);
+  s.mean_seconds = latency_.mean();
+  s.max_seconds = latency_.max();
+  s.mean_queue_seconds = queue_wait_.mean();
+  s.max_queue_seconds = queue_wait_.max();
+  s.mean_queue_depth = queue_depth_.mean();
+  s.max_queue_depth = queue_depth_.max();
+  if (saw_submit_) {
+    s.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - first_submit_)
+            .count();
+  }
+  if (s.elapsed_seconds > 0.0) {
+    s.requests_per_second = static_cast<double>(completed_) / s.elapsed_seconds;
+    s.frames_per_second = static_cast<double>(frames_) / s.elapsed_seconds;
+  }
+  return s;
+}
+
+std::string TelemetrySnapshot::table(const std::string& title) const {
+  Table t(title);
+  t.header({"Metric", "Value"});
+  t.row({"submitted", std::to_string(submitted)});
+  t.row({"completed", std::to_string(completed)});
+  t.row({"shed (queue full)", std::to_string(shed)});
+  t.row({"expired (deadline)", std::to_string(expired)});
+  t.row({"failed", std::to_string(failed)});
+  t.separator();
+  t.row({"latency p50", units::seconds(p50_seconds)});
+  t.row({"latency p95", units::seconds(p95_seconds)});
+  t.row({"latency p99", units::seconds(p99_seconds)});
+  t.row({"latency mean / max", units::seconds(mean_seconds) + " / " + units::seconds(max_seconds)});
+  t.row({"queue wait mean / max",
+         units::seconds(mean_queue_seconds) + " / " + units::seconds(max_queue_seconds)});
+  t.row({"queue depth mean / max",
+         str::fixed(mean_queue_depth, 2) + " / " + str::fixed(max_queue_depth, 0)});
+  t.separator();
+  t.row({"elapsed", units::seconds(elapsed_seconds)});
+  t.row({"throughput", str::fixed(requests_per_second, 1) + " req/s, " +
+                           str::fixed(frames_per_second, 1) + " frames/s"});
+  return t.to_string();
+}
+
+}  // namespace esca::serve

@@ -1,0 +1,81 @@
+// Latency telemetry for the serving layer.
+//
+// Every request outcome is folded into streaming aggregates built from the
+// common/stats primitives: a log-spaced latency histogram (p50/p95/p99 over
+// microseconds-to-seconds without per-request storage), Welford stats for
+// queue wait and queue depth, and plain counters for shed/expired/failed
+// traffic. A Snapshot is a consistent copy taken under the mutex; rendering
+// goes through the same common/table pathway the benches use, and each
+// Response's RunReport still feeds core/report tables/CSV unchanged.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace esca::serve {
+
+/// Consistent copy of the server's aggregate state at one instant.
+struct TelemetrySnapshot {
+  std::int64_t submitted{0};  ///< accepted + rejected submissions
+  std::int64_t completed{0};  ///< executed successfully
+  std::int64_t shed{0};       ///< rejected at admission (queue full/closed)
+  std::int64_t expired{0};    ///< deadline passed while queued; never executed
+  std::int64_t failed{0};     ///< execution threw
+  std::int64_t frames{0};     ///< frames across completed requests
+
+  double p50_seconds{0.0};  ///< end-to-end request latency quantiles
+  double p95_seconds{0.0};
+  double p99_seconds{0.0};
+  double mean_seconds{0.0};
+  double max_seconds{0.0};
+
+  double mean_queue_seconds{0.0};  ///< admission -> worker pickup
+  double max_queue_seconds{0.0};
+
+  double mean_queue_depth{0.0};  ///< sampled at every push/pop
+  double max_queue_depth{0.0};
+
+  double elapsed_seconds{0.0};     ///< since the first submission
+  double requests_per_second{0.0}; ///< completed / elapsed
+  double frames_per_second{0.0};
+
+  /// Column-aligned rendering (the bench/demo report format).
+  std::string table(const std::string& title) const;
+};
+
+class Telemetry {
+ public:
+  Telemetry();
+
+  void on_submitted();
+  void on_shed();
+  void on_expired(double queue_seconds);
+  void on_failed(double total_seconds);
+  void on_completed(double queue_seconds, double total_seconds, std::size_t frames);
+  void sample_queue_depth(std::size_t depth);
+
+  TelemetrySnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::chrono::steady_clock::time_point first_submit_{};
+  bool saw_submit_{false};
+
+  std::int64_t submitted_{0};
+  std::int64_t completed_{0};
+  std::int64_t shed_{0};
+  std::int64_t expired_{0};
+  std::int64_t failed_{0};
+  std::int64_t frames_{0};
+
+  LogHistogram latency_hist_;
+  RunningStat latency_;
+  RunningStat queue_wait_;
+  RunningStat queue_depth_;
+};
+
+}  // namespace esca::serve

@@ -24,6 +24,7 @@ constexpr bool kThreadingEnabled = (ESCA_GEOMETRY_THREADS != 0);
 constexpr int kMaxShards = 64;
 
 std::atomic<std::uint64_t> g_geometry_builds{0};
+std::atomic<std::uint64_t> g_geometry_transposes{0};
 
 int default_shards() {
   static const int cached = [] {
@@ -132,6 +133,10 @@ std::int64_t LayerGeometry::macs(int in_channels, int out_channels) const {
 }
 
 std::uint64_t geometry_builds() { return g_geometry_builds.load(std::memory_order_relaxed); }
+
+std::uint64_t geometry_transposes() {
+  return g_geometry_transposes.load(std::memory_order_relaxed);
+}
 
 int resolve_geometry_shards(int requested) {
   if (requested > 0) return std::min(requested, kMaxShards);
@@ -309,6 +314,44 @@ LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTens
   return g;
 }
 
+LayerGeometry transpose_downsample_geometry(const LayerGeometry& down,
+                                            const SparseTensor& coarse,
+                                            const SparseTensor& target) {
+  ESCA_REQUIRE(down.kind == GeometryKind::kDownsample,
+               "can only transpose a downsample geometry, got " << to_string(down.kind));
+  ESCA_REQUIRE(coarse.size() == down.out_coords.size(),
+               "coarse tensor has " << coarse.size() << " sites, downsample produced "
+                                    << down.out_coords.size());
+  ESCA_REQUIRE(target.size() == down.sites.size(),
+               "target tensor has " << target.size() << " sites, downsample consumed "
+                                    << down.sites.size());
+  for (std::size_t r = 0; r < coarse.size(); ++r) {
+    ESCA_REQUIRE(coarse.coord(r) == down.out_coords[r],
+                 "coarse row " << r << " is " << coarse.coord(r)
+                               << ", downsample output row is " << down.out_coords[r]);
+  }
+  for (std::size_t r = 0; r < target.size(); ++r) {
+    ESCA_REQUIRE(target.coord(r) == down.sites.coord(r),
+                 "target row " << r << " is " << target.coord(r)
+                               << ", downsample input row is " << down.sites.coord(r));
+  }
+  g_geometry_transposes.fetch_add(1, std::memory_order_relaxed);
+
+  LayerGeometry g(GeometryKind::kInverse, down.kernel_size, down.stride,
+                  coarse.zeros_like(1));
+  g.out_extent = target.spatial_extent();
+  // Both builders walk fine rows in ascending order with the kernel-cell
+  // loop innermost, so swapping in/out per rule reproduces the sequence
+  // build_inverse_geometry would emit — not just the same rule set.
+  const int volume = down.rulebook.kernel_volume();
+  for (int o = 0; o < volume; ++o) {
+    for (const Rule& r : down.rulebook.rules_for(o)) {
+      g.rulebook.add(o, Rule{r.out_row, r.in_row});
+    }
+  }
+  return g;
+}
+
 LayerGeometryPtr make_submanifold_geometry(const SparseTensor& input, int kernel_size,
                                            const GeometryOptions& options) {
   return std::make_shared<const LayerGeometry>(
@@ -326,6 +369,13 @@ LayerGeometryPtr make_inverse_geometry(const SparseTensor& input, const SparseTe
                                        const GeometryOptions& options) {
   return std::make_shared<const LayerGeometry>(
       build_inverse_geometry(input, target, kernel_size, stride, options));
+}
+
+LayerGeometryPtr make_transposed_inverse_geometry(const LayerGeometry& down,
+                                                  const SparseTensor& coarse,
+                                                  const SparseTensor& target) {
+  return std::make_shared<const LayerGeometry>(
+      transpose_downsample_geometry(down, coarse, target));
 }
 
 }  // namespace esca::sparse

@@ -102,6 +102,19 @@ LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTens
                                      int kernel_size, int stride,
                                      const GeometryOptions& options = {});
 
+/// Derive the inverse geometry from an already-built downsample geometry by
+/// transposing its rulebook (swap in/out rows, keep the kernel cell): the
+/// forward strided conv and its inverse enumerate exactly the same
+/// (fine site, kernel cell, coarse cell) triples, so no coordinate search
+/// is needed and no geometry build is counted. Bit-identical to
+/// build_inverse_geometry(coarse, target, k, stride) — rule order included.
+///
+/// `coarse` must be the downsample's output tensor (rows == down.out_coords)
+/// and `target` the tensor the inverse restores (rows == down.sites rows).
+LayerGeometry transpose_downsample_geometry(const LayerGeometry& down,
+                                            const SparseTensor& coarse,
+                                            const SparseTensor& target);
+
 /// Convenience: build and wrap in a shared handle.
 LayerGeometryPtr make_submanifold_geometry(const SparseTensor& input, int kernel_size,
                                            const GeometryOptions& options = {});
@@ -111,10 +124,19 @@ LayerGeometryPtr make_inverse_geometry(const SparseTensor& input, const SparseTe
                                        int kernel_size, int stride,
                                        const GeometryOptions& options = {});
 
+/// Shared-handle variant of transpose_downsample_geometry.
+LayerGeometryPtr make_transposed_inverse_geometry(const LayerGeometry& down,
+                                                  const SparseTensor& coarse,
+                                                  const SparseTensor& target);
+
 /// Process-wide count of geometry builds (any kind). Monotonic; tests use
 /// it to prove that steady-state frames replay cached geometry instead of
-/// rebuilding it.
+/// rebuilding it. Rulebook transposes are NOT builds — they are counted by
+/// geometry_transposes().
 std::uint64_t geometry_builds();
+
+/// Process-wide count of transpose-derived geometries.
+std::uint64_t geometry_transposes();
 
 /// The shard count a build with `requested` shards would actually use
 /// (0 = resolve the default; see GeometryOptions::shards).

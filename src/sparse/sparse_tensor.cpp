@@ -20,12 +20,17 @@ SparseTensor::SparseTensor(Coord3 spatial_extent, int channels)
 
 SparseTensor SparseTensor::from_voxel_grid(const voxel::VoxelGrid& grid, int channels) {
   SparseTensor t(grid.extent(), channels);
-  t.reserve(grid.occupied_count());
-  for (const Coord3& c : grid.coords()) {
-    const std::int32_t row = t.add_site(c);
-    t.set_feature(static_cast<std::size_t>(row), 0, grid.feature_at(c));
+  // Bulk build: one sort over all sites plus one index rebuild, instead of
+  // per-site sorted-tail inserts followed by a second canonical sort.
+  // VoxelGrid::insert already bounds-checks every site against this extent.
+  t.coords_ = grid.coords();
+  std::sort(t.coords_.begin(), t.coords_.end());
+  ESCA_CHECK(t.index_.rebuild(t.coords_), "duplicate coordinate in voxel grid");
+  t.features_.assign(t.coords_.size() * static_cast<std::size_t>(channels), 0.0F);
+  for (std::size_t row = 0; row < t.coords_.size(); ++row) {
+    t.features_[row * static_cast<std::size_t>(channels)] = grid.feature_at(t.coords_[row]);
   }
-  t.sort_canonical();
+  t.canonically_sorted_ = true;
   return t;
 }
 

@@ -155,6 +155,70 @@ TEST(GeometryEngineTest, ResolveShardsHonorsRequest) {
   EXPECT_GE(resolve_geometry_shards(0), 1);
 }
 
+TEST(GeometryEngineTest, TransposedInverseIsBitIdenticalToDirectBuild) {
+  // The inverse geometry is the transpose of the forward downsample: same
+  // (fine row, kernel cell, coarse row) triples with in/out swapped, in the
+  // same emission order. No coordinate search, no geometry build.
+  Rng rng(86);
+  for (const auto [k, stride] : {std::pair{2, 2}, {3, 2}, {2, 3}}) {
+    const auto fine = test::random_sparse_tensor({14, 14, 14}, 1, 0.05, rng);
+    const LayerGeometry down = build_downsample_geometry(fine, k, stride);
+    SparseTensor coarse(down.out_extent, 1);
+    for (const Coord3& c : down.out_coords) coarse.add_site(c);
+
+    const LayerGeometry direct = build_inverse_geometry(coarse, fine, k, stride);
+    const std::uint64_t builds_before = geometry_builds();
+    const std::uint64_t transposes_before = geometry_transposes();
+    const LayerGeometry transposed = transpose_downsample_geometry(down, coarse, fine);
+    EXPECT_EQ(geometry_builds(), builds_before);  // a transpose is not a build
+    EXPECT_EQ(geometry_transposes(), transposes_before + 1);
+
+    EXPECT_EQ(transposed.kind, GeometryKind::kInverse);
+    EXPECT_EQ(transposed.kernel_size, direct.kernel_size);
+    EXPECT_EQ(transposed.stride, direct.stride);
+    EXPECT_EQ(transposed.out_extent, direct.out_extent);
+    ASSERT_EQ(transposed.rulebook.kernel_volume(), direct.rulebook.kernel_volume());
+    for (int o = 0; o < direct.rulebook.kernel_volume(); ++o) {
+      EXPECT_EQ(transposed.rulebook.rules_for(o), direct.rulebook.rules_for(o))
+          << "k=" << k << " s=" << stride << " offset " << o;
+    }
+  }
+}
+
+TEST(GeometryEngineTest, TransposeRejectsMismatchedTensors) {
+  Rng rng(87);
+  const auto fine = test::random_sparse_tensor({10, 10, 10}, 1, 0.08, rng);
+  const LayerGeometry down = build_downsample_geometry(fine, 2, 2);
+  SparseTensor coarse(down.out_extent, 1);
+  for (const Coord3& c : down.out_coords) coarse.add_site(c);
+
+  const LayerGeometry sub = build_submanifold_geometry(fine, 3);
+  EXPECT_THROW((void)transpose_downsample_geometry(sub, coarse, fine), InvalidArgument);
+  EXPECT_THROW((void)transpose_downsample_geometry(down, fine, fine), InvalidArgument);
+  EXPECT_THROW((void)transpose_downsample_geometry(down, coarse, coarse), InvalidArgument);
+}
+
+TEST(GeometryEngineTest, UNetForwardDerivesInverseGeometryByTranspose) {
+  // One forward pass builds: 1 submanifold geometry per scale (levels) and
+  // 1 downsample per transition (levels - 1). The inverse-conv geometries
+  // come from transposing the recorded downsample geometries — the build
+  // counter must not move for them.
+  Rng rng(88);
+  const auto x = test::clustered_tensor({16, 16, 16}, 1, rng, 5, 120);
+  nn::SSUNetConfig cfg;
+  cfg.base_planes = 2;
+  cfg.levels = 3;
+  cfg.reps_per_level = 1;
+  const nn::SSUNet net(cfg, 11);
+
+  const std::uint64_t builds_before = geometry_builds();
+  const std::uint64_t transposes_before = geometry_transposes();
+  (void)net.forward(x);
+  const auto levels = static_cast<std::uint64_t>(cfg.levels);
+  EXPECT_EQ(geometry_builds() - builds_before, levels + (levels - 1));
+  EXPECT_EQ(geometry_transposes() - transposes_before, levels - 1);
+}
+
 TEST(GeometryEngineTest, UNetTraceSharesOneGeometryPerScale) {
   // Sub-Conv never moves the active set: the stem, the encoder blocks and
   // the decoder blocks at one scale must reference the *same* LayerGeometry

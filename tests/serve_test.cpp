@@ -1,0 +1,293 @@
+// esca::serve tests: the bounded priority queue, telemetry aggregation, and
+// the Server's concurrency contract — N clients over a worker pool return
+// bit-identical outputs to a sequential Session over the same Plan, full
+// queues shed with a distinct status, and deadline-expired requests never
+// execute. ServeStressTest is the ThreadSanitizer workload CI runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "nn/submanifold_conv.hpp"
+#include "runtime/runtime.hpp"
+#include "serve/serve.hpp"
+#include "sparse/geometry.hpp"
+#include "test_util.hpp"
+
+namespace esca::serve {
+namespace {
+
+using runtime::FrameBatch;
+using runtime::RunOptions;
+
+/// A small single-layer Plan shared by every test (fast enough for dozens
+/// of concurrent executions on the cycle simulator).
+runtime::PlanPtr small_plan() {
+  Rng rng(411);
+  const auto x = test::clustered_tensor({16, 16, 16}, 2, rng, 4, 100);
+  nn::SubmanifoldConv3d conv(2, 4, 3);
+  conv.init_kaiming(rng);
+  runtime::Engine engine;
+  return runtime::share_plan(engine.compile_layer(conv, x, {.relu = true, .name = "serve"}));
+}
+
+TEST(ServeQueueTest, PopsHighestPriorityFifoWithinPriority) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1, /*priority=*/0));
+  EXPECT_TRUE(q.try_push(2, /*priority=*/5));
+  EXPECT_TRUE(q.try_push(3, /*priority=*/5));
+  EXPECT_TRUE(q.try_push(4, /*priority=*/-1));
+  EXPECT_EQ(q.depth(), 4U);
+  EXPECT_EQ(q.pop(), 2);  // highest priority first
+  EXPECT_EQ(q.pop(), 3);  // FIFO within a priority
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 4);
+}
+
+TEST(ServeQueueTest, FullQueueRejectsAndCloseDrains) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // admission control: full queue sheds
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed queue sheds too
+  EXPECT_EQ(q.pop(), 1);        // backlog drains after close
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(ServeTelemetryTest, LogHistogramQuantilesBracketSamples) {
+  LogHistogram h(1e-6, 10.0, 20);
+  for (int i = 0; i < 90; ++i) h.add(1e-3);  // 90% at ~1 ms
+  for (int i = 0; i < 10; ++i) h.add(1e-1);  // 10% at ~100 ms
+  EXPECT_EQ(h.total(), 100);
+  EXPECT_NEAR(h.quantile(0.5), 1e-3, 0.3e-3);
+  EXPECT_NEAR(h.quantile(0.99), 1e-1, 0.3e-1);
+  EXPECT_LT(h.quantile(0.5), h.quantile(0.99));
+}
+
+TEST(ServeTelemetryTest, CountersAndSnapshotsAggregate) {
+  Telemetry t;
+  t.on_submitted();
+  t.on_submitted();
+  t.on_submitted();
+  t.on_completed(/*queue=*/0.001, /*total=*/0.004, /*frames=*/2);
+  t.on_shed();
+  t.on_expired(/*queue=*/0.010);
+  t.sample_queue_depth(3);
+  t.sample_queue_depth(1);
+
+  const TelemetrySnapshot s = t.snapshot();
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_EQ(s.shed, 1);
+  EXPECT_EQ(s.expired, 1);
+  EXPECT_EQ(s.frames, 2);
+  EXPECT_NEAR(s.mean_seconds, 0.004, 1e-9);
+  EXPECT_NEAR(s.mean_queue_seconds, (0.001 + 0.010) / 2.0, 1e-9);
+  EXPECT_NEAR(s.mean_queue_depth, 2.0, 1e-9);
+  EXPECT_GT(s.p50_seconds, 0.0);
+  EXPECT_FALSE(s.table("telemetry").empty());
+}
+
+TEST(ServeServerTest, ConcurrentClientsBitIdenticalToSequentialSession) {
+  const runtime::PlanPtr plan = small_plan();
+
+  // Sequential reference: one Session, same batches.
+  runtime::Engine engine;
+  runtime::Session session = engine.open_session(plan);
+  const RunOptions keep{.verify = true, .keep_outputs = true};
+  const runtime::RunReport reference = session.submit(FrameBatch::replay(2), keep);
+
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 64;
+  Server server(cfg, plan);
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 4;
+  std::vector<std::future<Response>> futures(kClients * kRequestsPerClient);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client = server.client();
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        futures[static_cast<std::size_t>(c * kRequestsPerClient + r)] =
+            client.submit(FrameBatch::replay(2), {.run = keep});
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const std::uint64_t builds_before = sparse::geometry_builds();
+  for (auto& future : futures) {
+    const Response response = future.get();
+    ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
+    ASSERT_GE(response.worker_id, 0);
+    ASSERT_EQ(response.report.frames.size(), reference.frames.size());
+    for (std::size_t f = 0; f < reference.frames.size(); ++f) {
+      const auto& got = response.report.frames[f].outputs;
+      const auto& want = reference.frames[f].outputs;
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t l = 0; l < want.size(); ++l) {
+        EXPECT_TRUE(got[l] == want[l]) << "frame " << f << " layer " << l;
+      }
+    }
+  }
+  // Every worker replayed the Plan-cached geometry — zero rebuilds.
+  EXPECT_EQ(sparse::geometry_builds(), builds_before);
+
+  const TelemetrySnapshot s = server.telemetry_snapshot();
+  EXPECT_EQ(s.completed, kClients * kRequestsPerClient);
+  EXPECT_EQ(s.shed, 0);
+  EXPECT_EQ(s.frames, kClients * kRequestsPerClient * 2);
+  EXPECT_GT(s.p50_seconds, 0.0);
+  EXPECT_LE(s.p50_seconds, s.p99_seconds);
+}
+
+TEST(ServeServerTest, QueueFullRequestsShedWithDistinctStatus) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 2;
+  cfg.start_paused = true;  // nothing drains until start()
+  Server server(cfg, small_plan());
+
+  auto a = server.submit(FrameBatch::single("a"));
+  auto b = server.submit(FrameBatch::single("b"));
+  auto c = server.submit(FrameBatch::single("c"));  // queue full -> shed now
+
+  EXPECT_EQ(c.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  const Response shed = c.get();
+  EXPECT_EQ(shed.status, RequestStatus::kShed);
+  EXPECT_EQ(shed.worker_id, -1);
+  EXPECT_TRUE(shed.report.frames.empty());
+  EXPECT_STREQ(to_string(shed.status), "shed");
+
+  server.start();
+  EXPECT_EQ(a.get().status, RequestStatus::kOk);
+  EXPECT_EQ(b.get().status, RequestStatus::kOk);
+
+  const TelemetrySnapshot s = server.telemetry_snapshot();
+  EXPECT_EQ(s.submitted, 3);
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.shed, 1);
+}
+
+TEST(ServeServerTest, DeadlineExpiredRequestsNeverExecute) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  cfg.start_paused = true;
+  Server server(cfg, small_plan());
+
+  auto doomed = server.submit(FrameBatch::single("doomed"), {.timeout_seconds = 1e-4});
+  auto healthy = server.submit(FrameBatch::single("healthy"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let the deadline pass
+  server.start();
+
+  const Response expired = doomed.get();
+  EXPECT_EQ(expired.status, RequestStatus::kExpired);
+  EXPECT_EQ(expired.worker_id, -1);          // no worker ever ran it
+  EXPECT_TRUE(expired.report.frames.empty());
+  EXPECT_EQ(expired.execute_seconds, 0.0);
+  EXPECT_GT(expired.queue_seconds, 0.0);
+
+  EXPECT_EQ(healthy.get().status, RequestStatus::kOk);
+
+  const TelemetrySnapshot s = server.telemetry_snapshot();
+  EXPECT_EQ(s.expired, 1);
+  EXPECT_EQ(s.completed, 1);
+}
+
+TEST(ServeServerTest, ShutdownDrainsBacklogAndNeverStartedServerSheds) {
+  const runtime::PlanPtr plan = small_plan();
+  std::future<Response> pending;
+  {
+    ServerConfig cfg;
+    cfg.workers = 2;
+    Server server(cfg, plan);
+    pending = server.submit(FrameBatch::single("late"));
+    // Destructor shuts down: the backlog drains before workers exit.
+  }
+  EXPECT_EQ(pending.get().status, RequestStatus::kOk);
+
+  std::future<Response> never_run;
+  {
+    ServerConfig cfg;
+    cfg.workers = 1;
+    cfg.start_paused = true;
+    Server server(cfg, plan);
+    never_run = server.submit(FrameBatch::single("orphan"));
+  }
+  // No worker ever started: the promise still resolves (shed, not broken).
+  EXPECT_EQ(never_run.get().status, RequestStatus::kShed);
+
+  // A shut-down server cannot be restarted (its workers are gone).
+  ServerConfig paused;
+  paused.workers = 1;
+  paused.start_paused = true;
+  Server dead(paused, plan);
+  dead.shutdown();
+  EXPECT_THROW(dead.start(), InvalidArgument);
+}
+
+TEST(ServeServerTest, RejectsBadConfiguration) {
+  const runtime::PlanPtr plan = small_plan();
+  ServerConfig cfg;
+  cfg.workers = 0;
+  EXPECT_THROW((void)Server(cfg, plan), InvalidArgument);
+  cfg.workers = 1;
+  EXPECT_THROW((void)Server(cfg, runtime::PlanPtr{}), InvalidArgument);
+  EXPECT_THROW((void)Server(cfg, runtime::Plan{}), InvalidArgument);
+  cfg.queue_capacity = 0;
+  EXPECT_THROW((void)Server(cfg, plan), InvalidArgument);
+}
+
+TEST(ServeStressTest, ManyClientsManyWorkersStayBitExact) {
+  // The ThreadSanitizer workload: heavy concurrent submission with verify
+  // enabled, so every frame is checked bit-exactly against the integer gold
+  // model while 4 worker Sessions share one Plan.
+  const runtime::PlanPtr plan = small_plan();
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 256;
+  Server server(cfg, plan);
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 6;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client = server.client();
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const Response response = client.submit_sync(
+            FrameBatch::single("c" + std::to_string(c) + "r" + std::to_string(r)),
+            {.priority = r % 3, .run = {.verify = true}});
+        ESCA_CHECK(response.status == RequestStatus::kOk, "stress request failed: "
+                                                              << response.error);
+        ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kRequestsPerClient);
+
+  const TelemetrySnapshot s = server.telemetry_snapshot();
+  EXPECT_EQ(s.completed, kClients * kRequestsPerClient);
+  EXPECT_EQ(s.shed + s.expired + s.failed, 0);
+  EXPECT_GT(s.requests_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace esca::serve

@@ -61,6 +61,44 @@ TEST(SparseTensorTest, FromVoxelGridCopiesOccupancy) {
   EXPECT_FLOAT_EQ(t.feature(static_cast<std::size_t>(row), 1), 0.0F);
 }
 
+TEST(SparseTensorTest, FromVoxelGridBulkBuildMatchesIncrementalReference) {
+  // from_voxel_grid builds the CoordIndex with one sort + one rebuild; it
+  // must be indistinguishable from the incremental add_site path followed
+  // by a canonical sort.
+  Rng rng(31);
+  voxel::VoxelGrid grid({24, 24, 24});
+  for (int i = 0; i < 600; ++i) {
+    grid.insert({static_cast<std::int32_t>(rng.uniform_int(0, 23)),
+                 static_cast<std::int32_t>(rng.uniform_int(0, 23)),
+                 static_cast<std::int32_t>(rng.uniform_int(0, 23))},
+                static_cast<float>(rng.uniform(0.1, 2.0)));
+  }
+
+  const SparseTensor bulk = SparseTensor::from_voxel_grid(grid, 3);
+  SparseTensor reference(grid.extent(), 3);
+  for (const Coord3& c : grid.coords()) {
+    const auto row = reference.add_site(c);
+    reference.set_feature(static_cast<std::size_t>(row), 0, grid.feature_at(c));
+  }
+  reference.sort_canonical();
+
+  ASSERT_EQ(bulk.size(), reference.size());
+  EXPECT_TRUE(bulk.canonically_sorted());
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    EXPECT_EQ(bulk.coord(i), reference.coord(i));
+    for (int c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(bulk.feature(i, c), reference.feature(i, c));
+    EXPECT_EQ(bulk.find(bulk.coord(i)), static_cast<std::int32_t>(i));
+  }
+  EXPECT_FLOAT_EQ(max_abs_diff(bulk, reference), 0.0F);
+}
+
+TEST(SparseTensorTest, FromVoxelGridRejectsExtentBeyondMortonRange) {
+  // The tensor constructor guards the conversion: a grid extent outside the
+  // 2^21 Morton coordinate range cannot be indexed.
+  voxel::VoxelGrid grid({1 << 22, 8, 8});
+  EXPECT_THROW((void)SparseTensor::from_voxel_grid(grid, 1), InvalidArgument);
+}
+
 TEST(SparseTensorTest, ZerosLikeSharesCoords) {
   Rng rng(2);
   const SparseTensor t = test::random_sparse_tensor({16, 16, 16}, 4, 0.05, rng);
