@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "nn/init.hpp"
+#include "sparse/compute.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/rulebook.hpp"
 
@@ -41,6 +42,7 @@ CpuRunResult time_cpu_subconv(const sparse::SparseTensor& input, int out_channel
   ESCA_REQUIRE(repeats >= 1, "repeats must be >= 1");
   const std::vector<float> weights = random_weights(input.channels(), out_channels, kernel_size);
 
+  sparse::ComputeEngine engine;
   CpuRunResult best;
   best.total_seconds = 1e30;
   for (int run = 0; run < repeats; ++run) {
@@ -51,7 +53,7 @@ CpuRunResult time_cpu_subconv(const sparse::SparseTensor& input, int out_channel
 
     sparse::SparseTensor output = input.zeros_like(out_channels);
     const auto t1 = std::chrono::steady_clock::now();
-    sparse::apply_rulebook(input, geometry.rulebook, weights, output);
+    engine.apply(input, geometry.blocked, weights, output);
     const double compute_s = seconds_since(t1);
 
     const double total = rb_s + compute_s;
@@ -75,12 +77,13 @@ CpuRunResult time_cpu_subconv(const sparse::SparseTensor& input, int out_channel
   const std::vector<float> weights =
       random_weights(input.channels(), out_channels, geometry.kernel_size);
 
+  sparse::ComputeEngine engine;
   CpuRunResult best;
   best.total_seconds = 1e30;
   for (int run = 0; run < repeats; ++run) {
     sparse::SparseTensor output = input.zeros_like(out_channels);
     const auto t0 = std::chrono::steady_clock::now();
-    sparse::apply_rulebook(input, geometry.rulebook, weights, output);
+    engine.apply(input, geometry.blocked, weights, output);
     const double compute_s = seconds_since(t0);
     if (compute_s < best.total_seconds) {
       best.rulebook_seconds = 0.0;

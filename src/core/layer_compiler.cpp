@@ -34,7 +34,7 @@ CompiledNetwork LayerCompiler::compile(const std::vector<nn::TraceEntry>& trace)
         *entry.subconv, entry.bn, entry.relu, in_scale, out_scale, entry.name);
     quant::QSparseTensor qinput =
         quant::QSparseTensor::from_float(entry.input, quant::QuantParams{in_scale});
-    quant::QSparseTensor gold = qlayer.forward(qinput, geometry->rulebook);
+    quant::QSparseTensor gold = qlayer.forward(qinput, *geometry);
 
     network.layers.push_back(CompiledLayer{std::move(qlayer), std::move(qinput),
                                            std::move(gold), entry.macs, geometry});
@@ -58,7 +58,7 @@ CompiledLayer LayerCompiler::compile_layer(const nn::SubmanifoldConv3d& conv,
       conv, options.bn, options.relu, in_scale, out_scale, options.name);
   quant::QSparseTensor qinput =
       quant::QSparseTensor::from_float(input, quant::QuantParams{in_scale});
-  quant::QSparseTensor gold = qlayer.forward(qinput, geometry->rulebook);
+  quant::QSparseTensor gold = qlayer.forward(qinput, *geometry);
   return CompiledLayer{std::move(qlayer), std::move(qinput), std::move(gold), macs, geometry};
 }
 

@@ -33,10 +33,12 @@ struct CompiledLayer {
 
   /// Execute the integer gold model on the calibration input — against the
   /// cached geometry when present, ad hoc otherwise (hand-built layers).
-  /// The single fallback policy every backend shares.
-  quant::QSparseTensor run_gold() const {
-    return geometry != nullptr ? layer.forward(input, geometry->rulebook)
-                               : layer.forward(input);
+  /// The single fallback policy every backend shares. `engine` supplies the
+  /// gather-GEMM-scatter scratch (backends pass their own so steady-state
+  /// frames reuse one arena); nullptr = the calling thread's default.
+  quant::QSparseTensor run_gold(sparse::ComputeEngine* engine = nullptr) const {
+    return geometry != nullptr ? layer.forward(input, *geometry, engine)
+                               : layer.forward(input, engine);
   }
 };
 

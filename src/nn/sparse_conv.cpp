@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "nn/init.hpp"
+#include "sparse/compute.hpp"
 #include "sparse/ops.hpp"
 
 namespace esca::nn {
@@ -29,7 +30,8 @@ sparse::SparseTensor SparseConv3d::forward(const sparse::SparseTensor& input) co
 }
 
 sparse::SparseTensor SparseConv3d::forward(const sparse::SparseTensor& input,
-                                           const sparse::LayerGeometry& geometry) const {
+                                           const sparse::LayerGeometry& geometry,
+                                           sparse::ComputeEngine* engine) const {
   ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
   ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kDownsample &&
                    geometry.kernel_size == kernel_size_ && geometry.stride == stride_,
@@ -39,7 +41,8 @@ sparse::SparseTensor SparseConv3d::forward(const sparse::SparseTensor& input,
   sparse::SparseTensor output(geometry.out_extent, out_channels_);
   output.reserve(geometry.out_coords.size());
   for (const Coord3& c : geometry.out_coords) output.add_site(c);
-  sparse::apply_rulebook(input, geometry.rulebook, weights_, output);
+  sparse::ComputeEngine& e = engine != nullptr ? *engine : sparse::default_compute_engine();
+  e.apply(input, geometry.blocked, weights_, output);
   return output;
 }
 
@@ -73,7 +76,8 @@ sparse::SparseTensor InverseConv3d::forward(const sparse::SparseTensor& input,
 
 sparse::SparseTensor InverseConv3d::forward(const sparse::SparseTensor& input,
                                             const sparse::SparseTensor& target,
-                                            const sparse::LayerGeometry& geometry) const {
+                                            const sparse::LayerGeometry& geometry,
+                                            sparse::ComputeEngine* engine) const {
   ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
   ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kInverse &&
                    geometry.kernel_size == kernel_size_ && geometry.stride == stride_,
@@ -81,7 +85,8 @@ sparse::SparseTensor InverseConv3d::forward(const sparse::SparseTensor& input,
                            << " does not match inverse conv k" << kernel_size_ << "/s"
                            << stride_);
   sparse::SparseTensor output = target.zeros_like(out_channels_);
-  sparse::apply_rulebook(input, geometry.rulebook, weights_, output);
+  sparse::ComputeEngine& e = engine != nullptr ? *engine : sparse::default_compute_engine();
+  e.apply(input, geometry.blocked, weights_, output);
   return output;
 }
 

@@ -15,6 +15,10 @@
 #include "sparse/rulebook.hpp"
 #include "sparse/sparse_tensor.hpp"
 
+namespace esca::sparse {
+class ComputeEngine;
+}  // namespace esca::sparse
+
 namespace esca::nn {
 
 class SparseConv3d {
@@ -32,9 +36,11 @@ class SparseConv3d {
   void init_kaiming(Rng& rng);
 
   sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
-  /// Reuse precompiled downsample geometry built on this input's coords.
+  /// Reuse precompiled downsample geometry built on this input's coords;
+  /// nullptr engine = the calling thread's default.
   sparse::SparseTensor forward(const sparse::SparseTensor& input,
-                               const sparse::LayerGeometry& geometry) const;
+                               const sparse::LayerGeometry& geometry,
+                               sparse::ComputeEngine* engine = nullptr) const;
   std::int64_t macs(const sparse::SparseTensor& input) const;
 
  private:
@@ -62,10 +68,12 @@ class InverseConv3d {
   ///               ignored) — in U-Net, the encoder tensor at this scale.
   sparse::SparseTensor forward(const sparse::SparseTensor& input,
                                const sparse::SparseTensor& target) const;
-  /// Reuse precompiled inverse geometry built on (input, target).
+  /// Reuse precompiled inverse geometry built on (input, target);
+  /// nullptr engine = the calling thread's default.
   sparse::SparseTensor forward(const sparse::SparseTensor& input,
                                const sparse::SparseTensor& target,
-                               const sparse::LayerGeometry& geometry) const;
+                               const sparse::LayerGeometry& geometry,
+                               sparse::ComputeEngine* engine = nullptr) const;
   std::int64_t macs(const sparse::SparseTensor& input,
                     const sparse::SparseTensor& target) const;
 

@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "nn/init.hpp"
+#include "sparse/compute.hpp"
 #include "sparse/ops.hpp"
 
 namespace esca::nn {
@@ -28,17 +29,24 @@ void SubmanifoldConv3d::init_kaiming(Rng& rng) {
 }
 
 sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& input) const {
-  const sparse::RuleBook rb = sparse::build_submanifold_rulebook(input, kernel_size_);
-  return forward(input, rb);
+  return forward(input, sparse::build_submanifold_geometry(input, kernel_size_));
 }
 
 sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& input,
-                                                const sparse::LayerGeometry& geometry) const {
+                                                const sparse::LayerGeometry& geometry,
+                                                sparse::ComputeEngine* engine) const {
   ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kSubmanifold &&
                    geometry.kernel_size == kernel_size_,
                "geometry " << sparse::to_string(geometry.kind) << "/k" << geometry.kernel_size
                            << " does not match Sub-Conv k" << kernel_size_);
-  return forward(input, geometry.rulebook);
+  ESCA_REQUIRE(input.channels() == in_channels_,
+               "input channels " << input.channels() << " != layer in_channels "
+                                 << in_channels_);
+  sparse::SparseTensor output = input.zeros_like(out_channels_);
+  sparse::ComputeEngine& e = engine != nullptr ? *engine : sparse::default_compute_engine();
+  e.apply(input, geometry.blocked, weights_, output);
+  add_bias(output);
+  return output;
 }
 
 sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& input,
@@ -48,15 +56,18 @@ sparse::SparseTensor SubmanifoldConv3d::forward(const sparse::SparseTensor& inpu
                                  << in_channels_);
   sparse::SparseTensor output = input.zeros_like(out_channels_);
   sparse::apply_rulebook(input, rulebook, weights_, output);
-  if (has_bias_) {
-    for (std::size_t row = 0; row < output.size(); ++row) {
-      auto f = output.features(row);
-      for (int c = 0; c < out_channels_; ++c) {
-        f[static_cast<std::size_t>(c)] += bias_[static_cast<std::size_t>(c)];
-      }
+  add_bias(output);
+  return output;
+}
+
+void SubmanifoldConv3d::add_bias(sparse::SparseTensor& output) const {
+  if (!has_bias_) return;
+  for (std::size_t row = 0; row < output.size(); ++row) {
+    auto f = output.features(row);
+    for (int c = 0; c < out_channels_; ++c) {
+      f[static_cast<std::size_t>(c)] += bias_[static_cast<std::size_t>(c)];
     }
   }
-  return output;
 }
 
 sparse::SparseTensor SubmanifoldConv3d::forward_naive(const sparse::SparseTensor& input) const {

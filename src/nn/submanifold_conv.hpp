@@ -15,6 +15,10 @@
 #include "sparse/rulebook.hpp"
 #include "sparse/sparse_tensor.hpp"
 
+namespace esca::sparse {
+class ComputeEngine;
+}  // namespace esca::sparse
+
 namespace esca::nn {
 
 class SubmanifoldConv3d {
@@ -38,9 +42,14 @@ class SubmanifoldConv3d {
 
   sparse::SparseTensor forward(const sparse::SparseTensor& input) const;
   /// Reuse precompiled geometry (shared across all layers at one scale).
+  /// Executes on `engine` (its arena + worker pool); nullptr = the calling
+  /// thread's default engine.
   sparse::SparseTensor forward(const sparse::SparseTensor& input,
-                               const sparse::LayerGeometry& geometry) const;
+                               const sparse::LayerGeometry& geometry,
+                               sparse::ComputeEngine* engine = nullptr) const;
   /// Reuse a prebuilt rulebook (e.g. shared across layers at one scale).
+  /// Prefer the LayerGeometry overload — a plain rulebook is re-bucketed
+  /// per call.
   sparse::SparseTensor forward(const sparse::SparseTensor& input,
                                const sparse::RuleBook& rulebook) const;
   /// Direct per-site neighbourhood accumulation; O(sites * K^3 * Cin * Cout).
@@ -50,6 +59,8 @@ class SubmanifoldConv3d {
   std::int64_t macs(const sparse::SparseTensor& input) const;
 
  private:
+  void add_bias(sparse::SparseTensor& output) const;
+
   int in_channels_;
   int out_channels_;
   int kernel_size_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/check.hpp"
+#include "sparse/compute.hpp"
 #include "sparse/geometry.hpp"
 
 namespace esca::quant {
@@ -89,17 +91,45 @@ QuantizedSubConv QuantizedSubConv::from_float(const nn::SubmanifoldConv3d& conv,
   return q;
 }
 
-QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input) const {
-  // Build the rulebook on a coordinate-only float tensor (geometry is shared
-  // between the float and integer worlds).
-  sparse::SparseTensor geometry(input.spatial_extent(), 1);
-  geometry.reserve(input.size());
-  for (const Coord3& c : input.coords()) geometry.add_site(c);
-  return forward(input, sparse::build_submanifold_geometry(geometry, kernel_size_).rulebook);
+QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input,
+                                        sparse::ComputeEngine* engine) const {
+  // Geometry is shared between the float and integer worlds; the tensor
+  // memoizes it, so repeated forwards on one input build it exactly once.
+  return forward(input, *input.submanifold_geometry(kernel_size_), engine);
+}
+
+QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input,
+                                        const sparse::LayerGeometry& geometry,
+                                        sparse::ComputeEngine* engine) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+  ESCA_REQUIRE(geometry.kind == sparse::GeometryKind::kSubmanifold &&
+                   geometry.kernel_size == kernel_size_,
+               "geometry " << sparse::to_string(geometry.kind) << "/k" << geometry.kernel_size
+                           << " does not match quantized Sub-Conv k" << kernel_size_);
+  ESCA_REQUIRE(geometry.out_rows == input.size(),
+               "geometry covers " << geometry.out_rows << " rows, input has " << input.size());
+  sparse::ComputeEngine& e = engine != nullptr ? *engine : sparse::default_compute_engine();
+  const std::span<const std::int64_t> acc =
+      e.accumulate(input.raw_features(), in_channels_, geometry.blocked, weights_,
+                   out_channels_);
+  return requantize_output(input, acc);
 }
 
 QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input,
                                         const sparse::RuleBook& rb) const {
+  ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
+  ESCA_REQUIRE(rb.kernel_volume() == kernel_volume(),
+               "rulebook kernel volume " << rb.kernel_volume() << " != layer "
+                                         << kernel_volume());
+  const sparse::BlockedRuleBook blocked = sparse::bucket_on_the_fly(rb, input.size());
+  sparse::ComputeEngine& e = sparse::default_compute_engine();
+  const std::span<const std::int64_t> acc =
+      e.accumulate(input.raw_features(), in_channels_, blocked, weights_, out_channels_);
+  return requantize_output(input, acc);
+}
+
+QSparseTensor QuantizedSubConv::forward_reference(const QSparseTensor& input,
+                                                  const sparse::RuleBook& rb) const {
   ESCA_REQUIRE(input.channels() == in_channels_, "input channel mismatch");
   ESCA_REQUIRE(rb.kernel_volume() == kernel_volume(),
                "rulebook kernel volume " << rb.kernel_volume() << " != layer "
@@ -124,7 +154,12 @@ QSparseTensor QuantizedSubConv::forward(const QSparseTensor& input,
       }
     }
   }
+  return requantize_output(input, acc);
+}
 
+QSparseTensor QuantizedSubConv::requantize_output(const QSparseTensor& input,
+                                                  std::span<const std::int64_t> acc) const {
+  const auto cout = static_cast<std::size_t>(out_channels_);
   QSparseTensor output(input.spatial_extent(), out_channels_, QuantParams{out_scale_});
   output.reserve(input.size());
   for (std::size_t row = 0; row < input.size(); ++row) {

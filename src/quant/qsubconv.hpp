@@ -22,7 +22,12 @@
 #include "nn/submanifold_conv.hpp"
 #include "quant/qtensor.hpp"
 #include "quant/quantizer.hpp"
+#include "sparse/geometry.hpp"
 #include "sparse/rulebook.hpp"
+
+namespace esca::sparse {
+class ComputeEngine;
+}  // namespace esca::sparse
 
 namespace esca::quant {
 
@@ -77,18 +82,38 @@ class QuantizedSubConv {
   const std::vector<float>& requant_scale() const { return requant_scale_; }
   const std::vector<float>& requant_shift() const { return requant_shift_; }
 
-  /// Integer gold forward (rulebook path); builds the geometry ad hoc.
-  QSparseTensor forward(const QSparseTensor& input) const;
+  /// Integer gold forward. The geometry is built once per (input tensor,
+  /// kernel size) and cached on the tensor (QSparseTensor::
+  /// submanifold_geometry) — repeated calls on the same input replay it.
+  QSparseTensor forward(const QSparseTensor& input,
+                        sparse::ComputeEngine* engine = nullptr) const;
   /// Integer gold forward against precompiled geometry (rulebook rows must
   /// index `input`'s rows — e.g. the Plan-cached LayerGeometry built on the
-  /// same coordinate set).
+  /// same coordinate set). Executes gather-GEMM-scatter on `engine`
+  /// (nullptr = the calling thread's default engine): the INT64 accumulator
+  /// lives in the engine's arena, so steady-state frames allocate nothing
+  /// in the accumulate path.
+  QSparseTensor forward(const QSparseTensor& input, const sparse::LayerGeometry& geometry,
+                        sparse::ComputeEngine* engine = nullptr) const;
+  /// Plain-rulebook variant; the rules are re-bucketed per call — prefer
+  /// the LayerGeometry overload on hot paths.
   QSparseTensor forward(const QSparseTensor& input, const sparse::RuleBook& rulebook) const;
+  /// Retained scalar triple loop (per-element zero skip, per-call INT64
+  /// accumulator) — the order-defining reference the engine is
+  /// equivalence-tested and benchmarked against.
+  QSparseTensor forward_reference(const QSparseTensor& input,
+                                  const sparse::RuleBook& rulebook) const;
 
   /// Total weight bytes (INT8) — DRAM-traffic input for the perf model.
   std::int64_t weight_bytes() const { return static_cast<std::int64_t>(weights_.size()); }
 
  private:
   QuantizedSubConv() = default;
+
+  /// Requantize the INT64 accumulator [input rows x Cout] into the output
+  /// tensor (same coordinate set as the input — submanifold).
+  QSparseTensor requantize_output(const QSparseTensor& input,
+                                  std::span<const std::int64_t> acc) const;
 
   std::string name_;
   int in_channels_{0};

@@ -25,6 +25,7 @@
 #include "nn/unet.hpp"
 #include "quant/qtensor.hpp"
 #include "sim/energy.hpp"
+#include "sparse/compute.hpp"
 
 namespace esca::runtime {
 
@@ -140,6 +141,13 @@ class Backend {
   /// simulator feeds it to core::PowerModel); nullptr otherwise.
   virtual const sim::EnergyMeter* energy_meter() const { return nullptr; }
 
+  /// This backend's gather-GEMM-scatter engine: one scratch arena + worker
+  /// pool per backend. Sessions execute through their backend, and each
+  /// serve worker replicates a private backend, so every Session / serve
+  /// worker runs the rulebook-apply hot path on a persistent arena —
+  /// steady-state frames perform no heap allocations there.
+  sparse::ComputeEngine& compute_engine() { return compute_; }
+
  protected:
   Backend() = default;
 
@@ -154,6 +162,7 @@ class Backend {
 
  private:
   std::uint64_t resident_plan_uid_{0};  ///< 0 = nothing resident
+  sparse::ComputeEngine compute_;
 };
 
 /// Shared verification helper: throws esca::InternalError when `output`

@@ -24,14 +24,16 @@ FrameReport CpuBackend::execute_frame(const Plan& plan, const std::string& frame
   FrameReport report;
   report.frame_id = frame_id;
   for (const core::CompiledLayer& cl : plan.network.layers) {
-    // Steady-state frames replay the Plan-cached rulebook; only hand-built
-    // plans without geometry fall back to an ad-hoc build.
+    // Steady-state frames replay the Plan-cached rulebook through this
+    // backend's compute engine (persistent arena — no per-frame compute
+    // allocations); only hand-built plans without geometry fall back to an
+    // ad-hoc build.
     auto start = std::chrono::steady_clock::now();
-    quant::QSparseTensor output = cl.run_gold();
+    quant::QSparseTensor output = cl.run_gold(&compute_engine());
     double best_seconds = seconds_since(start);
     for (int r = 1; r < repeats_; ++r) {
       start = std::chrono::steady_clock::now();
-      output = cl.run_gold();
+      output = cl.run_gold(&compute_engine());
       const double elapsed = seconds_since(start);
       if (elapsed < best_seconds) best_seconds = elapsed;
     }

@@ -116,6 +116,13 @@ struct Candidate {
   std::int32_t in_row;
 };
 
+/// Freeze the geometry's output-row count and bucket the finished rulebook
+/// for the compute engine (sparse/compute.hpp) — once, at build time.
+void finalize_blocked(LayerGeometry& g, std::size_t out_rows) {
+  g.out_rows = out_rows;
+  g.blocked = BlockedRuleBook(g.rulebook, out_rows);
+}
+
 }  // namespace
 
 const char* to_string(GeometryKind kind) {
@@ -184,6 +191,7 @@ LayerGeometry build_submanifold_geometry(const SparseTensor& input, int kernel_s
     }
   });
   merge_shards(shard_rules, g.rulebook);
+  finalize_blocked(g, g.sites.size());
   return g;
 }
 
@@ -257,6 +265,7 @@ LayerGeometry build_downsample_geometry(const SparseTensor& input, int kernel_si
     }
   });
   merge_shards(shard_rules, g.rulebook);
+  finalize_blocked(g, g.out_coords.size());
   return g;
 }
 
@@ -311,6 +320,7 @@ LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTens
     }
   });
   merge_shards(shard_rules, g.rulebook);
+  finalize_blocked(g, target.size());
   return g;
 }
 
@@ -349,6 +359,7 @@ LayerGeometry transpose_downsample_geometry(const LayerGeometry& down,
       g.rulebook.add(o, Rule{r.out_row, r.in_row});
     }
   }
+  finalize_blocked(g, target.size());
   return g;
 }
 

@@ -77,6 +77,15 @@ struct LayerGeometry {
 
   RuleBook rulebook;
 
+  /// Number of output rows the rulebook indexes into (kSubmanifold: the
+  /// site count; kDownsample: out_coords; kInverse: the target row count).
+  std::size_t out_rows{0};
+
+  /// The same rules bucketed by out-row block (compute-engine execution
+  /// order), built once here so per-frame application never sorts. Content
+  /// is equivalence-tested against `rulebook` per offset.
+  BlockedRuleBook blocked;
+
   std::int64_t total_rules() const { return rulebook.total_rules(); }
   /// Effective MACs of executing this geometry at the given channel widths.
   std::int64_t macs(int in_channels, int out_channels) const;

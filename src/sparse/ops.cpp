@@ -1,11 +1,27 @@
 #include "sparse/ops.hpp"
 
 #include "common/check.hpp"
+#include "sparse/compute.hpp"
+
+// Keep the order-defining reference free of FMA contraction for the same
+// reason as the engine (sparse/compute.cpp): the bit-identity contract
+// between the two must not depend on the host compiler's -march.
+#if defined(__clang__)
+#pragma clang fp contract(off)
+#elif defined(__GNUC__)
+#pragma GCC optimize("fp-contract=off")
+#endif
 
 namespace esca::sparse {
 
 void apply_rulebook(const SparseTensor& input, const RuleBook& rulebook,
                     std::span<const float> weights, SparseTensor& output) {
+  const BlockedRuleBook blocked = bucket_on_the_fly(rulebook, output.size());
+  default_compute_engine().apply(input, blocked, weights, output);
+}
+
+void apply_rulebook_reference(const SparseTensor& input, const RuleBook& rulebook,
+                              std::span<const float> weights, SparseTensor& output) {
   const int cin = input.channels();
   const int cout = output.channels();
   const auto volume = static_cast<std::size_t>(rulebook.kernel_volume());

@@ -11,6 +11,39 @@ std::int64_t RuleBook::total_rules() const {
   return n;
 }
 
+BlockedRuleBook::BlockedRuleBook(const RuleBook& rulebook, std::size_t num_out_rows)
+    : volume_(rulebook.kernel_volume()),
+      num_blocks_(static_cast<int>((num_out_rows + kBlockRows - 1) / kBlockRows)),
+      num_out_rows_(num_out_rows) {
+  const auto volume = static_cast<std::size_t>(volume_);
+  const std::size_t slots = static_cast<std::size_t>(num_blocks_) * volume;
+  std::vector<std::size_t> counts(slots, 0);
+  for (int o = 0; o < volume_; ++o) {
+    for (const Rule& r : rulebook.rules_for(o)) {
+      ESCA_REQUIRE(r.out_row >= 0 && static_cast<std::size_t>(r.out_row) < num_out_rows,
+                   "rule out_row " << r.out_row << " outside output of " << num_out_rows
+                                   << " rows");
+      ++counts[static_cast<std::size_t>(r.out_row / kBlockRows) * volume +
+               static_cast<std::size_t>(o)];
+    }
+  }
+
+  spans_.assign(slots + 1, 0);
+  for (std::size_t s = 0; s < slots; ++s) spans_[s + 1] = spans_[s] + counts[s];
+  rules_.resize(spans_[slots]);
+
+  // Stable placement: walking each offset's list in order fills every
+  // (block, offset) bucket in the original emission order.
+  std::vector<std::size_t> cursor(spans_.begin(), spans_.end() - 1);
+  for (int o = 0; o < volume_; ++o) {
+    for (const Rule& r : rulebook.rules_for(o)) {
+      const std::size_t slot = static_cast<std::size_t>(r.out_row / kBlockRows) * volume +
+                               static_cast<std::size_t>(o);
+      rules_[cursor[slot]++] = r;
+    }
+  }
+}
+
 Coord3 kernel_offset(int offset_index, int kernel_size) {
   ESCA_REQUIRE(kernel_size >= 1, "kernel size must be >= 1");
   const int k = kernel_size;
@@ -32,7 +65,12 @@ int kernel_offset_index(const Coord3& offset, int kernel_size) {
 }
 
 // The three legacy builders are thin wrappers over the Morton-ordered
-// geometry engine (sparse/geometry.hpp); no hash probing anywhere.
+// geometry engine (sparse/geometry.hpp); no hash probing anywhere. They
+// return only the rulebook, discarding the geometry's pre-bucketed form —
+// bucketing is eager (geometry-build time) by design, because the shared
+// immutable LayerGeometry must never mutate after construction; its cost is
+// two linear passes over the rules, small next to the coordinate searches.
+// Per-frame code should hold the LayerGeometry, not these.
 
 RuleBook build_submanifold_rulebook(const SparseTensor& input, int kernel_size) {
   return build_submanifold_geometry(input, kernel_size).rulebook;

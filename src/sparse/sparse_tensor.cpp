@@ -34,6 +34,19 @@ SparseTensor SparseTensor::from_voxel_grid(const voxel::VoxelGrid& grid, int cha
   return t;
 }
 
+SparseTensor SparseTensor::from_coords(Coord3 spatial_extent, int channels,
+                                       std::vector<Coord3> coords, CoordIndex index) {
+  ESCA_REQUIRE(index.size() == coords.size(),
+               "index covers " << index.size() << " sites, coords " << coords.size());
+  SparseTensor t(spatial_extent, channels);
+  t.coords_ = std::move(coords);
+  t.index_ = std::move(index);
+  t.features_.assign(t.coords_.size() * static_cast<std::size_t>(channels), 0.0F);
+  // Row order is the caller's; don't claim canonical (z, y, x) order.
+  t.canonically_sorted_ = t.coords_.empty();
+  return t;
+}
+
 void SparseTensor::reserve(std::size_t n) {
   coords_.reserve(n);
   features_.reserve(n * static_cast<std::size_t>(channels_));

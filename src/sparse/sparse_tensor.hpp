@@ -27,6 +27,12 @@ class SparseTensor {
   /// the voxel feature; remaining channels start at zero).
   static SparseTensor from_voxel_grid(const voxel::VoxelGrid& grid, int channels = 1);
 
+  /// Zero tensor over an externally owned coordinate set and its prebuilt
+  /// index (flat copies/moves — no re-sorting, no per-site insertion).
+  /// `index` must map exactly coords[i] -> i; rows keep the given order.
+  static SparseTensor from_coords(Coord3 spatial_extent, int channels,
+                                  std::vector<Coord3> coords, CoordIndex index);
+
   const Coord3& spatial_extent() const { return extent_; }
   int channels() const { return channels_; }
   std::size_t size() const { return coords_.size(); }
