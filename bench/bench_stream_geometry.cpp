@@ -1,0 +1,151 @@
+// Stream benchmark: cold per-frame geometry rebuild vs incremental patching
+// across a simulated sensor sequence at 50/80/95 % frame overlap.
+//
+// Each overlap level builds a datasets::SequenceDataset over a ShapeNet-like
+// object (motion disabled — the resample fraction is the overlap knob),
+// voxelizes every frame, and times the geometry path two ways:
+//   cold        — build_submanifold_geometry(frame, 3) for every frame
+//   incremental — stream::IncrementalGeometry::update per frame (frame 0
+//                 cold-builds and is excluded from both timings)
+// Every patched geometry is verified bit-identical to the cold build
+// (sparse::geometry_equal) before any timing. Both paths run single-thread
+// (shards=1) so the speedup isolates the algorithm, not parallelism.
+//
+// Usage: bench_stream_geometry [resolution=128] [frames=6] [repeats=3]
+//                              [smoke=0]
+// smoke=1 shrinks the workload for CI and still emits the BENCH lines.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/check.hpp"
+#include "common/config.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "datasets/sequence.hpp"
+#include "datasets/shapenet_like.hpp"
+#include "sparse/geometry.hpp"
+#include "stream/stream.hpp"
+#include "voxel/voxelizer.hpp"
+
+namespace {
+
+using namespace esca;  // NOLINT(google-build-using-namespace): bench main
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::vector<sparse::SparseTensor> voxelized_sequence(int overlap_pct, int resolution,
+                                                     int frames) {
+  // Consecutive frames differ in ~2x the resample fraction of their points.
+  datasets::SequenceConfig seq;
+  seq.frames = frames;
+  seq.resample_fraction = static_cast<float>(1.0 - overlap_pct / 100.0) / 2.0F;
+  const datasets::ShapeNetLikeDataset objects({}, bench::kSeed);
+  const datasets::SequenceDataset ds(objects.sample(0), seq, bench::kSeed + overlap_pct);
+
+  std::vector<sparse::SparseTensor> tensors;
+  tensors.reserve(static_cast<std::size_t>(frames));
+  for (int t = 0; t < frames; ++t) {
+    const voxel::VoxelGrid grid = voxel::voxelize(ds.frame(t), {resolution, false});
+    tensors.push_back(sparse::SparseTensor::from_voxel_grid(grid, 1));
+  }
+  return tensors;
+}
+
+struct OverlapResult {
+  double measured_overlap{0.0};
+  std::size_t mean_sites{0};
+  double cold_ms{0.0};         ///< mean per-frame, min over repeats
+  double incremental_ms{0.0};  ///< mean per-frame, min over repeats
+  std::uint64_t patched{0};
+  std::uint64_t rebuilds{0};   ///< churn fallbacks past frame 0
+};
+
+OverlapResult run_overlap(const std::vector<sparse::SparseTensor>& frames, int repeats) {
+  OverlapResult out;
+  const auto steady = static_cast<std::size_t>(frames.size() - 1);  // frames past the first
+
+  // Verification pass (untimed): every incremental geometry must be
+  // bit-identical to the cold build of the same frame.
+  {
+    stream::IncrementalGeometry inc({.kernel_size = 3, .geometry = {.shards = 1}});
+    (void)inc.update(frames[0]);
+    for (std::size_t t = 1; t < frames.size(); ++t) {
+      const stream::GeometryUpdate upd = inc.update(frames[t]);
+      const sparse::LayerGeometry cold =
+          sparse::build_submanifold_geometry(frames[t], 3, {.shards = 1});
+      ESCA_CHECK(sparse::geometry_equal(*upd.geometry, cold),
+                 "incremental geometry diverged from cold rebuild at frame " << t);
+      out.patched += upd.patched ? 1 : 0;
+      out.rebuilds += upd.patched ? 0 : 1;
+      const stream::FrameDelta delta = stream::diff_frames(frames[t - 1], frames[t]);
+      out.measured_overlap += delta.overlap_fraction();
+      out.mean_sites += frames[t].size();
+    }
+    out.measured_overlap /= static_cast<double>(steady);
+    out.mean_sites /= steady;
+  }
+
+  double cold_best = 1e30;
+  double incr_best = 1e30;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t t = 1; t < frames.size(); ++t) {
+      (void)sparse::build_submanifold_geometry(frames[t], 3, {.shards = 1});
+    }
+    cold_best = std::min(cold_best, seconds_since(t0));
+
+    stream::IncrementalGeometry inc({.kernel_size = 3, .geometry = {.shards = 1}});
+    (void)inc.update(frames[0]);  // warm start, untimed for both paths
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::size_t t = 1; t < frames.size(); ++t) (void)inc.update(frames[t]);
+    incr_best = std::min(incr_best, seconds_since(t1));
+  }
+  out.cold_ms = cold_best * 1e3 / static_cast<double>(steady);
+  out.incremental_ms = incr_best * 1e3 / static_cast<double>(steady);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const bool smoke = cfg.get_bool("smoke", false);
+  const int resolution = static_cast<int>(cfg.get_int("resolution", smoke ? 64 : 128));
+  const int frames = static_cast<int>(cfg.get_int("frames", smoke ? 3 : 6));
+  const int repeats = static_cast<int>(cfg.get_int("repeats", smoke ? 1 : 3));
+  ESCA_REQUIRE(frames >= 2, "need at least 2 frames to stream");
+
+  std::printf(
+      "ESCA bench: streaming geometry — cold rebuild vs incremental patching\n"
+      "(ShapeNet-like sequence at %d^3, %d frames, k=3, single-thread, min over %d repeats;\n"
+      " every incremental geometry verified bit-identical to the cold build)\n\n",
+      resolution, frames, repeats);
+
+  Table table("STREAM GEOMETRY: COLD REBUILD vs INCREMENTAL PATCH");
+  table.header({"Overlap", "Measured", "Sites", "Cold/frame", "Incr/frame", "Speedup",
+                "Patched", "Fallbacks"});
+  for (const int overlap_pct : {50, 80, 95}) {
+    const auto tensors = voxelized_sequence(overlap_pct, resolution, frames);
+    const OverlapResult r = run_overlap(tensors, repeats);
+    table.row({str::format("%d%%", overlap_pct), str::format("%.1f%%", 100.0 * r.measured_overlap),
+               str::with_commas(static_cast<std::int64_t>(r.mean_sites)),
+               str::format("%.2f ms", r.cold_ms), str::format("%.2f ms", r.incremental_ms),
+               str::format("%.2fx", r.cold_ms / r.incremental_ms),
+               str::format("%llu", static_cast<unsigned long long>(r.patched)),
+               str::format("%llu", static_cast<unsigned long long>(r.rebuilds))});
+    std::printf(
+        "BENCH {\"bench\":\"stream_geometry\",\"overlap_pct\":%d,\"measured_overlap\":%.4f,"
+        "\"resolution\":%d,\"frames\":%d,\"sites\":%zu,\"cold_ms\":%.4f,"
+        "\"incremental_ms\":%.4f,\"speedup\":%.3f,\"patched\":%llu,\"fallbacks\":%llu}\n",
+        overlap_pct, r.measured_overlap, resolution, frames, r.mean_sites, r.cold_ms,
+        r.incremental_ms, r.cold_ms / r.incremental_ms,
+        static_cast<unsigned long long>(r.patched), static_cast<unsigned long long>(r.rebuilds));
+  }
+  std::printf("\n");
+  table.print();
+  return 0;
+}

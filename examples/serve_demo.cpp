@@ -15,6 +15,7 @@
 
 #include "common/config.hpp"
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "core/report.hpp"
 #include "datasets/nyu_like.hpp"
 #include "nn/submanifold_conv.hpp"
@@ -73,9 +74,8 @@ int main(int argc, char** argv) {
       if (timeout_ms > 0.0 && sensor % 2 == 1) options.timeout_seconds = timeout_ms * 1e-3;
       options.run.keep_outputs = false;
       for (int sweep = 0; sweep < sweeps; ++sweep) {
-        const auto id = "s" + std::to_string(sensor) + ".sweep" + std::to_string(sweep);
-        last[static_cast<std::size_t>(sensor)] =
-            client.submit_sync(runtime::FrameBatch::single(id), options);
+        last[static_cast<std::size_t>(sensor)] = client.submit_sync(
+            runtime::FrameBatch::single(str::format("s%d.sweep%d", sensor, sweep)), options);
       }
     });
   }

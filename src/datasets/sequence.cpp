@@ -1,0 +1,61 @@
+#include "datasets/sequence.hpp"
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "geometry/transforms.hpp"
+
+namespace esca::datasets {
+
+SequenceDataset::SequenceDataset(pc::PointCloud base, SequenceConfig config, std::uint64_t seed)
+    : base_(std::move(base)), config_(config), seed_(seed) {
+  ESCA_REQUIRE(config_.frames >= 1, "sequence needs >= 1 frame, got " << config_.frames);
+  ESCA_REQUIRE(config_.resample_fraction >= 0.0F && config_.resample_fraction <= 1.0F,
+               "resample fraction must be in [0, 1], got " << config_.resample_fraction);
+  ESCA_REQUIRE(!base_.empty(), "sequence base cloud is empty");
+  center_ = base_.bounds().center();
+}
+
+pc::PointCloud SequenceDataset::frame(int t) const {
+  ESCA_REQUIRE(t >= 0 && t < config_.frames,
+               "frame " << t << " outside [0, " << config_.frames << ")");
+  const auto n = base_.size();
+  const float tf = static_cast<float>(t);
+  const float yaw = config_.yaw_per_frame * tf;
+  const geom::Vec3 shift = config_.translation_per_frame * tf;
+
+  std::vector<geom::Vec3> positions;
+  std::vector<float> intensities;
+  positions.reserve(n);
+  intensities.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    geom::Vec3 p = base_.position(i);
+    if (yaw != 0.0F) p = geom::rotate(p - center_, 'z', yaw) + center_;
+    positions.push_back(p + shift);
+    intensities.push_back(base_.intensity(i));
+  }
+
+  // Re-measure an independent per-frame subset: point slot i drops its
+  // reading and re-acquires near a random other base point. Frame t forks a
+  // dedicated stream, so frames are random-access deterministic.
+  if (config_.resample_fraction > 0.0F && n > 1) {
+    Rng rng = Rng(seed_).fork(static_cast<std::uint64_t>(t));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!rng.bernoulli(config_.resample_fraction)) continue;
+      const auto src = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      geom::Vec3 p = base_.position(src);
+      if (yaw != 0.0F) p = geom::rotate(p - center_, 'z', yaw) + center_;
+      p += shift;
+      p += geom::Vec3{rng.normal_f(0.0F, config_.resample_jitter),
+                      rng.normal_f(0.0F, config_.resample_jitter),
+                      rng.normal_f(0.0F, config_.resample_jitter)};
+      positions[i] = p;
+      intensities[i] = base_.intensity(src);
+    }
+  }
+  return pc::PointCloud(std::move(positions), std::move(intensities));
+}
+
+}  // namespace esca::datasets

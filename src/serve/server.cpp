@@ -1,9 +1,12 @@
 #include "serve/server.hpp"
 
 #include <exception>
+#include <limits>
+#include <unordered_map>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/strings.hpp"
 
 namespace esca::serve {
 
@@ -35,12 +38,21 @@ Response Client::submit_sync(const runtime::FrameBatch& batch, const SubmitOptio
   return server_->submit(batch, options).get();
 }
 
+std::future<Response> Client::submit_sequence(std::uint64_t stream_id,
+                                              std::vector<sparse::SparseTensor> frames,
+                                              const SubmitOptions& options) {
+  return server_->submit_sequence(stream_id, std::move(frames), options);
+}
+
 Server::Server(ServerConfig config, runtime::PlanPtr plan)
     : config_(std::move(config)),
       plan_(std::move(plan)),
-      queue_(config_.queue_capacity) {
+      queue_(config_.queue_capacity, config_.queue_policy) {
   ESCA_REQUIRE(config_.workers >= 1, "server needs at least one worker, got "
                                          << config_.workers);
+  ESCA_REQUIRE(config_.max_streams_per_worker >= 1,
+               "max_streams_per_worker must be >= 1, got "
+                   << config_.max_streams_per_worker);
   ESCA_REQUIRE(plan_ != nullptr, "server plan is null");
   ESCA_REQUIRE(!plan_->network.layers.empty(), "server plan has no layers");
   if (!config_.start_paused) start();
@@ -78,22 +90,57 @@ void Server::shutdown() {
 std::future<Response> Server::submit(const runtime::FrameBatch& batch,
                                      const SubmitOptions& options) {
   ESCA_REQUIRE(batch.size() >= 1, "batch must contain at least one frame");
-  telemetry_.on_submitted();
-
   PendingRequest request;
-  request.id = ++next_request_id_;
+  request.kind = RequestKind::kBatch;
   request.batch = batch;
   request.options = options;
+  return enqueue(std::move(request), /*affinity=*/-1);
+}
+
+std::future<Response> Server::submit_sequence(std::uint64_t stream_id,
+                                              std::vector<sparse::SparseTensor> frames,
+                                              const SubmitOptions& options) {
+  ESCA_REQUIRE(!frames.empty(), "sequence request must carry at least one frame");
+  ESCA_REQUIRE(stream_id != std::numeric_limits<std::uint64_t>::max(),
+               "stream id " << stream_id << " is reserved");
+  PendingRequest request;
+  request.kind = RequestKind::kSequence;
+  request.stream_id = stream_id;
+  request.frames = std::move(frames);
+  request.options = options;
+  return enqueue(std::move(request), stream_owner(stream_id));
+}
+
+int Server::stream_owner(std::uint64_t stream_id) const {
+  // Stateless sticky routing: a stream id always maps to the same worker,
+  // so ownership can never migrate — there is no table to fill up or evict,
+  // and a stream whose worker-side state was evicted (max_streams_per_worker)
+  // cold-builds on the SAME worker, preserving the submission-order and
+  // single-owner guarantees unconditionally.
+  return static_cast<int>(stream_id % static_cast<std::uint64_t>(config_.workers));
+}
+
+std::future<Response> Server::enqueue(PendingRequest request, int affinity) {
+  telemetry_.on_submitted();
+  request.id = ++next_request_id_;
   request.enqueued = std::chrono::steady_clock::now();
-  if (options.timeout_seconds > 0.0) {
+  if (request.options.timeout_seconds > 0.0) {
     request.deadline = request.enqueued +
                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                           std::chrono::duration<double>(options.timeout_seconds));
+                           std::chrono::duration<double>(request.options.timeout_seconds));
   }
   std::future<Response> future = request.promise.get_future();
   const std::uint64_t id = request.id;
 
-  if (!queue_.try_push(std::move(request), options.priority)) {
+  // Requests of one stream must pop in submission order regardless of the
+  // queue policy — the order key enforces it (0 for unordered batch work).
+  const PushInfo info{.priority = request.options.priority,
+                      .deadline = request.deadline,
+                      .affinity = affinity,
+                      .order_key = request.kind == RequestKind::kSequence
+                                       ? request.stream_id + 1
+                                       : 0};
+  if (!queue_.try_push(std::move(request), info)) {
     // Admission control: full (or stopped) queue sheds synchronously — the
     // client learns about overload now, not after a timeout.
     telemetry_.on_shed();
@@ -113,11 +160,22 @@ Client Server::client() { return Client(this, ++next_client_id_); }
 
 void Server::worker_loop(int worker_id) {
   // Worker-private execution state: its own Backend (simulator + weight
-  // residency) and a Session replica over the shared immutable Plan.
+  // residency), a Session replica over the shared immutable Plan, and the
+  // SequenceSessions of the streams pinned to this worker. Stream state is
+  // worker-local by construction (sticky routing), so none of it is locked.
+  // The stream map is bounded (max_streams_per_worker): past the cap the
+  // least-recently-served stream's geometry state is evicted — a later
+  // request of that stream just cold-builds again.
   const std::unique_ptr<runtime::Backend> backend = runtime::make_backend(config_.runtime);
   runtime::Session session(*backend, plan_);
+  struct StreamState {
+    stream::SequenceSession session;
+    std::uint64_t last_use{0};
+  };
+  std::unordered_map<std::uint64_t, StreamState> streams;
+  std::uint64_t stream_use = 0;
 
-  while (auto request = queue_.pop()) {
+  while (auto request = queue_.pop(worker_id)) {
     telemetry_.sample_queue_depth(queue_.depth());
     const auto picked_up = std::chrono::steady_clock::now();
     const double queue_seconds = seconds_between(request->enqueued, picked_up);
@@ -136,8 +194,29 @@ void Server::worker_loop(int worker_id) {
 
     response.worker_id = worker_id;
     try {
-      response.report = session.submit(request->batch, request->options.run);
-      response.status = RequestStatus::kOk;
+      if (request->kind == RequestKind::kSequence) {
+        auto it = streams.find(request->stream_id);
+        if (it == streams.end()) {
+          it = streams
+                   .emplace(request->stream_id,
+                            StreamState{stream::SequenceSession(session, config_.sequence), 0})
+                   .first;
+          if (streams.size() > static_cast<std::size_t>(config_.max_streams_per_worker)) {
+            auto stalest = streams.end();
+            for (auto s = streams.begin(); s != streams.end(); ++s) {
+              if (s->first == request->stream_id) continue;
+              if (stalest == streams.end() || s->second.last_use < stalest->second.last_use) {
+                stalest = s;
+              }
+            }
+            if (stalest != streams.end()) streams.erase(stalest);
+          }
+        }
+        it->second.last_use = ++stream_use;
+        run_sequence(it->second.session, *request, response);
+      } else {
+        run_batch(session, *request, response);
+      }
     } catch (const std::exception& e) {
       response.status = RequestStatus::kFailed;
       response.error = e.what();
@@ -146,12 +225,64 @@ void Server::worker_loop(int worker_id) {
     response.execute_seconds = seconds_between(picked_up, finished);
     response.total_seconds = seconds_between(request->enqueued, finished);
     if (response.status == RequestStatus::kOk) {
-      telemetry_.on_completed(queue_seconds, response.total_seconds, request->batch.size());
+      telemetry_.on_completed(queue_seconds, response.total_seconds,
+                              response.report.frames.size());
+    } else if (response.status == RequestStatus::kExpired) {
+      telemetry_.on_expired(queue_seconds);
     } else {
       telemetry_.on_failed(response.total_seconds);
     }
     fulfill(*request, std::move(response));
   }
+}
+
+void Server::run_batch(runtime::Session& session, PendingRequest& request,
+                       Response& response) {
+  if (!request.deadline) {
+    // No deadline to re-check: run the whole batch as one submission.
+    response.report = session.submit(request.batch, request.options.run);
+    response.status = RequestStatus::kOk;
+    return;
+  }
+  response.report.backend_name = session.backend().name();
+  for (std::size_t f = 0; f < request.batch.frame_ids.size(); ++f) {
+    // Deadline re-check between frames: a long batch expires mid-way
+    // instead of holding the worker to completion. Completed frames stay
+    // in the report.
+    if (f > 0 && request.deadline &&
+        std::chrono::steady_clock::now() > *request.deadline) {
+      response.status = RequestStatus::kExpired;
+      return;
+    }
+    runtime::RunReport frame = session.submit(
+        runtime::FrameBatch::single(request.batch.frame_ids[f]), request.options.run);
+    for (auto& report : frame.frames) response.report.frames.push_back(std::move(report));
+  }
+  response.status = RequestStatus::kOk;
+}
+
+void Server::run_sequence(stream::SequenceSession& stream, PendingRequest& request,
+                          Response& response) {
+  response.report.backend_name = stream.session().backend().name();
+  for (std::size_t f = 0; f < request.frames.size(); ++f) {
+    // Same mid-request expiry as run_batch; the stream keeps the state of
+    // the frames that did execute, so a follow-up request resumes cleanly.
+    if (f > 0 && request.deadline &&
+        std::chrono::steady_clock::now() > *request.deadline) {
+      response.status = RequestStatus::kExpired;
+      return;
+    }
+    const std::string frame_id =
+        str::format("s%llu-f%zu", static_cast<unsigned long long>(request.stream_id),
+                    stream.frames_advanced());
+    stream::SequenceFrameResult result =
+        stream.advance(request.frames[f], frame_id, request.options.run);
+    response.sequence.push_back(std::move(result.stats));
+    for (auto& report : result.run.frames) {
+      response.report.frames.push_back(std::move(report));
+    }
+  }
+  response.status = RequestStatus::kOk;
 }
 
 void Server::fulfill(PendingRequest& request, Response response) {

@@ -16,8 +16,17 @@
 // execution needs no locking and results are bit-identical to a sequential
 // Session::submit of the same batches. Admission control sheds requests
 // when the queue is full; per-request deadlines expire in the queue without
-// ever executing; Telemetry aggregates latency percentiles, queue depth,
-// shed counts and throughput.
+// ever executing AND are re-checked between the frames of a multi-frame
+// request, so long batches expire mid-way instead of running to
+// completion; Telemetry aggregates latency percentiles, queue depth, shed
+// counts and throughput. The queue's ordering policy (priority-FIFO or
+// earliest-deadline-first) is selected per Server.
+//
+// Streaming sequences are a second, sticky request kind: submit_sequence()
+// pins every request of one stream id to one worker, whose
+// stream::SequenceSession carries the stream's per-scale incremental
+// geometry across requests — stream state never migrates, so it needs no
+// locking either.
 #pragma once
 
 #include <atomic>
@@ -32,6 +41,8 @@
 #include "runtime/engine.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/telemetry.hpp"
+#include "sparse/sparse_tensor.hpp"
+#include "stream/sequence_session.hpp"
 
 namespace esca::serve {
 
@@ -39,7 +50,8 @@ namespace esca::serve {
 enum class RequestStatus : std::uint8_t {
   kOk,       ///< executed; `report` carries the per-frame results
   kShed,     ///< rejected at admission (queue full or server stopped)
-  kExpired,  ///< deadline passed while queued; never executed
+  kExpired,  ///< deadline passed while queued or between frames; `report`
+             ///< carries any frames that completed before expiry
   kFailed,   ///< execution threw; `error` carries the message
 };
 
@@ -61,7 +73,10 @@ struct Response {
   RequestStatus status{RequestStatus::kShed};
   std::uint64_t request_id{0};
   int worker_id{-1};            ///< -1 when the request never executed
-  runtime::RunReport report;    ///< filled for kOk (core/report-compatible)
+  runtime::RunReport report;    ///< executed frames (core/report-compatible)
+  /// Per-frame geometry stats of a sequence request (empty otherwise);
+  /// entry i matches report.frames[i].
+  std::vector<stream::SequenceFrameStats> sequence;
   std::string error;            ///< filled for kFailed
   double queue_seconds{0.0};    ///< admission -> worker pickup
   double execute_seconds{0.0};  ///< wall clock inside Session::submit
@@ -73,8 +88,17 @@ struct Response {
 struct ServerConfig {
   int workers{2};
   std::size_t queue_capacity{64};
+  /// Queue ordering discipline (priority-FIFO or earliest-deadline-first).
+  QueuePolicy queue_policy{QueuePolicy::kPriorityFifo};
   /// Backend every worker replicates (one Backend instance per worker).
   runtime::RuntimeConfig runtime{};
+  /// Per-stream SequenceSession configuration (sequence requests).
+  stream::SequenceSessionConfig sequence{};
+  /// Bound on retained stream state: each worker keeps at most this many
+  /// SequenceSessions (least-recently-served evicted; an evicted stream's
+  /// next request re-pins and cold-builds). The Server's owner table is
+  /// bounded at workers * this.
+  int max_streams_per_worker{64};
   /// When true the constructor does not launch the worker pool; call
   /// start(). Deterministic queue tests fill the queue before any worker
   /// can drain it.
@@ -91,6 +115,12 @@ class Client {
                                const SubmitOptions& options = {});
   /// Submit and block for the response.
   Response submit_sync(const runtime::FrameBatch& batch, const SubmitOptions& options = {});
+
+  /// Submit the next frames of a stream (sticky: all requests of one
+  /// stream id execute on the same worker, in submission order).
+  std::future<Response> submit_sequence(std::uint64_t stream_id,
+                                        std::vector<sparse::SparseTensor> frames,
+                                        const SubmitOptions& options = {});
 
   std::uint64_t id() const { return id_; }
 
@@ -129,6 +159,18 @@ class Server {
   std::future<Response> submit(const runtime::FrameBatch& batch,
                                const SubmitOptions& options = {});
 
+  /// Submit the next frames of a stream. Every request of a stream id runs
+  /// on the same worker (stateless assignment: id mod workers), continuing
+  /// that worker's SequenceSession state, and requests of one stream
+  /// execute in submission order regardless of the queue policy. Stream id
+  /// UINT64_MAX is reserved.
+  std::future<Response> submit_sequence(std::uint64_t stream_id,
+                                        std::vector<sparse::SparseTensor> frames,
+                                        const SubmitOptions& options = {});
+
+  /// The worker every request of this stream id executes on.
+  int stream_owner(std::uint64_t stream_id) const;
+
   /// A new client handle (distinct id, shared queue).
   Client client();
 
@@ -142,16 +184,26 @@ class Server {
   TelemetrySnapshot telemetry_snapshot() const { return telemetry_.snapshot(); }
 
  private:
+  enum class RequestKind : std::uint8_t { kBatch, kSequence };
+
   struct PendingRequest {
     std::uint64_t id;
+    RequestKind kind{RequestKind::kBatch};
     runtime::FrameBatch batch;
+    /// Sequence payload (kind == kSequence).
+    std::uint64_t stream_id{0};
+    std::vector<sparse::SparseTensor> frames;
     SubmitOptions options;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::optional<std::chrono::steady_clock::time_point> deadline;
   };
 
+  std::future<Response> enqueue(PendingRequest request, int affinity);
   void worker_loop(int worker_id);
+  void run_batch(runtime::Session& session, PendingRequest& request, Response& response);
+  void run_sequence(stream::SequenceSession& stream, PendingRequest& request,
+                    Response& response);
   void fulfill(PendingRequest& request, Response response);
 
   ServerConfig config_;
@@ -163,6 +215,7 @@ class Server {
   std::atomic<std::uint64_t> next_client_id_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+
 };
 
 }  // namespace esca::serve

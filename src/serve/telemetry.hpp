@@ -23,7 +23,8 @@ struct TelemetrySnapshot {
   std::int64_t submitted{0};  ///< accepted + rejected submissions
   std::int64_t completed{0};  ///< executed successfully
   std::int64_t shed{0};       ///< rejected at admission (queue full/closed)
-  std::int64_t expired{0};    ///< deadline passed while queued; never executed
+  std::int64_t expired{0};    ///< deadline passed while queued, or between
+                              ///< the frames of a partially executed request
   std::int64_t failed{0};     ///< execution threw
   std::int64_t frames{0};     ///< frames across completed requests
 

@@ -20,6 +20,7 @@ std::vector<CoordIndex::Entry>::const_iterator lower_bound_code(
 void CoordIndex::clear() {
   sorted_.clear();
   tail_.clear();
+  tombstones_ = 0;
 }
 
 std::size_t CoordIndex::merge_threshold() const {
@@ -29,7 +30,13 @@ std::size_t CoordIndex::merge_threshold() const {
 bool CoordIndex::insert(const Coord3& c, std::int32_t row) {
   const std::uint64_t code = voxel::morton_encode(c);
   const auto main_it = lower_bound_code(sorted_, code);
-  if (main_it != sorted_.end() && main_it->code == code) return false;
+  if (main_it != sorted_.end() && main_it->code == code) {
+    if (main_it->row != kTombstone) return false;
+    // Revive the erased slot in place — no memmove, no tail entry.
+    sorted_[static_cast<std::size_t>(main_it - sorted_.cbegin())].row = row;
+    --tombstones_;
+    return true;
+  }
   const auto tail_it = lower_bound_code(tail_, code);
   if (tail_it != tail_.end() && tail_it->code == code) return false;
 
@@ -38,10 +45,54 @@ bool CoordIndex::insert(const Coord3& c, std::int32_t row) {
   return true;
 }
 
+bool CoordIndex::erase(const Coord3& c) {
+  if (c.x < 0 || c.y < 0 || c.z < 0) return false;
+  const std::uint64_t code = voxel::morton_encode(c);
+  const auto main_it = lower_bound_code(sorted_, code);
+  if (main_it != sorted_.end() && main_it->code == code) {
+    if (main_it->row == kTombstone) return false;
+    sorted_[static_cast<std::size_t>(main_it - sorted_.cbegin())].row = kTombstone;
+    if (++tombstones_ >= merge_threshold()) sweep_tombstones();
+    return true;
+  }
+  // The tail is small by construction — a direct erase is cheap.
+  const auto tail_it = lower_bound_code(tail_, code);
+  if (tail_it == tail_.end() || tail_it->code != code) return false;
+  tail_.erase(tail_.begin() + (tail_it - tail_.cbegin()));
+  return true;
+}
+
+std::size_t CoordIndex::erase_many(std::span<const Coord3> coords) {
+  // Mark every hit first, then sweep at most once: a large retired batch
+  // costs one O(n) compaction instead of one per threshold crossing.
+  std::size_t erased = 0;
+  for (const Coord3& c : coords) {
+    if (c.x < 0 || c.y < 0 || c.z < 0) continue;
+    const std::uint64_t code = voxel::morton_encode(c);
+    const auto main_it = lower_bound_code(sorted_, code);
+    if (main_it != sorted_.end() && main_it->code == code) {
+      if (main_it->row == kTombstone) continue;
+      sorted_[static_cast<std::size_t>(main_it - sorted_.cbegin())].row = kTombstone;
+      ++tombstones_;
+      ++erased;
+      continue;
+    }
+    const auto tail_it = lower_bound_code(tail_, code);
+    if (tail_it == tail_.end() || tail_it->code != code) continue;
+    tail_.erase(tail_.begin() + (tail_it - tail_.cbegin()));
+    ++erased;
+  }
+  if (tombstones_ >= merge_threshold()) sweep_tombstones();
+  return erased;
+}
+
 std::int32_t CoordIndex::find(const Coord3& c) const {
   if (c.x < 0 || c.y < 0 || c.z < 0) return -1;
   const std::uint64_t code = voxel::morton_encode(c);
   const auto it = lower_bound_code(sorted_, code);
+  // kTombstone == -1, so an erased entry reads as "absent" directly (an
+  // erased coordinate can never also live in the tail: insert revives the
+  // tombstoned slot in place).
   if (it != sorted_.end() && it->code == code) return it->row;
   const auto tail_it = lower_bound_code(tail_, code);
   return (tail_it != tail_.end() && tail_it->code == code) ? tail_it->row : -1;
@@ -50,6 +101,7 @@ std::int32_t CoordIndex::find(const Coord3& c) const {
 bool CoordIndex::rebuild(std::span<const Coord3> coords) {
   tail_.clear();
   sorted_.clear();
+  tombstones_ = 0;
   sorted_.reserve(coords.size());
   for (std::size_t i = 0; i < coords.size(); ++i) {
     sorted_.push_back(Entry{voxel::morton_encode(coords[i]), static_cast<std::int32_t>(i)});
@@ -67,6 +119,7 @@ bool CoordIndex::rebuild(std::span<const Coord3> coords) {
 
 std::span<const CoordIndex::Entry> CoordIndex::entries() const {
   if (!tail_.empty()) compact();
+  if (tombstones_ > 0) sweep_tombstones();
   return sorted_;
 }
 
@@ -117,6 +170,12 @@ void CoordIndex::compact() const {
   std::inplace_merge(sorted_.begin(),
                      sorted_.begin() + static_cast<std::ptrdiff_t>(old_size), sorted_.end());
   tail_.clear();
+}
+
+void CoordIndex::sweep_tombstones() const {
+  if (tombstones_ == 0) return;
+  std::erase_if(sorted_, [](const Entry& e) { return e.row == kTombstone; });
+  tombstones_ = 0;
 }
 
 }  // namespace esca::sparse

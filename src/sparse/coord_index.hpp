@@ -12,6 +12,11 @@
 // bounded memmove); bulk (re)builds sort once. Copying the index is a flat
 // vector copy — no rehash.
 //
+// Erases tombstone the entry in place (row = kTombstone) and sweep the
+// main run once tombstones pass the same threshold, so streaming workloads
+// that retire a few sites per frame (stream/frame_delta.hpp) pay amortized
+// O(log n) per erase instead of an O(n) memmove each.
+//
 // Thread-safety: find() never mutates and is safe alongside other readers.
 // entries() lazily merges the pending tail — call it once from a single
 // thread; afterwards concurrent find_sorted()/find_near() calls are pure
@@ -35,9 +40,13 @@ class CoordIndex {
     friend bool operator<(const Entry& a, const Entry& b) { return a.code < b.code; }
   };
 
+  /// Row value marking an erased entry awaiting compaction. Never a valid
+  /// payload row (payload rows are >= 0).
+  static constexpr std::int32_t kTombstone = -1;
+
   CoordIndex() = default;
 
-  std::size_t size() const { return sorted_.size() + tail_.size(); }
+  std::size_t size() const { return sorted_.size() + tail_.size() - tombstones_; }
   bool empty() const { return size() == 0; }
 
   void reserve(std::size_t n) { sorted_.reserve(n); }
@@ -45,7 +54,18 @@ class CoordIndex {
 
   /// Insert c -> row. Returns false when c is already present (nothing is
   /// inserted). Coordinates must be non-negative and below 2^21 per axis.
+  /// Re-inserting an erased coordinate revives its slot in place.
   bool insert(const Coord3& c, std::int32_t row);
+
+  /// Remove c from the index. Returns false when c is not present. The
+  /// entry is tombstoned and swept once enough accumulate (amortized
+  /// O(log n)); other rows keep their values — renumbering is the caller's
+  /// responsibility.
+  bool erase(const Coord3& c);
+
+  /// Erase a batch of coordinates (single sweep over the sorted run when
+  /// the batch is large). Returns how many were present and removed.
+  std::size_t erase_many(std::span<const Coord3> coords);
 
   /// Row of c, or -1. Searches both runs; never mutates.
   std::int32_t find(const Coord3& c) const;
@@ -54,8 +74,9 @@ class CoordIndex {
   /// leaves the index empty) when the list contains a duplicate.
   bool rebuild(std::span<const Coord3> coords);
 
-  /// The full Morton-sorted entry list (merges the pending tail first).
-  /// The span is invalidated by the next insert().
+  /// The full Morton-sorted entry list (merges the pending tail and sweeps
+  /// tombstones first, so every returned entry is live). The span is
+  /// invalidated by the next insert()/erase().
   std::span<const Entry> entries() const;
 
   /// Binary search by code over the compacted run. Requires no pending
@@ -71,11 +92,13 @@ class CoordIndex {
 
  private:
   void compact() const;
+  void sweep_tombstones() const;
   std::size_t merge_threshold() const;
 
   // Lazily-merged storage; mutable so const lookups can absorb the tail.
   mutable std::vector<Entry> sorted_;  ///< Morton-sorted main run
   mutable std::vector<Entry> tail_;    ///< small sorted overflow run
+  mutable std::size_t tombstones_{0};  ///< erased-but-unswept entries in sorted_
 };
 
 }  // namespace esca::sparse

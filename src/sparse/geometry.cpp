@@ -139,6 +139,41 @@ std::int64_t LayerGeometry::macs(int in_channels, int out_channels) const {
          static_cast<std::int64_t>(out_channels);
 }
 
+bool geometry_equal(const LayerGeometry& a, const LayerGeometry& b) {
+  if (a.kind != b.kind || a.kernel_size != b.kernel_size || a.stride != b.stride ||
+      !(a.out_extent == b.out_extent) || a.out_rows != b.out_rows) {
+    return false;
+  }
+  if (a.sites.size() != b.sites.size() ||
+      !(a.sites.spatial_extent() == b.sites.spatial_extent())) {
+    return false;
+  }
+  for (std::size_t r = 0; r < a.sites.size(); ++r) {
+    if (!(a.sites.coord(r) == b.sites.coord(r))) return false;
+  }
+  if (a.out_coords != b.out_coords) return false;
+  const int volume = a.rulebook.kernel_volume();
+  if (volume != b.rulebook.kernel_volume()) return false;
+  for (int o = 0; o < volume; ++o) {
+    if (a.rulebook.rules_for(o) != b.rulebook.rules_for(o)) return false;
+  }
+  // The blocked form is a deterministic function of (rulebook, out_rows),
+  // but compare it anyway — it is what the compute engine executes.
+  if (a.blocked.num_blocks() != b.blocked.num_blocks() ||
+      a.blocked.kernel_volume() != b.blocked.kernel_volume() ||
+      a.blocked.num_out_rows() != b.blocked.num_out_rows()) {
+    return false;
+  }
+  for (int blk = 0; blk < a.blocked.num_blocks(); ++blk) {
+    for (int o = 0; o < volume; ++o) {
+      const auto ra = a.blocked.rules(blk, o);
+      const auto rb = b.blocked.rules(blk, o);
+      if (!std::equal(ra.begin(), ra.end(), rb.begin(), rb.end())) return false;
+    }
+  }
+  return true;
+}
+
 std::uint64_t geometry_builds() { return g_geometry_builds.load(std::memory_order_relaxed); }
 
 std::uint64_t geometry_transposes() {

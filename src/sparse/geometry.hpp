@@ -138,6 +138,13 @@ LayerGeometryPtr make_transposed_inverse_geometry(const LayerGeometry& down,
                                                   const SparseTensor& coarse,
                                                   const SparseTensor& target);
 
+/// Bit-level equality of two compiled geometries: kind/kernel/stride, the
+/// site tensor's coordinate rows (order included), out_coords, out_rows,
+/// every per-offset rule sequence, and the blocked re-bucketing. This is
+/// the contract the incremental stream engine (stream/) is property-tested
+/// against: a patched geometry must be indistinguishable from a cold build.
+bool geometry_equal(const LayerGeometry& a, const LayerGeometry& b);
+
 /// Process-wide count of geometry builds (any kind). Monotonic; tests use
 /// it to prove that steady-state frames replay cached geometry instead of
 /// rebuilding it. Rulebook transposes are NOT builds — they are counted by

@@ -39,6 +39,10 @@ class RuleBook {
   void add(int offset_index, Rule rule) {
     rules_[static_cast<std::size_t>(offset_index)].push_back(rule);
   }
+  /// Pre-size one offset's rule list (splice/merge producers).
+  void reserve(int offset_index, std::size_t n) {
+    rules_[static_cast<std::size_t>(offset_index)].reserve(n);
+  }
 
   /// Total number of (input, output) pairs == number of weight applications.
   std::int64_t total_rules() const;

@@ -1,0 +1,43 @@
+#include "stream/frame_delta.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::stream {
+
+FrameDelta diff_frames(const sparse::SparseTensor& prev, const sparse::SparseTensor& next) {
+  ESCA_REQUIRE(prev.spatial_extent() == next.spatial_extent(),
+               "cannot diff frames over different extents: " << prev.spatial_extent() << " vs "
+                                                             << next.spatial_extent());
+  FrameDelta delta;
+  delta.old_to_new.assign(prev.size(), -1);
+  delta.new_to_old.assign(next.size(), -1);
+
+  // Both entry runs are Morton-sorted with unique codes, so one merge walk
+  // classifies every site of either frame.
+  const auto old_entries = prev.index().entries();
+  const auto new_entries = next.index().entries();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < old_entries.size() && j < new_entries.size()) {
+    const auto& oe = old_entries[i];
+    const auto& ne = new_entries[j];
+    if (oe.code == ne.code) {
+      delta.old_to_new[static_cast<std::size_t>(oe.row)] = ne.row;
+      delta.new_to_old[static_cast<std::size_t>(ne.row)] = oe.row;
+      ++delta.retained;
+      ++i;
+      ++j;
+    } else if (oe.code < ne.code) {
+      delta.removed.push_back(oe.row);
+      ++i;
+    } else {
+      delta.added.push_back(ne.row);
+      ++j;
+    }
+  }
+  for (; i < old_entries.size(); ++i) delta.removed.push_back(old_entries[i].row);
+  for (; j < new_entries.size(); ++j) delta.added.push_back(new_entries[j].row);
+  return delta;
+}
+
+}  // namespace esca::stream

@@ -1,0 +1,163 @@
+#include "stream/incremental_geometry.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.hpp"
+#include "voxel/morton.hpp"
+
+namespace esca::stream {
+
+namespace {
+
+double resolve_rebuild_fraction(double configured) {
+  if (configured >= 0.0) return configured;
+  // Read the environment at construction (not a cached static) so tests and
+  // operators can retune the knob between sessions.
+  if (const char* env = std::getenv("ESCA_STREAM_REBUILD_FRACTION")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v >= 0.0) return v;
+  }
+  return kDefaultRebuildFraction;
+}
+
+/// A fresh rule keyed by the Morton code of its output site — the merge key
+/// that reproduces the cold builder's per-offset emission order.
+struct KeyedRule {
+  std::uint64_t out_code;
+  sparse::Rule rule;
+};
+
+}  // namespace
+
+sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& prev,
+                                                 const sparse::SparseTensor& next,
+                                                 const FrameDelta& delta) {
+  ESCA_REQUIRE(prev.kind == sparse::GeometryKind::kSubmanifold,
+               "can only patch submanifold geometry, got " << to_string(prev.kind));
+  ESCA_REQUIRE(prev.sites.spatial_extent() == next.spatial_extent(),
+               "frame extent changed: " << prev.sites.spatial_extent() << " -> "
+                                        << next.spatial_extent());
+  ESCA_REQUIRE(delta.old_to_new.size() == prev.sites.size() &&
+                   delta.new_to_old.size() == next.size(),
+               "delta shape (" << delta.old_to_new.size() << " -> " << delta.new_to_old.size()
+                               << ") does not match the frames (" << prev.sites.size() << " -> "
+                               << next.size() << ")");
+  const int k = prev.kernel_size;
+  const int volume = k * k * k;
+  const Coord3 extent = next.spatial_extent();
+
+  sparse::LayerGeometry g(sparse::GeometryKind::kSubmanifold, k, 1, next.zeros_like(1));
+
+  // Morton code of every next-frame row: the merge key for survivors and
+  // fresh rules alike (one array load instead of re-encoding per rule).
+  const sparse::CoordIndex& index = g.sites.index();
+  const auto entries = index.entries();
+  std::vector<std::uint64_t> code_of(next.size());
+  for (const auto& e : entries) code_of[static_cast<std::size_t>(e.row)] = e.code;
+
+  std::vector<Coord3> offsets(static_cast<std::size_t>(volume));
+  for (int o = 0; o < volume; ++o) {
+    offsets[static_cast<std::size_t>(o)] = sparse::kernel_offset(o, k);
+  }
+
+  // Fresh rules: kernel enumeration around the added sites only. An added
+  // site contributes as the output row (input = site + offset, any input)
+  // and as the input row (output = site - offset) — the latter skips added
+  // outputs, which the former already covers, so no rule is emitted twice.
+  std::vector<std::vector<KeyedRule>> fresh(static_cast<std::size_t>(volume));
+  std::vector<std::size_t> out_cursors(static_cast<std::size_t>(volume), 0);
+  std::vector<std::size_t> in_cursors(static_cast<std::size_t>(volume), 0);
+  for (const std::int32_t a : delta.added) {
+    const Coord3 c = next.coord(static_cast<std::size_t>(a));
+    for (int o = 0; o < volume; ++o) {
+      const auto ou = static_cast<std::size_t>(o);
+      const Coord3 in_c = c + offsets[ou];
+      if (in_bounds(in_c, extent)) {
+        const std::int32_t i = index.find_near(voxel::morton_encode(in_c), out_cursors[ou]);
+        if (i >= 0) {
+          fresh[ou].push_back({code_of[static_cast<std::size_t>(a)], sparse::Rule{i, a}});
+        }
+      }
+      const Coord3 out_c = c - offsets[ou];
+      if (in_bounds(out_c, extent)) {
+        const std::int32_t j = index.find_near(voxel::morton_encode(out_c), in_cursors[ou]);
+        if (j >= 0 && delta.new_to_old[static_cast<std::size_t>(j)] >= 0) {
+          fresh[ou].push_back({code_of[static_cast<std::size_t>(j)], sparse::Rule{a, j}});
+        }
+      }
+    }
+  }
+
+  // Per offset: drop rules whose endpoints disappeared, renumber the
+  // survivors through the row maps, and merge the (sorted) fresh rules in.
+  // Survivors stay in their old emission order, which is ascending in the
+  // output site's Morton code — exactly the fresh rules' sort key — and a
+  // (offset, output site) pair identifies at most one submanifold rule, so
+  // the merged sequence equals the cold builder's.
+  for (int o = 0; o < volume; ++o) {
+    const auto ou = static_cast<std::size_t>(o);
+    auto& fo = fresh[ou];
+    std::sort(fo.begin(), fo.end(),
+              [](const KeyedRule& a, const KeyedRule& b) { return a.out_code < b.out_code; });
+    const std::vector<sparse::Rule>& old_rules = prev.rulebook.rules_for(o);
+    g.rulebook.reserve(o, old_rules.size() + fo.size());
+    std::size_t f = 0;
+    for (const sparse::Rule& r : old_rules) {
+      const std::int32_t ni = delta.old_to_new[static_cast<std::size_t>(r.in_row)];
+      const std::int32_t nj = delta.old_to_new[static_cast<std::size_t>(r.out_row)];
+      if (ni < 0 || nj < 0) continue;
+      const std::uint64_t cj = code_of[static_cast<std::size_t>(nj)];
+      while (f < fo.size() && fo[f].out_code < cj) g.rulebook.add(o, fo[f++].rule);
+      g.rulebook.add(o, sparse::Rule{ni, nj});
+    }
+    for (; f < fo.size(); ++f) g.rulebook.add(o, fo[f].rule);
+  }
+
+  g.out_rows = next.size();
+  g.blocked = sparse::BlockedRuleBook(g.rulebook, g.out_rows);
+  return g;
+}
+
+IncrementalGeometry::IncrementalGeometry(IncrementalGeometryConfig config)
+    : config_(config), rebuild_fraction_(resolve_rebuild_fraction(config.rebuild_fraction)) {
+  ESCA_REQUIRE(config_.kernel_size >= 1 && config_.kernel_size % 2 == 1,
+               "incremental geometry requires an odd kernel, got " << config_.kernel_size);
+}
+
+GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame) {
+  if (current_ != nullptr && current_->sites.spatial_extent() == frame.spatial_extent()) {
+    return update(frame, diff_frames(current_->sites, frame));
+  }
+  GeometryUpdate out;
+  out.sites = frame.size();
+  out.added = frame.size();
+  current_ = sparse::make_submanifold_geometry(frame, config_.kernel_size, config_.geometry);
+  ++rebuilds_;
+  out.geometry = current_;
+  return out;
+}
+
+GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame,
+                                           const FrameDelta& delta) {
+  ESCA_REQUIRE(current_ != nullptr, "update with a delta requires carried state");
+  GeometryUpdate out;
+  out.sites = frame.size();
+  out.added = delta.added.size();
+  out.removed = delta.removed.size();
+  out.retained = delta.retained;
+  if (delta.churn_fraction() <= rebuild_fraction_) {
+    current_ = std::make_shared<const sparse::LayerGeometry>(
+        patch_submanifold_geometry(*current_, frame, delta));
+    ++patches_;
+    out.patched = true;
+  } else {
+    current_ = sparse::make_submanifold_geometry(frame, config_.kernel_size, config_.geometry);
+    ++rebuilds_;
+  }
+  out.geometry = current_;
+  return out;
+}
+
+}  // namespace esca::stream

@@ -1,0 +1,104 @@
+// Incremental frame-to-frame geometry: patch the previous frame's
+// LayerGeometry instead of rebuilding it.
+//
+// A cold submanifold build enumerates every (site, kernel offset) pair and
+// resolves each shifted query against the Morton index — O(n * k^3)
+// galloping searches per frame. Across a sensor stream most of that work is
+// identical frame to frame: a rule (i -> j) survives exactly when both of
+// its sites survive. patch_submanifold_geometry() therefore
+//
+//   1. drops the rules touching a removed site and renumbers the survivors
+//      through the delta's row maps (two array loads per rule),
+//   2. enumerates kernel offsets around the *added* sites only — the sole
+//      place coordinate searches still happen, O(churn * k^3), and
+//   3. merges survivors and fresh rules per offset in Morton order of the
+//      output site, which is precisely the cold builder's emission order.
+//
+// The result is bit-identical to build_submanifold_geometry() on the new
+// frame — rule sequences, site rows, out_rows and the blocked re-bucketing
+// (property-tested; see sparse::geometry_equal). IncrementalGeometry wraps
+// the patch with state carrying and a churn threshold: when a frame changes
+// more than ESCA_STREAM_REBUILD_FRACTION of its sites, patching would touch
+// most rules anyway, so it falls back to a cold (optionally sharded) build.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/geometry.hpp"
+#include "stream/frame_delta.hpp"
+
+namespace esca::stream {
+
+/// Fallback threshold used when ESCA_STREAM_REBUILD_FRACTION is not set:
+/// rebuild from scratch once more than half the (larger) frame churned.
+inline constexpr double kDefaultRebuildFraction = 0.5;
+
+struct IncrementalGeometryConfig {
+  /// Submanifold kernel size (odd).
+  int kernel_size{3};
+  /// Shard configuration for cold (re)builds; the patch path is serial.
+  sparse::GeometryOptions geometry{};
+  /// Churn fraction above which update() abandons patching for a cold
+  /// rebuild. Negative = resolve from the ESCA_STREAM_REBUILD_FRACTION
+  /// environment variable (read at construction), falling back to
+  /// kDefaultRebuildFraction. 0 patches only geometrically identical
+  /// frames; 2 or more patches through any churn (churn_fraction() never
+  /// exceeds 2).
+  double rebuild_fraction{-1.0};
+};
+
+/// One update() outcome: the geometry handle plus what the frame changed.
+struct GeometryUpdate {
+  sparse::LayerGeometryPtr geometry;
+  std::size_t sites{0};
+  std::size_t added{0};
+  std::size_t removed{0};
+  std::size_t retained{0};
+  bool patched{false};  ///< false = cold build (first frame or churn fallback)
+};
+
+/// Patch `prev` (a submanifold geometry) into the geometry of `next`.
+/// `delta` must be diff_frames(prev.sites, next); extents must match.
+/// Returns a geometry bit-identical to build_submanifold_geometry(next, k).
+sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& prev,
+                                                 const sparse::SparseTensor& next,
+                                                 const FrameDelta& delta);
+
+/// Per-layer incremental state across an ordered frame sequence. Feed the
+/// frames in order; each update() returns the frame's geometry, patched
+/// from the previous frame whenever the churn threshold allows.
+class IncrementalGeometry {
+ public:
+  explicit IncrementalGeometry(IncrementalGeometryConfig config = {});
+
+  /// The effective fallback threshold (config or environment).
+  double rebuild_fraction() const { return rebuild_fraction_; }
+  const IncrementalGeometryConfig& config() const { return config_; }
+
+  /// Advance to `frame`, reusing the previous frame's geometry when
+  /// possible. The returned handle is also retained as the new state.
+  GeometryUpdate update(const sparse::SparseTensor& frame);
+
+  /// Same, with a caller-computed delta — must be
+  /// diff_frames(current()->sites, frame) and current() must be non-null
+  /// (callers that need the delta themselves avoid diffing twice).
+  GeometryUpdate update(const sparse::SparseTensor& frame, const FrameDelta& delta);
+
+  /// The last frame's geometry (null before the first update()).
+  const sparse::LayerGeometryPtr& current() const { return current_; }
+
+  /// Drop the carried state; the next update() cold-builds.
+  void reset() { current_ = nullptr; }
+
+  std::uint64_t patches() const { return patches_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  IncrementalGeometryConfig config_;
+  double rebuild_fraction_;
+  sparse::LayerGeometryPtr current_;
+  std::uint64_t patches_{0};
+  std::uint64_t rebuilds_{0};
+};
+
+}  // namespace esca::stream

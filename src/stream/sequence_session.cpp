@@ -1,0 +1,148 @@
+#include "stream/sequence_session.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "voxel/morton.hpp"
+
+namespace esca::stream {
+
+namespace {
+
+Coord3 coarse_extent_of(const Coord3& fine, int factor) {
+  return {(fine.x + factor - 1) / factor, (fine.y + factor - 1) / factor,
+          (fine.z + factor - 1) / factor};
+}
+
+}  // namespace
+
+SequenceSession::SequenceSession(runtime::Session& session, SequenceSessionConfig config)
+    : session_(&session), config_(config) {
+  ESCA_REQUIRE(config_.scales >= 1, "sequence session needs >= 1 scale, got " << config_.scales);
+  ESCA_REQUIRE(config_.downsample_factor >= 2,
+               "downsample factor must be >= 2, got " << config_.downsample_factor);
+  IncrementalGeometryConfig per_scale;
+  per_scale.kernel_size = config_.kernel_size;
+  per_scale.geometry = config_.geometry;
+  per_scale.rebuild_fraction = config_.rebuild_fraction;
+  scales_.reserve(static_cast<std::size_t>(config_.scales));
+  for (int s = 0; s < config_.scales; ++s) scales_.emplace_back(per_scale);
+  coarse_.resize(static_cast<std::size_t>(config_.scales - 1));
+}
+
+SequenceFrameResult SequenceSession::advance(const sparse::SparseTensor& frame,
+                                             std::string frame_id,
+                                             const runtime::RunOptions& options) {
+  if (frame_id.empty()) frame_id = str::format("stream%zu", frames_);
+
+  SequenceFrameResult result;
+  result.stats.scales.reserve(scales_.size());
+  result.geometries.reserve(scales_.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sparse::SparseTensor cur = frame.zeros_like(1);
+  for (std::size_t s = 0; s < scales_.size(); ++s) {
+    // Hold the previous geometry so its site tensor outlives the update —
+    // the coarse-scale maintenance below still needs its coordinates.
+    const sparse::LayerGeometryPtr prev = scales_[s].current();
+    const bool diffable =
+        prev != nullptr && prev->sites.spatial_extent() == cur.spatial_extent();
+    FrameDelta delta;
+    if (diffable) delta = diff_frames(prev->sites, cur);
+
+    const GeometryUpdate upd =
+        diffable ? scales_[s].update(cur, delta) : scales_[s].update(cur);
+    result.stats.scales.push_back(
+        ScaleUpdate{upd.sites, upd.added, upd.removed, upd.patched});
+    result.geometries.push_back(upd.geometry);
+
+    if (s + 1 < scales_.size()) {
+      cur = downsampled(s, cur, diffable ? &prev->sites : nullptr,
+                        diffable ? &delta : nullptr);
+    }
+  }
+  result.stats.geometry_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  result.run = session_->submit(runtime::FrameBatch::single(std::move(frame_id)), options);
+  ++frames_;
+  return result;
+}
+
+sparse::SparseTensor SequenceSession::downsampled(std::size_t transition,
+                                                  const sparse::SparseTensor& fine,
+                                                  const sparse::SparseTensor* prev_fine,
+                                                  const FrameDelta* delta) {
+  CoarseState& state = coarse_[transition];
+  const int factor = config_.downsample_factor;
+
+  if (state.valid && prev_fine != nullptr && delta != nullptr) {
+    // Patch the occupancy: only the churned fine sites touch it. A coarse
+    // cell dies when its last supporting fine site disappears and is born
+    // with its first one — CoordIndex::erase/insert keep the Morton-sorted
+    // cell set without re-deriving it.
+    for (const std::int32_t r : delta->removed) {
+      const Coord3 cc = prev_fine->coord(static_cast<std::size_t>(r)).floordiv(factor);
+      const std::uint64_t code = voxel::morton_encode(cc);
+      const auto it = state.support.find(code);
+      ESCA_CHECK(it != state.support.end() && it->second > 0,
+                 "coarse support underflow at " << cc);
+      if (--it->second == 0) {
+        state.support.erase(it);
+        ESCA_CHECK(state.occupied.erase(cc), "occupied set missing coarse cell " << cc);
+      }
+    }
+    for (const std::int32_t a : delta->added) {
+      const Coord3 cc = fine.coord(static_cast<std::size_t>(a)).floordiv(factor);
+      if (state.support[voxel::morton_encode(cc)]++ == 0) {
+        ESCA_CHECK(state.occupied.insert(cc, 0), "occupied set already has " << cc);
+      }
+    }
+  } else {
+    state.support.clear();
+    state.occupied.clear();
+    for (std::size_t row = 0; row < fine.size(); ++row) {
+      const Coord3 cc = fine.coord(row).floordiv(factor);
+      if (state.support[voxel::morton_encode(cc)]++ == 0) state.occupied.insert(cc, 0);
+    }
+    state.valid = true;
+  }
+
+  // Materialize the coarse frame in Morton row order — identical to the
+  // out_coords a downsample geometry build (kernel == stride == factor)
+  // would produce, so the next scale sees exactly the network's coordinate
+  // set.
+  const auto entries = state.occupied.entries();
+  std::vector<Coord3> coords;
+  coords.reserve(entries.size());
+  for (const auto& e : entries) coords.push_back(voxel::morton_decode(e.code));
+  sparse::CoordIndex index;
+  ESCA_CHECK(index.rebuild(coords), "duplicate coarse cell");
+  return sparse::SparseTensor::from_coords(coarse_extent_of(fine.spatial_extent(), factor), 1,
+                                           std::move(coords), std::move(index));
+}
+
+std::uint64_t SequenceSession::patches() const {
+  std::uint64_t n = 0;
+  for (const IncrementalGeometry& s : scales_) n += s.patches();
+  return n;
+}
+
+std::uint64_t SequenceSession::rebuilds() const {
+  std::uint64_t n = 0;
+  for (const IncrementalGeometry& s : scales_) n += s.rebuilds();
+  return n;
+}
+
+void SequenceSession::reset() {
+  for (IncrementalGeometry& s : scales_) s.reset();
+  for (CoarseState& c : coarse_) {
+    c.support.clear();
+    c.occupied.clear();
+    c.valid = false;
+  }
+}
+
+}  // namespace esca::stream

@@ -1,0 +1,124 @@
+// SequenceSession: an ordered point-cloud stream over a runtime::Session.
+//
+// A session owns per-scale incremental geometry state for one sensor
+// stream: scale 0 is the voxelized input frame, every further scale is the
+// stride-s downsampling of the previous one (the SS U-Net pyramid). Each
+// advance() diffs the new frame against the previous one (stream/
+// frame_delta.hpp), patches every scale's submanifold geometry through
+// stream::IncrementalGeometry, and pushes one frame through the underlying
+// runtime::Session so weight residency and reporting behave exactly like
+// any other streaming workload.
+//
+// The coarse scales are maintained incrementally too: a per-cell support
+// count tracks how many fine sites map into each coarse cell, and the
+// occupied-cell CoordIndex is patched with insert()/erase() — O(churn)
+// instead of re-deriving the pyramid from scratch every frame.
+//
+// serve::Server exposes SequenceSessions as a sticky request kind: all
+// requests of one stream id are pinned to one worker, whose SequenceSession
+// carries the stream's state across requests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/session.hpp"
+#include "sparse/coord_index.hpp"
+#include "stream/incremental_geometry.hpp"
+
+namespace esca::stream {
+
+struct SequenceSessionConfig {
+  /// Submanifold kernel at every scale (odd).
+  int kernel_size{3};
+  /// Geometry pyramid depth (>= 1). Scale s is the input downsampled s
+  /// times by `downsample_factor`.
+  int scales{1};
+  /// Downsampling kernel == stride between scales (the SS U-Net uses 2).
+  int downsample_factor{2};
+  /// Shard configuration forwarded to cold rebuilds.
+  sparse::GeometryOptions geometry{};
+  /// Churn fallback threshold; see IncrementalGeometryConfig.
+  double rebuild_fraction{-1.0};
+};
+
+/// What one frame changed at one scale.
+struct ScaleUpdate {
+  std::size_t sites{0};
+  std::size_t added{0};
+  std::size_t removed{0};
+  bool patched{false};  ///< false = cold build (first frame or churn fallback)
+};
+
+/// Geometry-side stats of one advance() call.
+struct SequenceFrameStats {
+  std::vector<ScaleUpdate> scales;  ///< one entry per pyramid scale
+  double geometry_seconds{0.0};     ///< wall clock of the geometry update
+
+  std::size_t patched_scales() const {
+    std::size_t n = 0;
+    for (const ScaleUpdate& s : scales) n += s.patched ? 1 : 0;
+    return n;
+  }
+};
+
+/// Everything one advance() produced.
+struct SequenceFrameResult {
+  SequenceFrameStats stats;
+  /// The frame's execution report (single frame; core/report-compatible).
+  runtime::RunReport run;
+  /// The per-scale submanifold geometries of this frame (shared handles).
+  std::vector<sparse::LayerGeometryPtr> geometries;
+};
+
+class SequenceSession {
+ public:
+  /// Borrows `session` (and through it the backend); the SequenceSession
+  /// must not outlive it. Several SequenceSessions may share one Session —
+  /// the serve worker model, where one worker multiplexes its streams.
+  SequenceSession(runtime::Session& session, SequenceSessionConfig config = {});
+
+  /// Advance the stream by one frame: update every scale's geometry
+  /// incrementally, then submit one frame through the runtime Session.
+  /// An empty `frame_id` is auto-numbered within this stream.
+  SequenceFrameResult advance(const sparse::SparseTensor& frame, std::string frame_id = "",
+                              const runtime::RunOptions& options = {});
+
+  std::size_t frames_advanced() const { return frames_; }
+  /// Patch / cold-build totals summed over all scales.
+  std::uint64_t patches() const;
+  std::uint64_t rebuilds() const;
+
+  runtime::Session& session() { return *session_; }
+  const SequenceSessionConfig& config() const { return config_; }
+
+  /// Drop all carried geometry state (the next frame cold-builds).
+  void reset();
+
+ private:
+  /// Incrementally maintained occupancy of one coarse scale.
+  struct CoarseState {
+    /// Fine sites supporting each occupied coarse cell, keyed by the
+    /// cell's Morton code.
+    std::unordered_map<std::uint64_t, std::int32_t> support;
+    /// The occupied coarse cells (rows unused — set semantics).
+    sparse::CoordIndex occupied;
+    bool valid{false};
+  };
+
+  /// The coarse frame one level below `fine`, maintained from the fine
+  /// delta when available (O(churn)), else rebuilt (O(sites)).
+  sparse::SparseTensor downsampled(std::size_t transition, const sparse::SparseTensor& fine,
+                                   const sparse::SparseTensor* prev_fine,
+                                   const FrameDelta* delta);
+
+  runtime::Session* session_;
+  SequenceSessionConfig config_;
+  std::vector<IncrementalGeometry> scales_;
+  std::vector<CoarseState> coarse_;  ///< one per scale transition
+  std::size_t frames_{0};
+};
+
+}  // namespace esca::stream

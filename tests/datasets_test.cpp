@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "datasets/depth_camera.hpp"
 #include "datasets/nyu_like.hpp"
+#include "datasets/sequence.hpp"
 #include "datasets/shapenet_like.hpp"
+#include "sparse/sparse_tensor.hpp"
+#include "stream/frame_delta.hpp"
+#include "voxel/voxelizer.hpp"
 
 namespace esca::datasets {
 namespace {
@@ -173,6 +178,75 @@ TEST(NyuLikeTest, LabelsCoverMultipleClasses) {
   // but scene-dependent, so only require the two structural classes.
   EXPECT_GT(histogram[static_cast<int>(IndoorClass::kFloor)], 0);
   EXPECT_GT(histogram[static_cast<int>(IndoorClass::kWall)], 0);
+}
+
+TEST(SequenceDatasetTest, FramesAreDeterministicAndRandomAccess) {
+  const ShapeNetLikeDataset objects({}, 31);
+  SequenceConfig cfg;
+  cfg.frames = 5;
+  cfg.yaw_per_frame = 0.01F;
+  cfg.translation_per_frame = {0.002F, 0.0F, 0.0F};
+  cfg.resample_fraction = 0.1F;
+  const SequenceDataset ds(objects.sample(0), cfg, 9);
+
+  const pc::PointCloud a = ds.frame(3);
+  const pc::PointCloud b = ds.frame(3);  // random access, no carried state
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.position(i), b.position(i));
+    EXPECT_EQ(a.intensity(i), b.intensity(i));
+  }
+  EXPECT_THROW((void)ds.frame(5), InvalidArgument);
+  EXPECT_THROW((void)ds.frame(-1), InvalidArgument);
+}
+
+TEST(SequenceDatasetTest, ZeroMotionZeroResampleIsTheBaseCloud) {
+  const ShapeNetLikeDataset objects({}, 32);
+  SequenceConfig cfg;
+  cfg.frames = 2;
+  cfg.resample_fraction = 0.0F;
+  const SequenceDataset ds(objects.sample(1), cfg, 1);
+  const pc::PointCloud frame = ds.frame(1);
+  ASSERT_EQ(frame.size(), ds.base().size());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_EQ(frame.position(i), ds.base().position(i));
+  }
+}
+
+TEST(SequenceDatasetTest, ResampleFractionControlsVoxelOverlap) {
+  const ShapeNetLikeDataset objects({}, 33);
+  const pc::PointCloud base = objects.sample(2);
+
+  auto mean_overlap = [&](float resample_fraction) {
+    SequenceConfig cfg;
+    cfg.frames = 4;
+    cfg.resample_fraction = resample_fraction;
+    const SequenceDataset ds(base, cfg, 12);
+    double overlap = 0.0;
+    sparse::SparseTensor prev = sparse::SparseTensor::from_voxel_grid(
+        voxel::voxelize(ds.frame(0), {96, false}), 1);
+    for (int t = 1; t < cfg.frames; ++t) {
+      sparse::SparseTensor next = sparse::SparseTensor::from_voxel_grid(
+          voxel::voxelize(ds.frame(t), {96, false}), 1);
+      overlap += stream::diff_frames(prev, next).overlap_fraction();
+      prev = std::move(next);
+    }
+    return overlap / (cfg.frames - 1);
+  };
+
+  const double high = mean_overlap(0.025F);  // ~95% target overlap
+  const double low = mean_overlap(0.25F);    // ~50% target overlap
+  EXPECT_GT(high, 0.85);
+  EXPECT_LT(low, 0.75);
+  EXPECT_GT(high, low + 0.1);
+}
+
+TEST(SequenceDatasetTest, RejectsBadConfiguration) {
+  const ShapeNetLikeDataset objects({}, 34);
+  EXPECT_THROW((void)SequenceDataset(objects.sample(0), {.frames = 0}, 1), InvalidArgument);
+  EXPECT_THROW((void)SequenceDataset(objects.sample(0), {.resample_fraction = 1.5F}, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)SequenceDataset(pc::PointCloud{}, {}, 1), InvalidArgument);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // off.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 
 #include "common/check.hpp"
@@ -71,6 +72,108 @@ TEST(CoordIndexTest, EntriesAreMortonSorted) {
   for (const auto& e : entries) {
     EXPECT_EQ(voxel::morton_encode(t.coord(static_cast<std::size_t>(e.row))), e.code);
   }
+}
+
+TEST(CoordIndexTest, EraseRemovesAndReviveReinserts) {
+  CoordIndex idx;
+  EXPECT_TRUE(idx.insert({1, 2, 3}, 0));
+  EXPECT_TRUE(idx.insert({3, 2, 1}, 1));
+  EXPECT_TRUE(idx.insert({4, 4, 4}, 2));
+  (void)idx.entries();  // push everything into the sorted run
+
+  EXPECT_TRUE(idx.erase({3, 2, 1}));
+  EXPECT_FALSE(idx.erase({3, 2, 1}));  // already gone
+  EXPECT_FALSE(idx.erase({9, 9, 9}));  // never present
+  EXPECT_FALSE(idx.erase({-1, 0, 0}));
+  EXPECT_EQ(idx.size(), 2U);
+  EXPECT_EQ(idx.find({3, 2, 1}), -1);
+  EXPECT_EQ(idx.find({1, 2, 3}), 0);
+
+  // Re-inserting an erased coordinate revives it with the new row.
+  EXPECT_TRUE(idx.insert({3, 2, 1}, 7));
+  EXPECT_EQ(idx.find({3, 2, 1}), 7);
+  EXPECT_EQ(idx.size(), 3U);
+
+  // Entries never expose erased slots.
+  EXPECT_TRUE(idx.erase({4, 4, 4}));
+  const auto entries = idx.entries();
+  ASSERT_EQ(entries.size(), 2U);
+  for (const auto& e : entries) EXPECT_NE(e.row, CoordIndex::kTombstone);
+}
+
+TEST(CoordIndexTest, EraseFromPendingTailAndSortedRun) {
+  CoordIndex idx;
+  EXPECT_TRUE(idx.insert({1, 1, 1}, 0));
+  (void)idx.entries();              // {1,1,1} now lives in the sorted run
+  EXPECT_TRUE(idx.insert({2, 2, 2}, 1));  // lands in the tail
+  EXPECT_TRUE(idx.erase({2, 2, 2}));      // tail erase path
+  EXPECT_TRUE(idx.erase({1, 1, 1}));      // sorted-run (tombstone) path
+  EXPECT_TRUE(idx.empty());
+  EXPECT_EQ(idx.find({1, 1, 1}), -1);
+  EXPECT_EQ(idx.find({2, 2, 2}), -1);
+}
+
+TEST(CoordIndexTest, InsertEraseFindInterleavingsMatchOracle) {
+  // Randomized interleavings against a map oracle, heavy enough to cross
+  // both the tail-merge and the tombstone-sweep thresholds repeatedly.
+  Rng rng(17);
+  CoordIndex idx;
+  std::map<Coord3, std::int32_t> oracle;
+  std::vector<Coord3> universe;
+  for (std::int32_t i = 0; i < 4000; ++i) {
+    universe.push_back({static_cast<std::int32_t>(rng.uniform_int(0, 31)),
+                        static_cast<std::int32_t>(rng.uniform_int(0, 31)),
+                        static_cast<std::int32_t>(rng.uniform_int(0, 31))});
+  }
+  std::int32_t next_row = 0;
+  for (int step = 0; step < 12000; ++step) {
+    const Coord3& c = universe[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(universe.size()) - 1))];
+    const int op = static_cast<int>(rng.uniform_int(0, 2));
+    if (op == 0) {
+      const bool fresh = !oracle.contains(c);
+      EXPECT_EQ(idx.insert(c, next_row), fresh) << "step " << step;
+      if (fresh) oracle[c] = next_row++;
+    } else if (op == 1) {
+      EXPECT_EQ(idx.erase(c), oracle.erase(c) > 0) << "step " << step;
+    } else {
+      const auto it = oracle.find(c);
+      EXPECT_EQ(idx.find(c), it == oracle.end() ? -1 : it->second) << "step " << step;
+    }
+    ASSERT_EQ(idx.size(), oracle.size());
+  }
+  // Full final audit, including the compacted entries() view.
+  const auto entries = idx.entries();
+  EXPECT_EQ(entries.size(), oracle.size());
+  for (const auto& [c, row] : oracle) EXPECT_EQ(idx.find(c), row);
+}
+
+TEST(CoordIndexTest, EraseManySweepsOnce) {
+  Rng rng(23);
+  CoordIndex idx;
+  std::vector<Coord3> coords;
+  std::set<Coord3> seen;
+  while (coords.size() < 3000) {
+    const Coord3 c{static_cast<std::int32_t>(rng.uniform_int(0, 63)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, 63)),
+                   static_cast<std::int32_t>(rng.uniform_int(0, 63))};
+    if (!seen.insert(c).second) continue;
+    ASSERT_TRUE(idx.insert(c, static_cast<std::int32_t>(coords.size())));
+    coords.push_back(c);
+  }
+  // Remove the front half in one call; ask for a few misses too.
+  std::vector<Coord3> victims(coords.begin(), coords.begin() + 1500);
+  victims.push_back({127, 127, 127});             // never present
+  victims.push_back(victims.front());             // duplicate victim
+  EXPECT_EQ(idx.erase_many(victims), 1500U);
+  EXPECT_EQ(idx.size(), coords.size() - 1500);
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    EXPECT_EQ(idx.find(coords[i]), i < 1500 ? -1 : static_cast<std::int32_t>(i));
+  }
+  // find_near stays consistent over the swept run.
+  const auto entries = idx.entries();
+  std::size_t cursor = 0;
+  for (const auto& e : entries) EXPECT_EQ(idx.find_near(e.code, cursor), e.row);
 }
 
 TEST(CoordIndexTest, FindNearAgreesWithFindFromAnyCursor) {

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -16,10 +17,12 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/strings.hpp"
 #include "nn/submanifold_conv.hpp"
 #include "runtime/runtime.hpp"
 #include "serve/serve.hpp"
 #include "sparse/geometry.hpp"
+#include "stream/sequence_session.hpp"
 #include "test_util.hpp"
 
 namespace esca::serve {
@@ -62,6 +65,71 @@ TEST(ServeQueueTest, FullQueueRejectsAndCloseDrains) {
   EXPECT_EQ(q.pop(), 1);        // backlog drains after close
   EXPECT_EQ(q.pop(), 2);
   EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(ServeQueueTest, EarliestDeadlineFirstOrdersByDeadline) {
+  BoundedQueue<int> q(8, QueuePolicy::kEarliestDeadlineFirst);
+  const auto now = std::chrono::steady_clock::now();
+  using std::chrono::seconds;
+  EXPECT_TRUE(q.try_push(1, PushInfo{.deadline = now + seconds(3)}));
+  EXPECT_TRUE(q.try_push(2, PushInfo{.priority = 100}));  // no deadline
+  EXPECT_TRUE(q.try_push(3, PushInfo{.deadline = now + seconds(1)}));
+  EXPECT_TRUE(q.try_push(4, PushInfo{.deadline = now + seconds(2)}));
+  EXPECT_TRUE(q.try_push(5, PushInfo{}));  // no deadline, lower priority than 2
+  EXPECT_EQ(q.pop(), 3);  // nearest deadline first
+  EXPECT_EQ(q.pop(), 4);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);  // deadline-less after all deadlined; priority ties
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_STREQ(to_string(QueuePolicy::kEarliestDeadlineFirst), "edf");
+  EXPECT_STREQ(to_string(QueuePolicy::kPriorityFifo), "priority-fifo");
+}
+
+TEST(ServeQueueTest, EqualDeadlinesFallBackToPriorityThenFifo) {
+  BoundedQueue<int> q(8, QueuePolicy::kEarliestDeadlineFirst);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  EXPECT_TRUE(q.try_push(1, PushInfo{.priority = 0, .deadline = deadline}));
+  EXPECT_TRUE(q.try_push(2, PushInfo{.priority = 5, .deadline = deadline}));
+  EXPECT_TRUE(q.try_push(3, PushInfo{.priority = 5, .deadline = deadline}));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 1);
+}
+
+TEST(ServeQueueTest, OrderKeyEnforcesPushOrderAcrossPolicies) {
+  // Items of one order key drain strictly FIFO even when a later item has
+  // a nearer deadline or higher priority (the per-stream guarantee).
+  BoundedQueue<int> edf(8, QueuePolicy::kEarliestDeadlineFirst);
+  const auto now = std::chrono::steady_clock::now();
+  using std::chrono::seconds;
+  EXPECT_TRUE(edf.try_push(1, PushInfo{.deadline = now + seconds(9), .order_key = 5}));
+  EXPECT_TRUE(edf.try_push(2, PushInfo{.deadline = now + seconds(1), .order_key = 5}));
+  EXPECT_TRUE(edf.try_push(3, PushInfo{.deadline = now + seconds(4)}));
+  EXPECT_EQ(edf.pop(), 3);  // 2 is blocked behind 1, so 3's deadline wins
+  EXPECT_EQ(edf.pop(), 1);
+  EXPECT_EQ(edf.pop(), 2);
+
+  BoundedQueue<int> fifo(8);
+  EXPECT_TRUE(fifo.try_push(1, PushInfo{.priority = 0, .order_key = 7}));
+  EXPECT_TRUE(fifo.try_push(2, PushInfo{.priority = 9, .order_key = 7}));
+  EXPECT_TRUE(fifo.try_push(3, PushInfo{.priority = 5}));
+  EXPECT_EQ(fifo.pop(), 3);  // highest *eligible* priority
+  EXPECT_EQ(fifo.pop(), 1);
+  EXPECT_EQ(fifo.pop(), 2);
+}
+
+TEST(ServeQueueTest, AffinityPinsItemsToConsumer) {
+  BoundedQueue<int> q(8);
+  EXPECT_TRUE(q.try_push(1, PushInfo{.priority = 9, .affinity = 2}));
+  EXPECT_TRUE(q.try_push(2, PushInfo{}));
+  EXPECT_TRUE(q.try_push(3, PushInfo{.affinity = 0}));
+  // Consumer 0 skips the item pinned to 2, even though it outranks all.
+  EXPECT_EQ(q.pop(0), 2);
+  EXPECT_EQ(q.pop(0), 3);
+  EXPECT_EQ(q.pop(2), 1);
+  // An affinity-blind pop (the shutdown drain) takes anything.
+  EXPECT_TRUE(q.try_push(4, PushInfo{.affinity = 5}));
+  EXPECT_EQ(q.pop(), 4);
 }
 
 TEST(ServeTelemetryTest, LogHistogramQuantilesBracketSamples) {
@@ -252,6 +320,134 @@ TEST(ServeServerTest, RejectsBadConfiguration) {
   EXPECT_THROW((void)Server(cfg, plan), InvalidArgument);
 }
 
+TEST(ServeServerTest, MultiFrameRequestExpiresMidBatchWithPartialReport) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg, small_plan());
+  Client client = server.client();
+
+  // The deadline is generous against queue wait (the single worker is idle)
+  // but far shorter than the whole batch. If a machine is fast enough to
+  // finish the batch inside the deadline, grow the batch and try again —
+  // each completed attempt costs less than the deadline by construction.
+  std::size_t frames = 200;
+  for (int attempt = 0; attempt < 6; ++attempt, frames *= 4) {
+    const Response r = client.submit_sync(
+        runtime::FrameBatch::replay(static_cast<int>(frames)), {.timeout_seconds = 0.1});
+    if (r.status == RequestStatus::kOk) continue;
+    ASSERT_EQ(r.status, RequestStatus::kExpired) << r.error;
+    // An oversubscribed runner can blow the whole deadline before pickup
+    // (worker_id -1, zero frames) — that's the queue-expiry path, not the
+    // one under test; retry.
+    if (r.report.frames.empty()) continue;
+    // Expired between frames: at least one ran, and not all of them did.
+    EXPECT_GE(r.worker_id, 0);
+    EXPECT_LT(r.report.frames.size(), frames);
+    EXPECT_GT(r.execute_seconds, 0.0);
+    EXPECT_GE(server.telemetry_snapshot().expired, 1);
+    return;
+  }
+  FAIL() << "no attempt expired mid-batch (all completed or expired at pickup)";
+}
+
+/// Small frames for sequence requests: a drifting cluster, frame t keeps
+/// most of frame t-1's sites.
+std::vector<sparse::SparseTensor> drifting_frames(int frames, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<sparse::SparseTensor> out;
+  sparse::SparseTensor base = test::clustered_tensor({20, 20, 20}, 1, rng, 6, 300);
+  for (int t = 0; t < frames; ++t) {
+    sparse::SparseTensor frame({20, 20, 20}, 1);
+    for (std::size_t r = 0; r < base.size(); ++r) {
+      if (rng.bernoulli(0.05)) continue;  // ~5% churn per frame
+      frame.add_site(base.coord(r));
+    }
+    out.push_back(frame.zeros_like(1));
+  }
+  return out;
+}
+
+TEST(ServeSequenceTest, StickyStreamsStayOnOneWorkerAndCarryState) {
+  ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.sequence.scales = 2;
+  cfg.sequence.rebuild_fraction = 2.0;
+  Server server(cfg, small_plan());
+  Client client = server.client();
+
+  constexpr int kStreams = 3;
+  constexpr int kRequestsPerStream = 4;
+  std::vector<std::vector<Response>> responses(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    const auto frames = drifting_frames(kRequestsPerStream, 100 + static_cast<std::uint64_t>(s));
+    for (int r = 0; r < kRequestsPerStream; ++r) {
+      // One frame per request: state must persist BETWEEN requests for the
+      // later frames to patch.
+      responses[static_cast<std::size_t>(s)].push_back(
+          client.submit_sequence(static_cast<std::uint64_t>(s), {frames[static_cast<std::size_t>(r)]})
+              .get());
+    }
+  }
+
+  for (int s = 0; s < kStreams; ++s) {
+    const auto& stream_responses = responses[static_cast<std::size_t>(s)];
+    const int owner = server.stream_owner(static_cast<std::uint64_t>(s));
+    ASSERT_GE(owner, 0);
+    for (int r = 0; r < kRequestsPerStream; ++r) {
+      const Response& response = stream_responses[static_cast<std::size_t>(r)];
+      ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
+      // Sticky: every request of the stream ran on the pinned worker.
+      EXPECT_EQ(response.worker_id, owner) << "stream " << s << " request " << r;
+      ASSERT_EQ(response.sequence.size(), 1U);
+      ASSERT_EQ(response.report.frames.size(), 1U);
+      const stream::SequenceFrameStats& stats = response.sequence.front();
+      ASSERT_EQ(stats.scales.size(), 2U);
+      // The first request of a stream cold-builds; every later one patches
+      // — proof the SequenceSession state survived across requests.
+      EXPECT_EQ(stats.patched_scales(), r == 0 ? 0U : 2U)
+          << "stream " << s << " request " << r;
+    }
+  }
+  // Stateless assignment (id mod workers) spreads these streams over
+  // distinct workers.
+  EXPECT_NE(server.stream_owner(0), server.stream_owner(1));
+}
+
+TEST(ServeSequenceTest, StreamStateIsBoundedAndEvictionColdBuilds) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.max_streams_per_worker = 1;  // any second stream evicts the first
+  cfg.sequence.rebuild_fraction = 2.0;
+  Server server(cfg, small_plan());
+  Client client = server.client();
+  const auto frames = drifting_frames(1, 55);
+
+  auto patched = [&](std::uint64_t stream_id) {
+    const Response r = client.submit_sequence(stream_id, {frames.front()}).get();
+    ESCA_CHECK(r.status == RequestStatus::kOk, "request failed: " << r.error);
+    return r.sequence.front().patched_scales() > 0;
+  };
+
+  EXPECT_FALSE(patched(1));  // fresh stream cold-builds
+  EXPECT_TRUE(patched(1));   // same stream, state carried
+  EXPECT_FALSE(patched(2));  // second stream evicts stream 1's state...
+  EXPECT_FALSE(patched(1));  // ...so stream 1 cold-builds again
+  // Routing is stateless (id mod workers): eviction only drops worker-side
+  // geometry state, never the stream -> worker mapping.
+  EXPECT_EQ(server.stream_owner(1), 0);
+  EXPECT_EQ(server.stream_owner(2), 0);
+}
+
+TEST(ServeSequenceTest, SequenceRequestsRejectEmptyFrames) {
+  ServerConfig cfg;
+  cfg.workers = 1;
+  Server server(cfg, small_plan());
+  EXPECT_THROW((void)server.submit_sequence(1, {}), InvalidArgument);
+  EXPECT_THROW(
+      (void)server.submit_sequence(std::numeric_limits<std::uint64_t>::max(), {}),
+      InvalidArgument);
+}
+
 TEST(ServeStressTest, ManyClientsManyWorkersStayBitExact) {
   // The ThreadSanitizer workload: heavy concurrent submission with verify
   // enabled, so every frame is checked bit-exactly against the integer gold
@@ -272,7 +468,7 @@ TEST(ServeStressTest, ManyClientsManyWorkersStayBitExact) {
       Client client = server.client();
       for (int r = 0; r < kRequestsPerClient; ++r) {
         const Response response = client.submit_sync(
-            FrameBatch::single("c" + std::to_string(c) + "r" + std::to_string(r)),
+            FrameBatch::single(str::format("c%dr%d", c, r)),
             {.priority = r % 3, .run = {.verify = true}});
         ESCA_CHECK(response.status == RequestStatus::kOk, "stress request failed: "
                                                               << response.error);
