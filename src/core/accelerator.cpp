@@ -14,7 +14,46 @@ double LayerRunStats::array_utilization(int parallelism) const {
          (static_cast<double>(parallelism) * static_cast<double>(total_cycles));
 }
 
-Accelerator::Accelerator(ArchConfig config) : config_(config), dram_(config.dram) {
+void MemorySummary::add(const LayerRunStats& layer) {
+  dram_bytes_in += layer.dram_bytes_in;
+  dram_bytes_out += layer.dram_bytes_out;
+  dram_bursts += layer.traffic.dram_bursts();
+  sram_read_bytes += layer.traffic.sram_read_bytes;
+  sram_write_bytes += layer.traffic.sram_write_bytes;
+  bank_conflict_stalls += layer.buffer_sim.bank_conflict_stalls;
+  port_stalls += layer.buffer_sim.port_stalls;
+  buffer_fifo_high_water = std::max(buffer_fifo_high_water, layer.buffer_sim.fifo_high_water);
+  sdmu_scan_stalls += layer.sdmu.scan_stall_cycles;
+  sdmu_fetch_stalls += layer.sdmu.fetch_stall_cycles;
+  sdmu_fifo_high_water = std::max(sdmu_fifo_high_water, layer.sdmu.fifo_high_water);
+  if (layer.memory_bound) {
+    ++memory_bound_layers;
+  } else {
+    ++compute_bound_layers;
+  }
+}
+
+void MemorySummary::merge(const MemorySummary& other) {
+  dram_bytes_in += other.dram_bytes_in;
+  dram_bytes_out += other.dram_bytes_out;
+  dram_bursts += other.dram_bursts;
+  sram_read_bytes += other.sram_read_bytes;
+  sram_write_bytes += other.sram_write_bytes;
+  bank_conflict_stalls += other.bank_conflict_stalls;
+  port_stalls += other.port_stalls;
+  buffer_fifo_high_water = std::max(buffer_fifo_high_water, other.buffer_fifo_high_water);
+  sdmu_scan_stalls += other.sdmu_scan_stalls;
+  sdmu_fetch_stalls += other.sdmu_fetch_stalls;
+  sdmu_fifo_high_water = std::max(sdmu_fifo_high_water, other.sdmu_fifo_high_water);
+  memory_bound_layers += other.memory_bound_layers;
+  compute_bound_layers += other.compute_bound_layers;
+}
+
+Accelerator::Accelerator(ArchConfig config)
+    : config_(config),
+      dram_(config.dram),
+      traffic_(config.traffic_model_config()),
+      buffer_(config.buffer_geometry()) {
   config_.validate();
 }
 
@@ -55,29 +94,29 @@ LayerRunResult Accelerator::run_layer(const quant::QuantizedSubConv& layer,
   const TileEncoder encoder(config_);
   const std::vector<EncodedTile> encoded = encoder.encode(geometry, tiles, &st.encoding);
 
-  // --- buffer capacity / DRAM traffic -----------------------------------------
+  // --- buffer capacity ----------------------------------------------------------
+  // Tiles whose working set overflows a buffer are double-streamed; the
+  // traffic model charges the overflow, here we just measure it.
   const std::int64_t weight_bytes = layer.weight_bytes();
   if (weight_bytes > config_.weight_buffer_bytes) ++st.buffer_spills;
   const auto act_bytes_per_site = static_cast<std::int64_t>(layer.in_channels()) * 2;
-  const auto out_bytes_per_site = static_cast<std::int64_t>(layer.out_channels()) * 2;
+  std::int64_t overflow_act_sites = 0;
+  std::int64_t overflow_mask_bytes = 0;
   for (const EncodedTile& t : encoded) {
     if (t.stored_sites() * act_bytes_per_site > config_.activation_buffer_bytes) {
       ++st.buffer_spills;
+      overflow_act_sites += t.stored_sites();
     }
-    if ((t.mask_bits() + 7) / 8 > config_.mask_buffer_bytes) ++st.buffer_spills;
+    const std::int64_t tile_mask_bytes = (t.mask_bits() + 7) / 8;
+    if (tile_mask_bytes > config_.mask_buffer_bytes) {
+      ++st.buffer_spills;
+      overflow_mask_bytes += tile_mask_bytes;
+    }
   }
   if (st.buffer_spills > 0) {
     ESCA_LOG_WARN << "layer '" << layer.name() << "': " << st.buffer_spills
                   << " tile working sets exceed on-chip buffers (double-streamed)";
   }
-
-  st.dram_bytes_in = st.encoding.mask_bytes + st.encoding.stored_sites * act_bytes_per_site +
-                     (options.weights_resident ? 0 : weight_bytes);
-  st.dram_bytes_out = st.encoding.core_sites * out_bytes_per_site;
-  // Spilled tiles stream their working set twice.
-  st.dram_bytes_in += st.buffer_spills * act_bytes_per_site;
-  dram_.record_read(st.dram_bytes_in);
-  dram_.record_write(st.dram_bytes_out);
 
   // --- per-tile SDMU + CC -------------------------------------------------------
   const Sdmu sdmu(config_);
@@ -94,6 +133,19 @@ LayerRunResult Accelerator::run_layer(const quant::QuantizedSubConv& layer,
   for (const EncodedTile& tile : encoded) {
     SdmuResult tile_result = sdmu.simulate_tile(tile, geometry, ccpm);
     st.sdmu.merge(tile_result.stats);
+
+    if (config_.mem.simulate_buffer) {
+      // Replay this tile's real activation access stream (one read per
+      // match, one writeback per output row) through the banked buffer.
+      access_scratch_.clear();
+      for (const MatchGroup& group : tile_result.groups) {
+        for (const Match& m : group.matches) {
+          access_scratch_.push_back({static_cast<std::int64_t>(m.in_row), false});
+        }
+        access_scratch_.push_back({static_cast<std::int64_t>(group.out_row), true});
+      }
+      st.buffer_sim.merge(buffer_.simulate(access_scratch_));
+    }
 
     for (const MatchGroup& group : tile_result.groups) {
       std::fill(acc.begin(), acc.end(), 0);
@@ -118,20 +170,41 @@ LayerRunResult Accelerator::run_layer(const quant::QuantizedSubConv& layer,
              "not every site produced an output group: " << covered_sites << " vs "
                                                          << st.sites);
 
+  // --- DRAM traffic (sim/mem closed form) ---------------------------------------
+  st.traffic_input.active_tiles = st.encoding.tiles;
+  st.traffic_input.mask_bytes = st.encoding.mask_bytes;
+  st.traffic_input.stored_sites = st.encoding.stored_sites;
+  st.traffic_input.core_sites = st.encoding.core_sites;
+  st.traffic_input.overflow_act_sites = overflow_act_sites;
+  st.traffic_input.overflow_mask_bytes = overflow_mask_bytes;
+  st.traffic_input.matches = st.sdmu.matches;
+  st.traffic_input.in_channels = layer.in_channels();
+  st.traffic_input.out_channels = layer.out_channels();
+  st.traffic_input.weight_bytes = weight_bytes;
+  st.traffic_input.weights_resident = options.weights_resident;
+  st.traffic = traffic_.layer_traffic(st.traffic_input);
+  st.dram_bytes_in = st.traffic.dram_bytes_in();
+  st.dram_bytes_out = st.traffic.dram_bytes_out();
+  dram_.record_read(st.dram_bytes_in);
+  dram_.record_write(st.dram_bytes_out);
+
   st.total_cycles = st.sdmu.cycles;
   energy_.add_logic_cycles(st.total_cycles);
   energy_.add_dram_bytes(st.dram_bytes_in + st.dram_bytes_out);
 
   // --- timing -------------------------------------------------------------------
+  // Bank-conflict stalls are reported, not folded into total_cycles: the
+  // SDMU pipeline already rate-limits buffer reads, so folding them in
+  // would double-charge the common case.
   st.compute_seconds = static_cast<double>(st.total_cycles) / config_.frequency_hz;
-  st.dram_seconds = dram_.transfer_seconds(st.dram_bytes_in) +
-                    dram_.transfer_seconds(st.dram_bytes_out);
+  st.dram_seconds = traffic_.transfer_seconds(st.traffic);
   st.total_seconds = config_.overlap_dram ? std::max(st.compute_seconds, st.dram_seconds)
                                           : st.compute_seconds + st.dram_seconds;
   st.effective_gops =
       st.total_seconds > 0.0
           ? 2.0 * static_cast<double>(st.mac_ops) / st.total_seconds / 1e9
           : 0.0;
+  st.memory_bound = st.dram_seconds >= st.compute_seconds;
 
   return LayerRunResult{std::move(output), std::move(st)};
 }
@@ -157,6 +230,12 @@ double NetworkRunStats::total_seconds() const {
 double NetworkRunStats::effective_gops() const {
   const double s = total_seconds();
   return s > 0.0 ? 2.0 * static_cast<double>(total_mac_ops()) / s / 1e9 : 0.0;
+}
+
+MemorySummary NetworkRunStats::memory_summary() const {
+  MemorySummary m;
+  for (const auto& l : layers) m.add(l);
+  return m;
 }
 
 }  // namespace esca::core

@@ -20,6 +20,8 @@
 #include "quant/qtensor.hpp"
 #include "sim/dram.hpp"
 #include "sim/energy.hpp"
+#include "sim/mem/global_buffer.hpp"
+#include "sim/mem/traffic_model.hpp"
 
 namespace esca::core {
 
@@ -41,13 +43,48 @@ struct LayerRunStats {
   std::int64_t dram_bytes_out{0};
   std::int64_t buffer_spills{0};  ///< tiles whose working set exceeded a buffer
 
+  /// Memory-hierarchy accounting (sim/mem): per-class DRAM traffic with
+  /// tile-granular bursts, SRAM<->PE bytes, and the banked-buffer
+  /// bank-conflict simulation of this layer's real access stream.
+  sim::mem::LayerTraffic traffic;
+  sim::mem::BufferSimStats buffer_sim;
+  /// Inputs the closed form consumed — kept so reports (and tests) can
+  /// reproduce `traffic` exactly from the stats alone.
+  sim::mem::LayerTrafficInput traffic_input;
+
   double compute_seconds{0.0};
   double dram_seconds{0.0};
   double total_seconds{0.0};
   double effective_gops{0.0};  ///< 2 * mac_ops / total_seconds
+  bool memory_bound{false};    ///< roofline verdict: DRAM time >= compute time
 
   /// MAC-array utilization: mac_ops / (parallelism * total_cycles).
   double array_utilization(int parallelism) const;
+  /// "memory" / "compute" (the layer_report_table verdict column).
+  const char* bound_verdict() const { return memory_bound ? "memory" : "compute"; }
+};
+
+/// Aggregated memory-system counters over a set of layers — the shape
+/// FrameReport/RunReport and serve telemetry surface. The SDMU FIFO stall
+/// counters (sim::Fifo statistics) ride along so callers no longer need to
+/// dig through per-layer SdmuStats.
+struct MemorySummary {
+  std::int64_t dram_bytes_in{0};
+  std::int64_t dram_bytes_out{0};
+  std::int64_t dram_bursts{0};
+  std::int64_t sram_read_bytes{0};
+  std::int64_t sram_write_bytes{0};
+  std::int64_t bank_conflict_stalls{0};
+  std::int64_t port_stalls{0};
+  std::size_t buffer_fifo_high_water{0};  ///< max over layers
+  std::int64_t sdmu_scan_stalls{0};
+  std::int64_t sdmu_fetch_stalls{0};
+  std::size_t sdmu_fifo_high_water{0};  ///< max over layers
+  int memory_bound_layers{0};
+  int compute_bound_layers{0};
+
+  void add(const LayerRunStats& layer);
+  void merge(const MemorySummary& other);
 };
 
 struct LayerRunResult {
@@ -82,7 +119,10 @@ class Accelerator {
  private:
   ArchConfig config_;
   sim::DramModel dram_;
+  sim::mem::MemoryTrafficModel traffic_;
+  sim::mem::GlobalBuffer buffer_;
   sim::EnergyMeter energy_;
+  std::vector<sim::mem::BufferAccess> access_scratch_;  ///< reused per tile
 };
 
 /// Sum a set of per-layer stats into network totals.
@@ -93,6 +133,7 @@ struct NetworkRunStats {
   std::int64_t total_mac_ops() const;
   double total_seconds() const;
   double effective_gops() const;
+  MemorySummary memory_summary() const;
 };
 
 }  // namespace esca::core

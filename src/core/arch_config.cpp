@@ -17,6 +17,21 @@ void ArchConfig::validate() const {
   ESCA_REQUIRE(activation_buffer_bytes > 0 && weight_buffer_bytes > 0 &&
                    mask_buffer_bytes > 0 && output_buffer_bytes > 0,
                "buffer sizes must be positive");
+  mem.validate();
+}
+
+sim::mem::TrafficModelConfig ArchConfig::traffic_model_config() const {
+  sim::mem::TrafficModelConfig cfg;
+  cfg.mem = mem;
+  cfg.dram = dram;
+  cfg.weight_buffer_bytes = weight_buffer_bytes;
+  cfg.activation_buffer_bytes = activation_buffer_bytes;
+  cfg.mask_buffer_bytes = mask_buffer_bytes;
+  return cfg;
+}
+
+sim::mem::GlobalBufferConfig ArchConfig::buffer_geometry() const {
+  return mem.buffer.resolved(activation_buffer_bytes);
 }
 
 }  // namespace esca::core

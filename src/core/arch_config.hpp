@@ -9,6 +9,7 @@
 
 #include "common/types.hpp"
 #include "sim/dram.hpp"
+#include "sim/mem/traffic_model.hpp"
 
 namespace esca::core {
 
@@ -34,12 +35,22 @@ struct ArchConfig {
   /// Overlap DRAM transfers with compute (double buffering). The published
   /// design streams tiles without overlap, so the default is off.
   bool overlap_dram{false};
+  /// Memory-hierarchy model: dataflow schedule + banked global-buffer
+  /// geometry (sim/mem). The default weight-stationary schedule reproduces
+  /// the published design's traffic when every buffer fits.
+  sim::mem::MemConfig mem{};
 
   // --- derived --------------------------------------------------------------
   int kernel_radius() const { return kernel_size / 2; }
   int k2() const { return kernel_size * kernel_size; }  ///< decoder columns
   int k3() const { return k2() * kernel_size; }
   int compute_parallelism() const { return ic_parallel * oc_parallel; }
+
+  /// Buffer capacities + DRAM + mem knobs packaged for the traffic model.
+  sim::mem::TrafficModelConfig traffic_model_config() const;
+  /// Activation global-buffer geometry with depth derived from
+  /// activation_buffer_bytes when unset.
+  sim::mem::GlobalBufferConfig buffer_geometry() const;
 
   /// Throws esca::InvalidArgument when parameters are inconsistent.
   void validate() const;

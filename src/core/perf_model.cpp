@@ -7,7 +7,10 @@
 
 namespace esca::core {
 
-PerfModel::PerfModel(const ArchConfig& config) : config_(config) { config_.validate(); }
+PerfModel::PerfModel(const ArchConfig& config)
+    : config_(config), traffic_(config.traffic_model_config()) {
+  config_.validate();
+}
 
 PerfEstimate PerfModel::estimate_layer(std::int64_t active_tiles, std::int64_t matches,
                                        int in_channels, int out_channels) const {
@@ -30,9 +33,16 @@ PerfEstimate PerfModel::estimate_layer(std::int64_t active_tiles, std::int64_t m
   return e;
 }
 
+double PerfModel::dram_seconds(const sim::mem::LayerTraffic& traffic) const {
+  return traffic_.transfer_seconds(traffic);
+}
+
 double PerfModel::dram_seconds(std::int64_t bytes_in, std::int64_t bytes_out) const {
-  const sim::DramModel dram(config_.dram);
-  return dram.transfer_seconds(bytes_in) + dram.transfer_seconds(bytes_out);
+  return traffic_.stream_seconds(bytes_in) + traffic_.stream_seconds(bytes_out);
+}
+
+sim::mem::LayerTraffic PerfModel::layer_traffic(const sim::mem::LayerTrafficInput& input) const {
+  return traffic_.layer_traffic(input);
 }
 
 }  // namespace esca::core

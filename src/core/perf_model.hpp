@@ -32,13 +32,22 @@ class PerfModel {
   PerfEstimate estimate_layer(std::int64_t active_tiles, std::int64_t matches,
                               int in_channels, int out_channels) const;
 
-  /// DRAM seconds for the layer's traffic (same model the simulator uses).
+  /// DRAM seconds for burst-accounted layer traffic — the same
+  /// sim::mem::MemoryTrafficModel charge the cycle simulator applies.
+  double dram_seconds(const sim::mem::LayerTraffic& traffic) const;
+
+  /// Legacy first-order fallback: two monolithic streaming bursts. Kept as
+  /// a cross-checked lower bound on the burst-accounted charge.
   double dram_seconds(std::int64_t bytes_in, std::int64_t bytes_out) const;
+
+  /// Closed-form traffic of one layer (passthrough to the shared model).
+  sim::mem::LayerTraffic layer_traffic(const sim::mem::LayerTrafficInput& input) const;
 
   const ArchConfig& config() const { return config_; }
 
  private:
   ArchConfig config_;
+  sim::mem::MemoryTrafficModel traffic_;
 };
 
 }  // namespace esca::core

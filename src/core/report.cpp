@@ -12,32 +12,45 @@ namespace esca::core {
 std::string layer_report_table(const NetworkRunStats& stats, const std::string& title) {
   Table table(title);
   table.header({"Layer", "Cin", "Cout", "Sites", "Tiles", "Matches", "Cycles", "Time (us)",
-                "GOPS"});
+                "GOPS", "DRAM (KB)", "Bound"});
   for (const auto& l : stats.layers) {
     table.row({l.layer_name, std::to_string(l.in_channels), std::to_string(l.out_channels),
                std::to_string(l.sites), std::to_string(l.zero_removing.active_tiles),
                str::with_commas(l.sdmu.matches), str::with_commas(l.total_cycles),
-               str::fixed(l.total_seconds * 1e6, 1), str::fixed(l.effective_gops, 2)});
+               str::fixed(l.total_seconds * 1e6, 1), str::fixed(l.effective_gops, 2),
+               str::fixed(static_cast<double>(l.dram_bytes_in + l.dram_bytes_out) / 1024.0, 1),
+               l.bound_verdict()});
   }
   table.separator();
+  const MemorySummary mem = stats.memory_summary();
   table.row({"total", "", "", "", "", "", str::with_commas(stats.total_cycles()),
              str::fixed(stats.total_seconds() * 1e6, 1),
-             str::fixed(stats.effective_gops(), 2)});
+             str::fixed(stats.effective_gops(), 2),
+             str::fixed(static_cast<double>(mem.dram_bytes_in + mem.dram_bytes_out) / 1024.0, 1),
+             std::to_string(mem.memory_bound_layers) + "m/" +
+                 std::to_string(mem.compute_bound_layers) + "c"});
   return table.to_string();
 }
 
 void write_layer_csv(std::ostream& os, const NetworkRunStats& stats) {
   os << "layer,cin,cout,sites,active_tiles,matches,mac_ops,cycles,scan_stalls,fetch_stalls,"
-        "mux_idle,dram_bytes_in,dram_bytes_out,seconds,effective_gops\n";
+        "mux_idle,dram_bytes_in,dram_bytes_out,dram_bursts,sram_read_bytes,sram_write_bytes,"
+        "bank_conflict_stalls,port_stalls,bound,seconds,effective_gops\n";
   for (const auto& l : stats.layers) {
     os << l.layer_name << ',' << l.in_channels << ',' << l.out_channels << ',' << l.sites
        << ',' << l.zero_removing.active_tiles << ',' << l.sdmu.matches << ',' << l.mac_ops
        << ',' << l.total_cycles << ',' << l.sdmu.scan_stall_cycles << ','
        << l.sdmu.fetch_stall_cycles << ',' << l.sdmu.mux_idle_cycles << ','
-       << l.dram_bytes_in << ',' << l.dram_bytes_out << ',' << l.total_seconds << ','
-       << l.effective_gops << '\n';
+       << l.dram_bytes_in << ',' << l.dram_bytes_out << ',' << l.traffic.dram_bursts() << ','
+       << l.traffic.sram_read_bytes << ',' << l.traffic.sram_write_bytes << ','
+       << l.buffer_sim.bank_conflict_stalls << ',' << l.buffer_sim.port_stalls << ','
+       << l.bound_verdict() << ',' << l.total_seconds << ',' << l.effective_gops << '\n';
   }
-  os << "total,,,,,," << stats.total_mac_ops() << ',' << stats.total_cycles() << ",,,,,,"
+  const MemorySummary mem = stats.memory_summary();
+  os << "total,,,,,," << stats.total_mac_ops() << ',' << stats.total_cycles() << ",,,,"
+     << mem.dram_bytes_in << ',' << mem.dram_bytes_out << ',' << mem.dram_bursts << ','
+     << mem.sram_read_bytes << ',' << mem.sram_write_bytes << ','
+     << mem.bank_conflict_stalls << ',' << mem.port_stalls << ",,"
      << stats.total_seconds() << ',' << stats.effective_gops() << '\n';
 }
 

@@ -48,6 +48,12 @@ std::int64_t FrameReport::dram_bytes_in() const {
   return bytes;
 }
 
+core::MemorySummary RunReport::memory_summary() const {
+  core::MemorySummary m;
+  for (const FrameReport& frame : frames) m.merge(frame.stats.memory_summary());
+  return m;
+}
+
 core::NetworkRunStats RunReport::merged_stats() const {
   core::NetworkRunStats merged;
   for (const FrameReport& frame : frames) {

@@ -89,6 +89,9 @@ struct FrameReport {
 
   std::int64_t dram_bytes_in() const;
   double total_seconds() const { return stats.total_seconds(); }
+  /// Memory-system counters over this frame's layers (DRAM bytes/bursts,
+  /// SRAM traffic, bank-conflict + SDMU FIFO stalls, roofline verdicts).
+  core::MemorySummary memory_summary() const { return stats.memory_summary(); }
 };
 
 /// Aggregate result of a submission: per-frame reports plus flattened views
@@ -105,6 +108,8 @@ struct RunReport {
   std::int64_t total_mac_ops() const;
   double total_seconds() const;
   double effective_gops() const;
+  /// Memory-system counters over every (layer, frame) of the submission.
+  core::MemorySummary memory_summary() const;
 };
 
 /// Abstract execution backend: compile a trace into a Plan, run Plans.

@@ -225,8 +225,12 @@ void Server::worker_loop(int worker_id) {
     response.execute_seconds = seconds_between(picked_up, finished);
     response.total_seconds = seconds_between(request->enqueued, finished);
     if (response.status == RequestStatus::kOk) {
+      const core::MemorySummary mem = response.report.memory_summary();
       telemetry_.on_completed(queue_seconds, response.total_seconds,
-                              response.report.frames.size());
+                              response.report.frames.size(),
+                              MemoryCounters{mem.dram_bytes_in + mem.dram_bytes_out,
+                                             mem.bank_conflict_stalls,
+                                             mem.memory_bound_layers});
     } else if (response.status == RequestStatus::kExpired) {
       telemetry_.on_expired(queue_seconds);
     } else {

@@ -47,13 +47,17 @@ void Telemetry::on_failed(double total_seconds) {
   latency_hist_.add(total_seconds);
 }
 
-void Telemetry::on_completed(double queue_seconds, double total_seconds, std::size_t frames) {
+void Telemetry::on_completed(double queue_seconds, double total_seconds, std::size_t frames,
+                             const MemoryCounters& mem) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++completed_;
   frames_ += static_cast<std::int64_t>(frames);
   queue_wait_.add(queue_seconds);
   latency_.add(total_seconds);
   latency_hist_.add(total_seconds);
+  dram_bytes_ += mem.dram_bytes;
+  bank_conflict_stalls_ += mem.bank_conflict_stalls;
+  memory_bound_layers_ += mem.memory_bound_layers;
 }
 
 void Telemetry::sample_queue_depth(std::size_t depth) {
@@ -79,6 +83,9 @@ TelemetrySnapshot Telemetry::snapshot() const {
   s.max_queue_seconds = queue_wait_.max();
   s.mean_queue_depth = queue_depth_.mean();
   s.max_queue_depth = queue_depth_.max();
+  s.dram_bytes = dram_bytes_;
+  s.bank_conflict_stalls = bank_conflict_stalls_;
+  s.memory_bound_layers = memory_bound_layers_;
   if (saw_submit_) {
     s.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - first_submit_)
@@ -108,6 +115,10 @@ std::string TelemetrySnapshot::table(const std::string& title) const {
          units::seconds(mean_queue_seconds) + " / " + units::seconds(max_queue_seconds)});
   t.row({"queue depth mean / max",
          str::fixed(mean_queue_depth, 2) + " / " + str::fixed(max_queue_depth, 0)});
+  t.separator();
+  t.row({"dram traffic", units::bytes(dram_bytes)});
+  t.row({"bank conflict stalls", str::with_commas(bank_conflict_stalls)});
+  t.row({"memory-bound layers", std::to_string(memory_bound_layers)});
   t.separator();
   t.row({"elapsed", units::seconds(elapsed_seconds)});
   t.row({"throughput", str::fixed(requests_per_second, 1) + " req/s, " +

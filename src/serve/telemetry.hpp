@@ -18,6 +18,14 @@
 
 namespace esca::serve {
 
+/// Memory-system counters of one completed request (from the RunReport's
+/// core::MemorySummary) — folded into the server-wide totals below.
+struct MemoryCounters {
+  std::int64_t dram_bytes{0};  ///< DRAM in + out over every executed layer
+  std::int64_t bank_conflict_stalls{0};
+  std::int64_t memory_bound_layers{0};
+};
+
 /// Consistent copy of the server's aggregate state at one instant.
 struct TelemetrySnapshot {
   std::int64_t submitted{0};  ///< accepted + rejected submissions
@@ -40,6 +48,10 @@ struct TelemetrySnapshot {
   double mean_queue_depth{0.0};  ///< sampled at every push/pop
   double max_queue_depth{0.0};
 
+  std::int64_t dram_bytes{0};  ///< memory-system totals over completed work
+  std::int64_t bank_conflict_stalls{0};
+  std::int64_t memory_bound_layers{0};
+
   double elapsed_seconds{0.0};     ///< since the first submission
   double requests_per_second{0.0}; ///< completed / elapsed
   double frames_per_second{0.0};
@@ -56,7 +68,8 @@ class Telemetry {
   void on_shed();
   void on_expired(double queue_seconds);
   void on_failed(double total_seconds);
-  void on_completed(double queue_seconds, double total_seconds, std::size_t frames);
+  void on_completed(double queue_seconds, double total_seconds, std::size_t frames,
+                    const MemoryCounters& mem = {});
   void sample_queue_depth(std::size_t depth);
 
   TelemetrySnapshot snapshot() const;
@@ -72,6 +85,10 @@ class Telemetry {
   std::int64_t expired_{0};
   std::int64_t failed_{0};
   std::int64_t frames_{0};
+
+  std::int64_t dram_bytes_{0};
+  std::int64_t bank_conflict_stalls_{0};
+  std::int64_t memory_bound_layers_{0};
 
   LogHistogram latency_hist_;
   RunningStat latency_;

@@ -1,0 +1,21 @@
+#include "sim/mem/dataflow.hpp"
+
+#include "common/check.hpp"
+
+namespace esca::sim::mem {
+
+const char* to_string(Dataflow dataflow) {
+  switch (dataflow) {
+    case Dataflow::kWeightStationary: return "ws";
+    case Dataflow::kOutputStationary: return "os";
+  }
+  return "?";
+}
+
+Dataflow parse_dataflow(const std::string& name) {
+  if (name == "ws" || name == "weight_stationary") return Dataflow::kWeightStationary;
+  if (name == "os" || name == "output_stationary") return Dataflow::kOutputStationary;
+  ESCA_REQUIRE(false, "unknown dataflow '" << name << "' (want ws|os)");
+}
+
+}  // namespace esca::sim::mem

@@ -1,0 +1,104 @@
+#include "sim/mem/global_buffer.hpp"
+
+#include <algorithm>
+
+#include "sim/fifo.hpp"
+
+namespace esca::sim::mem {
+
+GlobalBufferConfig GlobalBufferConfig::resolved(std::int64_t capacity_bytes) const {
+  GlobalBufferConfig r = *this;
+  if (r.depth_words == 0) {
+    r.depth_words =
+        std::max<std::int64_t>(1, capacity_bytes / (static_cast<std::int64_t>(r.banks) *
+                                                    r.word_bytes));
+  }
+  return r;
+}
+
+void GlobalBufferConfig::validate() const {
+  ESCA_REQUIRE(banks >= 1, "buffer needs at least one bank, got " << banks);
+  ESCA_REQUIRE(depth_words >= 1, "bank depth must be positive, got " << depth_words);
+  ESCA_REQUIRE(word_bytes >= 1, "word width must be positive, got " << word_bytes);
+  ESCA_REQUIRE(read_ports >= 1 && write_ports >= 1,
+               "buffer needs at least one read and one write port, got "
+                   << read_ports << "r/" << write_ports << "w");
+  ESCA_REQUIRE(fifo_depth >= 1, "bank FIFO depth must be positive, got " << fifo_depth);
+}
+
+double BufferSimStats::utilization() const {
+  if (cycles <= 0) return 0.0;
+  return static_cast<double>(serviced) / static_cast<double>(cycles);
+}
+
+void BufferSimStats::merge(const BufferSimStats& other) {
+  cycles += other.cycles;
+  requests += other.requests;
+  serviced += other.serviced;
+  bank_conflict_stalls += other.bank_conflict_stalls;
+  port_stalls += other.port_stalls;
+  fifo_high_water = std::max(fifo_high_water, other.fifo_high_water);
+}
+
+GlobalBuffer::GlobalBuffer(GlobalBufferConfig config) : config_(config) {
+  config_.validate();
+}
+
+BufferSimStats GlobalBuffer::simulate(const std::vector<BufferAccess>& accesses) const {
+  BufferSimStats st;
+  st.requests = static_cast<std::int64_t>(accesses.size());
+  if (accesses.empty()) return st;
+
+  const int banks = config_.banks;
+  const std::int64_t total_words = config_.total_words();
+  const std::size_t issue_width =
+      static_cast<std::size_t>(config_.read_ports + config_.write_ports);
+
+  std::vector<Fifo<BufferAccess>> queues;
+  queues.reserve(static_cast<std::size_t>(banks));
+  for (int b = 0; b < banks; ++b) queues.emplace_back(config_.fifo_depth);
+
+  std::size_t next = 0;
+  while (st.serviced < st.requests) {
+    const std::int64_t cycle = st.cycles++;
+
+    // 1. Service: each bank retires at most one head request, bounded by the
+    // global port counts; rotate the arbitration start bank for fairness.
+    int reads_left = config_.read_ports;
+    int writes_left = config_.write_ports;
+    for (int i = 0; i < banks; ++i) {
+      const int b = static_cast<int>((cycle + i) % banks);
+      auto& q = queues[static_cast<std::size_t>(b)];
+      if (q.empty()) continue;
+      int& ports_left = q.front().is_write ? writes_left : reads_left;
+      if (ports_left == 0) {
+        ++st.port_stalls;
+        continue;
+      }
+      --ports_left;
+      (void)q.try_pop();
+      ++st.serviced;
+    }
+
+    // 2. Issue: in-order front-end, head-of-line blocking on a full bank FIFO.
+    std::size_t issued = 0;
+    while (next < accesses.size() && issued < issue_width) {
+      BufferAccess access = accesses[next];
+      access.word_addr =
+          ((access.word_addr % total_words) + total_words) % total_words;
+      auto& q = queues[static_cast<std::size_t>(access.word_addr % banks)];
+      if (q.full()) {
+        ++st.bank_conflict_stalls;
+        break;
+      }
+      q.push(access);
+      ++next;
+      ++issued;
+    }
+  }
+
+  for (const auto& q : queues) st.fifo_high_water = std::max(st.fifo_high_water, q.high_water());
+  return st;
+}
+
+}  // namespace esca::sim::mem

@@ -1,0 +1,85 @@
+// Banked on-chip global buffer with cycle-level bank-conflict arbitration.
+//
+// The buffer is `banks` independent single-access SRAM macros behind a
+// shared front-end. Each cycle:
+//
+//   1. service — every bank retires at most one request from its FIFO, the
+//      whole array bounded by the global read/write port counts (round-robin
+//      arbitration over banks, rotating start for fairness). A bank whose
+//      head request cannot get a port this cycle records a port stall.
+//   2. issue   — the front-end pushes up to (read_ports + write_ports)
+//      pending accesses, in order, into their banks' request FIFOs (built on
+//      sim::Fifo). A full FIFO blocks the whole in-order front-end for the
+//      rest of the cycle — that head-of-line block is the bank conflict the
+//      model charges.
+//
+// Requests issued in cycle t are serviceable from cycle t+1 (service runs
+// before issue), so even a conflict-free stream takes one pipeline cycle
+// more than its service bound. The simulation is deterministic; tests pin
+// it against an independently written scalar oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace esca::sim::mem {
+
+/// Geometry of the banked buffer. `depth_words == 0` means "derive the
+/// depth from a byte capacity" (resolved()).
+struct GlobalBufferConfig {
+  int banks{8};
+  std::int64_t depth_words{0};  ///< words per bank; 0 = derive from capacity
+  int word_bytes{32};           ///< one IC-block activation slice (16 x INT16)
+  int read_ports{2};            ///< array-wide read ports per cycle
+  int write_ports{1};           ///< array-wide write ports per cycle
+  std::size_t fifo_depth{4};    ///< per-bank request FIFO entries
+
+  std::int64_t total_words() const { return static_cast<std::int64_t>(banks) * depth_words; }
+  std::int64_t capacity_bytes() const { return total_words() * word_bytes; }
+
+  /// Copy with depth_words derived from `capacity_bytes` when unset.
+  GlobalBufferConfig resolved(std::int64_t capacity_bytes) const;
+
+  void validate() const;
+};
+
+/// One buffer access: a word address and a direction.
+struct BufferAccess {
+  std::int64_t word_addr{0};
+  bool is_write{false};
+};
+
+struct BufferSimStats {
+  std::int64_t cycles{0};
+  std::int64_t requests{0};
+  std::int64_t serviced{0};
+  std::int64_t bank_conflict_stalls{0};  ///< cycles the front-end blocked on a full bank FIFO
+  std::int64_t port_stalls{0};           ///< bank-ready requests denied a port
+  std::size_t fifo_high_water{0};        ///< max over banks
+
+  /// Serviced requests per cycle — the bank-level parallelism achieved
+  /// (up to min(banks, read_ports + write_ports)).
+  double utilization() const;
+
+  void merge(const BufferSimStats& other);
+};
+
+class GlobalBuffer {
+ public:
+  explicit GlobalBuffer(GlobalBufferConfig config);
+
+  const GlobalBufferConfig& config() const { return config_; }
+
+  /// Run one access stream to completion through empty bank FIFOs and
+  /// return its cycle/stall statistics. Word addresses wrap modulo
+  /// total_words() (a row buffer larger than the SRAM aliases, it does not
+  /// fault — capacity pressure is the traffic model's concern).
+  BufferSimStats simulate(const std::vector<BufferAccess>& accesses) const;
+
+ private:
+  GlobalBufferConfig config_;
+};
+
+}  // namespace esca::sim::mem

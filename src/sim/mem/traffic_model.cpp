@@ -1,0 +1,97 @@
+#include "sim/mem/traffic_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace esca::sim::mem {
+
+namespace {
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+MemoryTrafficModel::MemoryTrafficModel(TrafficModelConfig config)
+    : config_(config), dram_(config.dram) {
+  config_.mem.validate();
+  ESCA_REQUIRE(config_.weight_buffer_bytes > 0 && config_.activation_buffer_bytes > 0 &&
+                   config_.mask_buffer_bytes > 0,
+               "buffer capacities must be positive");
+}
+
+LayerTraffic MemoryTrafficModel::layer_traffic(const LayerTrafficInput& in) const {
+  ESCA_REQUIRE(in.active_tiles >= 0 && in.mask_bytes >= 0 && in.stored_sites >= 0 &&
+                   in.core_sites >= 0 && in.overflow_act_sites >= 0 &&
+                   in.overflow_mask_bytes >= 0 && in.matches >= 0 && in.weight_bytes >= 0,
+               "traffic inputs must be non-negative");
+  ESCA_REQUIRE(in.in_channels >= 0 && in.out_channels >= 0, "channels must be non-negative");
+
+  const std::int64_t act_bytes_per_site = static_cast<std::int64_t>(in.in_channels) * 2;
+  const std::int64_t out_bytes_per_site = static_cast<std::int64_t>(in.out_channels) * 2;
+
+  // One pass = every active tile's activations + masks through the buffer,
+  // with overflowing working sets streamed twice.
+  const std::int64_t act_pass_bytes =
+      (in.stored_sites + in.overflow_act_sites) * act_bytes_per_site;
+  const std::int64_t mask_pass_bytes = in.mask_bytes + in.overflow_mask_bytes;
+
+  LayerTraffic t;
+  const bool weights_fit = in.weight_bytes <= config_.weight_buffer_bytes;
+  const std::int64_t weight_chunks =
+      in.weight_bytes == 0 ? 0 : ceil_div(in.weight_bytes, config_.weight_buffer_bytes);
+
+  switch (config_.mem.dataflow) {
+    case Dataflow::kWeightStationary:
+      // Weights chunked through the weight buffer exactly once; activations
+      // and masks re-stream once per chunk.
+      t.weight_passes = std::max<std::int64_t>(1, weight_chunks);
+      t.weights.bytes = in.weights_resident ? 0 : in.weight_bytes;
+      t.weights.bursts = t.weights.bytes > 0 ? weight_chunks : 0;
+      t.inputs.bytes = act_pass_bytes * t.weight_passes;
+      t.masks.bytes = mask_pass_bytes * t.weight_passes;
+      break;
+    case Dataflow::kOutputStationary:
+      // Outputs accumulate on chip; weights that fit load once, weights
+      // that do not re-stream once per output tile.
+      t.weight_passes = 1;
+      if (weights_fit) {
+        t.weights.bytes = in.weights_resident ? 0 : in.weight_bytes;
+        t.weights.bursts = t.weights.bytes > 0 ? 1 : 0;
+      } else {
+        t.weights.bytes = in.weight_bytes * std::max<std::int64_t>(1, in.active_tiles);
+        t.weights.bursts = weight_chunks * std::max<std::int64_t>(1, in.active_tiles);
+      }
+      t.inputs.bytes = act_pass_bytes;
+      t.masks.bytes = mask_pass_bytes;
+      break;
+  }
+
+  // Tile-granular bursts: every pass touches each active tile once.
+  const std::int64_t tile_bursts = in.active_tiles * t.weight_passes;
+  t.inputs.bursts = t.inputs.bytes > 0 ? tile_bursts : 0;
+  t.masks.bursts = t.masks.bytes > 0 ? tile_bursts : 0;
+
+  t.outputs.bytes = in.core_sites * out_bytes_per_site;
+  t.outputs.bursts = t.outputs.bytes > 0 ? in.active_tiles : 0;
+
+  // SRAM <-> PE: one activation word and one INT8 weight block per match,
+  // masks scanned once per pass; the write side is buffer fills plus the
+  // output writeback.
+  t.sram_read_bytes = in.matches * act_bytes_per_site +
+                      in.matches * static_cast<std::int64_t>(in.in_channels) *
+                          in.out_channels +
+                      mask_pass_bytes * t.weight_passes;
+  t.sram_write_bytes = t.inputs.bytes + t.masks.bytes + t.weights.bytes + t.outputs.bytes;
+  return t;
+}
+
+double MemoryTrafficModel::transfer_seconds(const LayerTraffic& t) const {
+  const double latency = config_.dram.first_word_latency_s;
+  double seconds = static_cast<double>(t.dram_bursts()) * latency;
+  const std::int64_t bytes = t.dram_bytes_in() + t.dram_bytes_out();
+  seconds += static_cast<double>(bytes) / dram_.effective_bandwidth();
+  return seconds;
+}
+
+}  // namespace esca::sim::mem

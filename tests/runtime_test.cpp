@@ -3,6 +3,8 @@
 // weight-residency caching, and the Engine/Backend plumbing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "nn/submanifold_conv.hpp"
 #include "nn/unet.hpp"
@@ -184,6 +186,53 @@ TEST(RuntimeReportTest, MergedStatsConcatenateAllFrames) {
   EXPECT_GT(report.total_seconds(), 0.0);
   EXPECT_GT(report.effective_gops(), 0.0);
   EXPECT_EQ(report.total_mac_ops(), 3 * plan.total_macs());
+}
+
+TEST(RuntimeReportTest, MemorySummaryAggregatesAcrossFramesAndLayers) {
+  Engine engine;
+  const Plan plan = small_unet_plan(engine.backend());
+  const RunReport report = engine.run(plan, FrameBatch::replay(2), {.verify = false});
+  ASSERT_EQ(report.frames.size(), 2U);
+
+  // Per-frame summaries sum each layer's counters exactly.
+  for (const FrameReport& frame : report.frames) {
+    const core::MemorySummary mem = frame.memory_summary();
+    std::int64_t in = 0;
+    std::int64_t out = 0;
+    std::int64_t bank_stalls = 0;
+    int verdicts = 0;
+    for (const core::LayerRunStats& l : frame.stats.layers) {
+      in += l.dram_bytes_in;
+      out += l.dram_bytes_out;
+      bank_stalls += l.buffer_sim.bank_conflict_stalls;
+      ++verdicts;
+    }
+    EXPECT_EQ(mem.dram_bytes_in, in);
+    EXPECT_EQ(mem.dram_bytes_out, out);
+    EXPECT_EQ(mem.bank_conflict_stalls, bank_stalls);
+    EXPECT_EQ(mem.memory_bound_layers + mem.compute_bound_layers, verdicts);
+    EXPECT_EQ(mem.dram_bytes_in, frame.dram_bytes_in());
+    EXPECT_GT(mem.dram_bursts, 0);
+    EXPECT_GT(mem.sram_read_bytes, 0);
+    EXPECT_GT(mem.sram_write_bytes, 0);
+  }
+
+  // The run-level summary is the merge of the frames; the sim::Fifo
+  // occupancy stats promoted from the SDMU ride along.
+  const core::MemorySummary total = report.memory_summary();
+  const core::MemorySummary f0 = report.frames[0].memory_summary();
+  const core::MemorySummary f1 = report.frames[1].memory_summary();
+  EXPECT_EQ(total.dram_bytes_in, f0.dram_bytes_in + f1.dram_bytes_in);
+  EXPECT_EQ(total.dram_bytes_out, f0.dram_bytes_out + f1.dram_bytes_out);
+  EXPECT_EQ(total.dram_bursts, f0.dram_bursts + f1.dram_bursts);
+  EXPECT_EQ(total.sdmu_fifo_high_water,
+            std::max(f0.sdmu_fifo_high_water, f1.sdmu_fifo_high_water));
+  EXPECT_EQ(total.buffer_fifo_high_water,
+            std::max(f0.buffer_fifo_high_water, f1.buffer_fifo_high_water));
+  EXPECT_GT(total.sdmu_fifo_high_water, 0U);
+  // Frame 0 pays the weight transfer, frame 1 runs weights-resident.
+  EXPECT_GT(f0.dram_bytes_in, f1.dram_bytes_in);
+  EXPECT_EQ(f0.dram_bytes_out, f1.dram_bytes_out);
 }
 
 TEST(RuntimeConfigTest, BackendKindParsesAndRoundTrips) {
