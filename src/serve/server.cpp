@@ -281,6 +281,9 @@ void Server::run_sequence(stream::SequenceSession& stream, PendingRequest& reque
                     stream.frames_advanced());
     stream::SequenceFrameResult result =
         stream.advance(request.frames[f], frame_id, request.options.run);
+    const std::size_t patched = result.stats.patched_scales();
+    telemetry_.on_sequence_frame(patched, result.stats.scales.size() - patched,
+                                 result.stats.patch_seconds());
     response.sequence.push_back(std::move(result.stats));
     for (auto& report : result.run.frames) {
       response.report.frames.push_back(std::move(report));

@@ -16,7 +16,9 @@ constexpr std::size_t kBucketsPerDecade = 20;
 
 }  // namespace
 
-Telemetry::Telemetry() : latency_hist_(kLatencyLo, kLatencyHi, kBucketsPerDecade) {}
+Telemetry::Telemetry()
+    : latency_hist_(kLatencyLo, kLatencyHi, kBucketsPerDecade),
+      patch_hist_(kLatencyLo, kLatencyHi, kBucketsPerDecade) {}
 
 void Telemetry::on_submitted() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -65,6 +67,14 @@ void Telemetry::sample_queue_depth(std::size_t depth) {
   queue_depth_.add(static_cast<double>(depth));
 }
 
+void Telemetry::on_sequence_frame(std::size_t patched_scales, std::size_t rebuilt_scales,
+                                  double patch_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  geometry_patches_ += static_cast<std::int64_t>(patched_scales);
+  geometry_rebuilds_ += static_cast<std::int64_t>(rebuilt_scales);
+  if (patched_scales > 0) patch_hist_.add(patch_seconds);
+}
+
 TelemetrySnapshot Telemetry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   TelemetrySnapshot s;
@@ -86,6 +96,13 @@ TelemetrySnapshot Telemetry::snapshot() const {
   s.dram_bytes = dram_bytes_;
   s.bank_conflict_stalls = bank_conflict_stalls_;
   s.memory_bound_layers = memory_bound_layers_;
+  s.geometry_patches = geometry_patches_;
+  s.geometry_rebuilds = geometry_rebuilds_;
+  if (geometry_patches_ > 0) {
+    s.patch_p50_seconds = patch_hist_.quantile(0.50);
+    s.patch_p95_seconds = patch_hist_.quantile(0.95);
+    s.patch_p99_seconds = patch_hist_.quantile(0.99);
+  }
   if (saw_submit_) {
     s.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - first_submit_)
@@ -119,6 +136,12 @@ std::string TelemetrySnapshot::table(const std::string& title) const {
   t.row({"dram traffic", units::bytes(dram_bytes)});
   t.row({"bank conflict stalls", str::with_commas(bank_conflict_stalls)});
   t.row({"memory-bound layers", std::to_string(memory_bound_layers)});
+  t.separator();
+  t.row({"geometry patches / rebuilds",
+         std::to_string(geometry_patches) + " / " + std::to_string(geometry_rebuilds)});
+  t.row({"patch p50 / p95 / p99", units::seconds(patch_p50_seconds) + " / " +
+                                      units::seconds(patch_p95_seconds) + " / " +
+                                      units::seconds(patch_p99_seconds)});
   t.separator();
   t.row({"elapsed", units::seconds(elapsed_seconds)});
   t.row({"throughput", str::fixed(requests_per_second, 1) + " req/s, " +

@@ -52,6 +52,15 @@ struct TelemetrySnapshot {
   std::int64_t bank_conflict_stalls{0};
   std::int64_t memory_bound_layers{0};
 
+  /// Streaming-geometry totals over sequence requests: per-scale patch vs
+  /// cold-build outcomes and the per-frame patch wall clock (frames whose
+  /// scales all cold-built don't feed the histogram).
+  std::int64_t geometry_patches{0};
+  std::int64_t geometry_rebuilds{0};
+  double patch_p50_seconds{0.0};
+  double patch_p95_seconds{0.0};
+  double patch_p99_seconds{0.0};
+
   double elapsed_seconds{0.0};     ///< since the first submission
   double requests_per_second{0.0}; ///< completed / elapsed
   double frames_per_second{0.0};
@@ -72,6 +81,12 @@ class Telemetry {
                     const MemoryCounters& mem = {});
   void sample_queue_depth(std::size_t depth);
 
+  /// One advanced sequence frame: how many scales patched vs cold-built and
+  /// the frame's summed patch wall clock (0 when nothing patched — not
+  /// histogrammed then, so the quantiles describe actual patch work).
+  void on_sequence_frame(std::size_t patched_scales, std::size_t rebuilt_scales,
+                         double patch_seconds);
+
   TelemetrySnapshot snapshot() const;
 
  private:
@@ -90,7 +105,11 @@ class Telemetry {
   std::int64_t bank_conflict_stalls_{0};
   std::int64_t memory_bound_layers_{0};
 
+  std::int64_t geometry_patches_{0};
+  std::int64_t geometry_rebuilds_{0};
+
   LogHistogram latency_hist_;
+  LogHistogram patch_hist_;
   RunningStat latency_;
   RunningStat queue_wait_;
   RunningStat queue_depth_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "voxel/morton.hpp"
 
 namespace esca::sparse {
@@ -118,17 +119,27 @@ bool CoordIndex::rebuild(std::span<const Coord3> coords) {
 }
 
 std::span<const CoordIndex::Entry> CoordIndex::entries() const {
-  if (!tail_.empty()) compact();
-  if (tombstones_ > 0) sweep_tombstones();
+  ensure_sorted();
   return sorted_;
 }
 
+void CoordIndex::ensure_sorted() const {
+  if (!tail_.empty()) compact();
+  if (tombstones_ > 0) sweep_tombstones();
+}
+
 std::int32_t CoordIndex::find_sorted(std::uint64_t code) const {
+  ESCA_ASSERT(is_sorted(),
+              "find_sorted on an index with a pending tail/tombstones — call "
+              "ensure_sorted() (or entries()) before sharing it across readers");
   const auto it = lower_bound_code(sorted_, code);
   return (it != sorted_.end() && it->code == code) ? it->row : -1;
 }
 
 std::int32_t CoordIndex::find_near(std::uint64_t code, std::size_t& cursor) const {
+  ESCA_ASSERT(is_sorted(),
+              "find_near on an index with a pending tail/tombstones — call "
+              "ensure_sorted() (or entries()) before sharing it across readers");
   const std::size_t n = sorted_.size();
   if (n == 0) return -1;
   if (cursor >= n) cursor = n - 1;

@@ -18,9 +18,12 @@
 // O(log n) per erase instead of an O(n) memmove each.
 //
 // Thread-safety: find() never mutates and is safe alongside other readers.
-// entries() lazily merges the pending tail — call it once from a single
-// thread; afterwards concurrent find_sorted()/find_near() calls are pure
-// reads and safe.
+// entries() / ensure_sorted() lazily merge the pending tail — call one of
+// them from a single thread BEFORE sharing the index; afterwards concurrent
+// find_sorted()/find_near() calls are pure reads and safe. This is an
+// enforced contract, not a comment: in debug builds find_sorted()/
+// find_near() assert that no tail or tombstone is pending (the parallel
+// geometry patch fans the index out across workers and relies on it).
 #pragma once
 
 #include <cstdint>
@@ -79,8 +82,19 @@ class CoordIndex {
   /// invalidated by the next insert()/erase().
   std::span<const Entry> entries() const;
 
+  /// Eagerly absorb the pending tail and sweep tombstones so the index is
+  /// one contiguous sorted run. Call this (or entries()) from a single
+  /// thread before fanning the index out to concurrent find_sorted()/
+  /// find_near() readers; it is what makes them pure reads.
+  void ensure_sorted() const;
+
+  /// True when no tail or tombstone is pending — i.e. find_sorted()/
+  /// find_near() are currently safe for concurrent readers.
+  bool is_sorted() const { return tail_.empty() && tombstones_ == 0; }
+
   /// Binary search by code over the compacted run. Requires no pending
-  /// tail (call entries() first); safe for concurrent readers.
+  /// tail (call ensure_sorted()/entries() first — asserted in debug
+  /// builds); safe for concurrent readers.
   std::int32_t find_sorted(std::uint64_t code) const;
 
   /// Galloping search around a caller-owned cursor: starts at `cursor`

@@ -43,46 +43,6 @@ int default_shards() {
   return cached;
 }
 
-/// Contiguous [begin, end) row range of shard s out of `shards`.
-struct ShardRange {
-  std::size_t begin;
-  std::size_t end;
-};
-
-ShardRange shard_range(std::size_t n, int shards, int s) {
-  const std::size_t per = n / static_cast<std::size_t>(shards);
-  const std::size_t rem = n % static_cast<std::size_t>(shards);
-  const auto u = static_cast<std::size_t>(s);
-  const std::size_t begin = u * per + std::min(u, rem);
-  return {begin, begin + per + (u < rem ? 1 : 0)};
-}
-
-/// Run fn(0..shards-1); in parallel when threading is enabled and there is
-/// more than one shard. The first worker exception is rethrown here.
-template <typename Fn>
-void run_sharded(int shards, const Fn& fn) {
-  if (!kThreadingEnabled || shards <= 1) {
-    for (int s = 0; s < shards; ++s) fn(s);
-    return;
-  }
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(shards));
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(shards) - 1);
-  auto guarded = [&](int s) {
-    try {
-      fn(s);
-    } catch (...) {
-      errors[static_cast<std::size_t>(s)] = std::current_exception();
-    }
-  };
-  for (int s = 1; s < shards; ++s) workers.emplace_back(guarded, s);
-  guarded(0);
-  for (std::thread& w : workers) w.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
-}
-
 /// Concatenate per-shard per-offset rule lists into the rulebook, shard
 /// order preserved (== the serial emission order).
 void merge_shards(std::vector<std::vector<std::vector<Rule>>>& shard_rules, RuleBook& rulebook) {
@@ -96,17 +56,6 @@ void merge_shards(std::vector<std::vector<std::vector<Rule>>>& shard_rules, Rule
 
 /// Sites below which an extra default shard isn't worth a thread spawn.
 constexpr std::size_t kMinSitesPerShard = 2048;
-
-/// Shard count for a build over n sites. An explicit request is honored
-/// exactly (tests pin shard determinism on tiny tensors); the default is
-/// additionally bounded by the work available.
-int pick_shards(const GeometryOptions& options, std::size_t n) {
-  int resolved = resolve_geometry_shards(options.shards);
-  if (options.shards <= 0) {
-    resolved = std::min<int>(resolved, static_cast<int>(n / kMinSitesPerShard) + 1);
-  }
-  return std::max(1, std::min<int>(resolved, static_cast<int>(std::max<std::size_t>(n, 1))));
-}
 
 /// One candidate rule of a strided/inverse build: input site `in_row`
 /// contributes through kernel cell `offset` to the output cell at `code`.
@@ -185,6 +134,47 @@ int resolve_geometry_shards(int requested) {
   return default_shards();
 }
 
+bool geometry_threading_enabled() { return kThreadingEnabled; }
+
+GeometryShardRange geometry_shard_range(std::size_t n, int shards, int s) {
+  const std::size_t per = n / static_cast<std::size_t>(shards);
+  const std::size_t rem = n % static_cast<std::size_t>(shards);
+  const auto u = static_cast<std::size_t>(s);
+  const std::size_t begin = u * per + std::min(u, rem);
+  return {begin, begin + per + (u < rem ? 1 : 0)};
+}
+
+int pick_geometry_shards(const GeometryOptions& options, std::size_t n) {
+  int resolved = resolve_geometry_shards(options.shards);
+  if (options.shards <= 0) {
+    resolved = std::min<int>(resolved, static_cast<int>(n / kMinSitesPerShard) + 1);
+  }
+  return std::max(1, std::min<int>(resolved, static_cast<int>(std::max<std::size_t>(n, 1))));
+}
+
+void run_geometry_sharded(int shards, const std::function<void(int)>& fn) {
+  if (!kThreadingEnabled || shards <= 1) {
+    for (int s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(shards));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(shards) - 1);
+  auto guarded = [&](int s) {
+    try {
+      fn(s);
+    } catch (...) {
+      errors[static_cast<std::size_t>(s)] = std::current_exception();
+    }
+  };
+  for (int s = 1; s < shards; ++s) workers.emplace_back(guarded, s);
+  guarded(0);
+  for (std::thread& w : workers) w.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
 LayerGeometry build_submanifold_geometry(const SparseTensor& input, int kernel_size,
                                          const GeometryOptions& options) {
   ESCA_REQUIRE(kernel_size % 2 == 1, "submanifold convolution requires odd kernel size, got "
@@ -202,15 +192,15 @@ LayerGeometry build_submanifold_geometry(const SparseTensor& input, int kernel_s
   const auto entries = index.entries();
   const Coord3 extent = input.spatial_extent();
 
-  const int shards = pick_shards(options, entries.size());
+  const int shards = pick_geometry_shards(options, entries.size());
   std::vector<std::vector<std::vector<Rule>>> shard_rules(
       static_cast<std::size_t>(shards),
       std::vector<std::vector<Rule>>(static_cast<std::size_t>(volume)));
 
   // Outputs are walked in Morton order, so each offset's shifted queries
   // stay spatially local and the galloping cursor rarely moves far.
-  run_sharded(shards, [&](int s) {
-    const ShardRange range = shard_range(entries.size(), shards, s);
+  run_geometry_sharded(shards, [&](int s) {
+    const GeometryShardRange range = geometry_shard_range(entries.size(), shards, s);
     auto& rules = shard_rules[static_cast<std::size_t>(s)];
     std::vector<std::size_t> cursors(static_cast<std::size_t>(volume), range.begin);
     for (std::size_t e = range.begin; e < range.end; ++e) {
@@ -244,14 +234,14 @@ LayerGeometry build_downsample_geometry(const SparseTensor& input, int kernel_si
                   (in_extent.z + stride - 1) / stride};
 
   const std::size_t n = input.size();
-  const int shards = pick_shards(options, n);
+  const int shards = pick_geometry_shards(options, n);
 
   // Pass 1 — enumerate (input site, kernel cell) -> output cell candidates.
   // Output cell c covers input window [c*stride, c*stride + k); kernel cell
   // (kx, ky, kz) places the output at (p - kcell) / stride.
   std::vector<std::vector<Candidate>> shard_cands(static_cast<std::size_t>(shards));
-  run_sharded(shards, [&](int s) {
-    const ShardRange range = shard_range(n, shards, s);
+  run_geometry_sharded(shards, [&](int s) {
+    const GeometryShardRange range = geometry_shard_range(n, shards, s);
     auto& cands = shard_cands[static_cast<std::size_t>(s)];
     for (std::size_t i = range.begin; i < range.end; ++i) {
       const Coord3 p = input.coord(i);
@@ -291,7 +281,7 @@ LayerGeometry build_downsample_geometry(const SparseTensor& input, int kernel_si
   std::vector<std::vector<std::vector<Rule>>> shard_rules(
       static_cast<std::size_t>(shards),
       std::vector<std::vector<Rule>>(static_cast<std::size_t>(volume)));
-  run_sharded(shards, [&](int s) {
+  run_geometry_sharded(shards, [&](int s) {
     auto& rules = shard_rules[static_cast<std::size_t>(s)];
     for (const Candidate& c : shard_cands[static_cast<std::size_t>(s)]) {
       const auto it = std::lower_bound(out_codes.begin(), out_codes.end(), c.code);
@@ -319,7 +309,7 @@ LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTens
   const Coord3 in_extent = input.spatial_extent();
 
   const std::size_t n = target.size();
-  const int shards = pick_shards(options, n);
+  const int shards = pick_geometry_shards(options, n);
   std::vector<std::vector<std::vector<Rule>>> shard_rules(
       static_cast<std::size_t>(shards),
       std::vector<std::vector<Rule>>(static_cast<std::size_t>(volume)));
@@ -327,8 +317,8 @@ LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTens
   // Forward downsample maps target site p to input site c via kernel cell
   // (p - c*stride); the inverse flips the rule: in_row = row(c) in `input`,
   // out_row = row(p) in `target`, same weight cell.
-  run_sharded(shards, [&](int s) {
-    const ShardRange range = shard_range(n, shards, s);
+  run_geometry_sharded(shards, [&](int s) {
+    const GeometryShardRange range = geometry_shard_range(n, shards, s);
     auto& rules = shard_rules[static_cast<std::size_t>(s)];
     std::size_t cursor = 0;
     for (std::size_t j = range.begin; j < range.end; ++j) {

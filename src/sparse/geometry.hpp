@@ -20,7 +20,9 @@
 // independent of ESCA_GEOMETRY_THREADS.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -157,5 +159,36 @@ std::uint64_t geometry_transposes();
 /// The shard count a build with `requested` shards would actually use
 /// (0 = resolve the default; see GeometryOptions::shards).
 int resolve_geometry_shards(int requested);
+
+// --- sharding utilities -------------------------------------------------------
+//
+// The worker-fan-out idiom every geometry producer uses (cold builds here,
+// the incremental patch path in stream/): partition work into contiguous
+// shards, run each shard on its own worker, concatenate per-shard results
+// in shard order so the merged output is bit-identical for any shard count.
+// Exposed so stream::diff_frames / patch_submanifold_geometry share one
+// threading knob (ESCA_GEOMETRY_THREADS) and one shard-picking policy with
+// the cold builders.
+
+/// False when ESCA_GEOMETRY_THREADS=0 compiled thread spawning out — shard
+/// bodies then run inline on the calling thread.
+bool geometry_threading_enabled();
+
+/// Contiguous [begin, end) slice of shard `s` out of `shards` over n items.
+struct GeometryShardRange {
+  std::size_t begin{0};
+  std::size_t end{0};
+};
+GeometryShardRange geometry_shard_range(std::size_t n, int shards, int s);
+
+/// Shard count a build/patch over `n` sites actually uses. An explicit
+/// request (options.shards > 0) is honored exactly (clamped to n; tests pin
+/// shard determinism on tiny tensors); the default is additionally bounded
+/// by the work available so small frames never pay a thread spawn.
+int pick_geometry_shards(const GeometryOptions& options, std::size_t n);
+
+/// Run fn(0..shards-1); in parallel when threading is enabled and there is
+/// more than one shard. The first worker exception is rethrown here.
+void run_geometry_sharded(int shards, const std::function<void(int)>& fn);
 
 }  // namespace esca::sparse

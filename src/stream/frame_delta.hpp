@@ -8,11 +8,19 @@
 // linear pass, no hashing, no per-site searches. The incremental geometry
 // engine (incremental_geometry.hpp) consumes the delta to patch the previous
 // frame's LayerGeometry instead of rebuilding it.
+//
+// The merge is shardable: both runs are split at common Morton cut points,
+// every worker merges one code range, and the per-range added/removed lists
+// concatenate in shard order (= global Morton order) while the row maps are
+// written in place (each row belongs to exactly one range). The result is
+// bit-identical to the serial merge for any shard count; the shard knob is
+// the geometry engine's (sparse::GeometryOptions / ESCA_GEOMETRY_THREADS).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "sparse/geometry.hpp"
 #include "sparse/sparse_tensor.hpp"
 
 namespace esca::stream {
@@ -55,7 +63,10 @@ struct FrameDelta {
 };
 
 /// Diff two frames over the same spatial extent (throws InvalidArgument on
-/// extent mismatch). One merge over both Morton-sorted index runs.
-FrameDelta diff_frames(const sparse::SparseTensor& prev, const sparse::SparseTensor& next);
+/// extent mismatch). One merge over both Morton-sorted index runs, sharded
+/// by Morton range when `options` (default: the geometry engine's auto
+/// policy, bounded by the work available) picks more than one shard.
+FrameDelta diff_frames(const sparse::SparseTensor& prev, const sparse::SparseTensor& next,
+                       const sparse::GeometryOptions& options = {});
 
 }  // namespace esca::stream

@@ -1,7 +1,15 @@
 #include "stream/incremental_geometry.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <chrono>
 #include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <span>
+#include <thread>
 
 #include "common/check.hpp"
 #include "voxel/morton.hpp"
@@ -29,47 +37,42 @@ struct KeyedRule {
   sparse::Rule rule;
 };
 
-}  // namespace
+using Entry = sparse::CoordIndex::Entry;
 
-sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& prev,
-                                                 const sparse::SparseTensor& next,
-                                                 const FrameDelta& delta) {
-  ESCA_REQUIRE(prev.kind == sparse::GeometryKind::kSubmanifold,
-               "can only patch submanifold geometry, got " << to_string(prev.kind));
-  ESCA_REQUIRE(prev.sites.spatial_extent() == next.spatial_extent(),
-               "frame extent changed: " << prev.sites.spatial_extent() << " -> "
-                                        << next.spatial_extent());
-  ESCA_REQUIRE(delta.old_to_new.size() == prev.sites.size() &&
-                   delta.new_to_old.size() == next.size(),
-               "delta shape (" << delta.old_to_new.size() << " -> " << delta.new_to_old.size()
-                               << ") does not match the frames (" << prev.sites.size() << " -> "
-                               << next.size() << ")");
-  const int k = prev.kernel_size;
-  const int volume = k * k * k;
+/// First position in a sorted entry run whose code is >= `code`.
+std::size_t entry_lower_bound(std::span<const Entry> run, std::uint64_t code) {
+  const auto it =
+      std::lower_bound(run.begin(), run.end(), code,
+                       [](const Entry& e, std::uint64_t c) { return e.code < c; });
+  return static_cast<std::size_t>(it - run.begin());
+}
+
+/// Enumerate the fresh rules of the added rows [a_begin, a_end): kernel
+/// offsets around each added site, resolved against the next frame's index
+/// with galloping cursors owned by this call. An added site contributes as
+/// the output row (input = site + offset, any input) and as the input row
+/// (output = site - offset) — the latter skips added outputs, which the
+/// former already covers, so no rule is emitted twice. Appends into
+/// `fresh[offset]`; emission order within one call is ascending in the added
+/// site's Morton code, but callers sort per offset anyway (out codes are
+/// unique per offset, so the sort is deterministic).
+void enumerate_fresh(const sparse::SparseTensor& next, const FrameDelta& delta,
+                     std::span<const Entry> entries, const std::vector<std::uint64_t>& code_of,
+                     const std::vector<Coord3>& offsets, std::size_t a_begin, std::size_t a_end,
+                     std::vector<std::vector<KeyedRule>>& fresh) {
+  if (a_begin >= a_end) return;
+  const sparse::CoordIndex& index = next.index();
   const Coord3 extent = next.spatial_extent();
-
-  sparse::LayerGeometry g(sparse::GeometryKind::kSubmanifold, k, 1, next.zeros_like(1));
-
-  // Morton code of every next-frame row: the merge key for survivors and
-  // fresh rules alike (one array load instead of re-encoding per rule).
-  const sparse::CoordIndex& index = g.sites.index();
-  const auto entries = index.entries();
-  std::vector<std::uint64_t> code_of(next.size());
-  for (const auto& e : entries) code_of[static_cast<std::size_t>(e.row)] = e.code;
-
-  std::vector<Coord3> offsets(static_cast<std::size_t>(volume));
-  for (int o = 0; o < volume; ++o) {
-    offsets[static_cast<std::size_t>(o)] = sparse::kernel_offset(o, k);
-  }
-
-  // Fresh rules: kernel enumeration around the added sites only. An added
-  // site contributes as the output row (input = site + offset, any input)
-  // and as the input row (output = site - offset) — the latter skips added
-  // outputs, which the former already covers, so no rule is emitted twice.
-  std::vector<std::vector<KeyedRule>> fresh(static_cast<std::size_t>(volume));
-  std::vector<std::size_t> out_cursors(static_cast<std::size_t>(volume), 0);
-  std::vector<std::size_t> in_cursors(static_cast<std::size_t>(volume), 0);
-  for (const std::int32_t a : delta.added) {
+  const int volume = static_cast<int>(offsets.size());
+  // Seed every cursor at the range's first added site; find_near brackets
+  // the query by galloping in either direction, so the seed is a pure
+  // locality hint — results do not depend on it.
+  const std::size_t seed =
+      entry_lower_bound(entries, code_of[static_cast<std::size_t>(delta.added[a_begin])]);
+  std::vector<std::size_t> out_cursors(static_cast<std::size_t>(volume), seed);
+  std::vector<std::size_t> in_cursors(static_cast<std::size_t>(volume), seed);
+  for (std::size_t ai = a_begin; ai < a_end; ++ai) {
+    const std::int32_t a = delta.added[ai];
     const Coord3 c = next.coord(static_cast<std::size_t>(a));
     for (int o = 0; o < volume; ++o) {
       const auto ou = static_cast<std::size_t>(o);
@@ -89,31 +92,227 @@ sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& pr
       }
     }
   }
+}
 
-  // Per offset: drop rules whose endpoints disappeared, renumber the
-  // survivors through the row maps, and merge the (sorted) fresh rules in.
-  // Survivors stay in their old emission order, which is ascending in the
-  // output site's Morton code — exactly the fresh rules' sort key — and a
-  // (offset, output site) pair identifies at most one submanifold rule, so
-  // the merged sequence equals the cold builder's.
-  for (int o = 0; o < volume; ++o) {
-    const auto ou = static_cast<std::size_t>(o);
-    auto& fo = fresh[ou];
-    std::sort(fo.begin(), fo.end(),
-              [](const KeyedRule& a, const KeyedRule& b) { return a.out_code < b.out_code; });
-    const std::vector<sparse::Rule>& old_rules = prev.rulebook.rules_for(o);
-    g.rulebook.reserve(o, old_rules.size() + fo.size());
-    std::size_t f = 0;
-    for (const sparse::Rule& r : old_rules) {
-      const std::int32_t ni = delta.old_to_new[static_cast<std::size_t>(r.in_row)];
-      const std::int32_t nj = delta.old_to_new[static_cast<std::size_t>(r.out_row)];
-      if (ni < 0 || nj < 0) continue;
-      const std::uint64_t cj = code_of[static_cast<std::size_t>(nj)];
-      while (f < fo.size() && fo[f].out_code < cj) g.rulebook.add(o, fo[f++].rule);
-      g.rulebook.add(o, sparse::Rule{ni, nj});
-    }
-    for (; f < fo.size(); ++f) g.rulebook.add(o, fo[f].rule);
+/// Merge the survivors of `old_rules` (renumbered through the delta's row
+/// maps, drops skipped) with the sorted fresh rules [f, f_end) into `out`,
+/// ascending in the output site's Morton code. A (offset, output site) pair
+/// identifies at most one submanifold rule, so the keys never tie and the
+/// merged sequence equals the cold builder's emission order.
+void merge_offset_range(std::span<const sparse::Rule> old_rules, const FrameDelta& delta,
+                        const std::vector<std::uint64_t>& code_of,
+                        std::span<const KeyedRule> fo, std::vector<sparse::Rule>& out) {
+  out.reserve(old_rules.size() + fo.size());
+  std::size_t f = 0;
+  for (const sparse::Rule& r : old_rules) {
+    const std::int32_t ni = delta.old_to_new[static_cast<std::size_t>(r.in_row)];
+    const std::int32_t nj = delta.old_to_new[static_cast<std::size_t>(r.out_row)];
+    if (ni < 0 || nj < 0) continue;
+    const std::uint64_t cj = code_of[static_cast<std::size_t>(nj)];
+    while (f < fo.size() && fo[f].out_code < cj) out.push_back(fo[f++].rule);
+    out.push_back(sparse::Rule{ni, nj});
   }
+  for (; f < fo.size(); ++f) out.push_back(fo[f].rule);
+}
+
+}  // namespace
+
+int patch_shards(const sparse::GeometryOptions& options, std::size_t sites) {
+  // The parallel patch phases synchronize on a barrier, so unlike the cold
+  // builders it cannot run multiple shards inline when thread spawning is
+  // compiled out — it takes the serial path instead (same result bits).
+  if (!sparse::geometry_threading_enabled()) return 1;
+  return sparse::pick_geometry_shards(options, sites);
+}
+
+sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& prev,
+                                                 const sparse::SparseTensor& next,
+                                                 const FrameDelta& delta,
+                                                 const sparse::GeometryOptions& options) {
+  ESCA_REQUIRE(prev.kind == sparse::GeometryKind::kSubmanifold,
+               "can only patch submanifold geometry, got " << to_string(prev.kind));
+  ESCA_REQUIRE(prev.sites.spatial_extent() == next.spatial_extent(),
+               "frame extent changed: " << prev.sites.spatial_extent() << " -> "
+                                        << next.spatial_extent());
+  ESCA_REQUIRE(delta.old_to_new.size() == prev.sites.size() &&
+                   delta.new_to_old.size() == next.size(),
+               "delta shape (" << delta.old_to_new.size() << " -> " << delta.new_to_old.size()
+                               << ") does not match the frames (" << prev.sites.size() << " -> "
+                               << next.size() << ")");
+  const int k = prev.kernel_size;
+  const int volume = k * k * k;
+
+  sparse::LayerGeometry g(sparse::GeometryKind::kSubmanifold, k, 1, next.zeros_like(1));
+
+  // Compact both indexes on the calling thread; every worker read below is
+  // then a pure read of the sorted runs.
+  const auto entries = g.sites.index().entries();
+  prev.sites.index().ensure_sorted();
+
+  std::vector<Coord3> offsets(static_cast<std::size_t>(volume));
+  for (int o = 0; o < volume; ++o) {
+    offsets[static_cast<std::size_t>(o)] = sparse::kernel_offset(o, k);
+  }
+
+  const int shards = patch_shards(options, next.size());
+  if (shards <= 1) {
+    // Serial patch: one pass, rules written straight into the rulebook.
+    std::vector<std::uint64_t> code_of(next.size());
+    for (const auto& e : entries) code_of[static_cast<std::size_t>(e.row)] = e.code;
+
+    std::vector<std::vector<KeyedRule>> fresh(static_cast<std::size_t>(volume));
+    enumerate_fresh(next, delta, entries, code_of, offsets, 0, delta.added.size(), fresh);
+
+    for (int o = 0; o < volume; ++o) {
+      const auto ou = static_cast<std::size_t>(o);
+      auto& fo = fresh[ou];
+      std::sort(fo.begin(), fo.end(),
+                [](const KeyedRule& a, const KeyedRule& b) { return a.out_code < b.out_code; });
+      const std::vector<sparse::Rule>& old_rules = prev.rulebook.rules_for(o);
+      g.rulebook.reserve(o, old_rules.size() + fo.size());
+      std::size_t f = 0;
+      for (const sparse::Rule& r : old_rules) {
+        const std::int32_t ni = delta.old_to_new[static_cast<std::size_t>(r.in_row)];
+        const std::int32_t nj = delta.old_to_new[static_cast<std::size_t>(r.out_row)];
+        if (ni < 0 || nj < 0) continue;
+        const std::uint64_t cj = code_of[static_cast<std::size_t>(nj)];
+        while (f < fo.size() && fo[f].out_code < cj) g.rulebook.add(o, fo[f++].rule);
+        g.rulebook.add(o, sparse::Rule{ni, nj});
+      }
+      for (; f < fo.size(); ++f) g.rulebook.add(o, fo[f].rule);
+    }
+    g.out_rows = next.size();
+    g.blocked = sparse::BlockedRuleBook(g.rulebook, g.out_rows);
+    return g;
+  }
+
+  // Sharded patch: one worker fan-out, five barrier-separated phases. The
+  // fresh enumeration splits over ranges of the added list; the survivor
+  // scan and the per-offset merge split at common Morton cut points of the
+  // next frame's output sites, so each worker produces a contiguous slice of
+  // every offset's final rule sequence and concatenation in shard order
+  // reproduces the serial merge bit for bit.
+  const auto su = static_cast<std::size_t>(shards);
+  const auto vu = static_cast<std::size_t>(volume);
+
+  // Cut codes over the output sites: shard s owns [cuts[s], cuts[s+1]).
+  // Retained sites keep their coordinates, so a survivor's previous-frame
+  // out code equals its merge key and the (sorted) old rule lists slice by
+  // the same cuts.
+  std::vector<std::uint64_t> cuts(su + 1);
+  cuts[0] = 0;
+  for (std::size_t s = 1; s < su; ++s) cuts[s] = entries[entries.size() * s / su].code;
+  cuts[su] = std::numeric_limits<std::uint64_t>::max();
+
+  std::vector<std::uint64_t> code_of(next.size());
+  std::vector<std::vector<std::vector<KeyedRule>>> fresh_parts(
+      su, std::vector<std::vector<KeyedRule>>(vu));
+  std::vector<std::vector<KeyedRule>> fresh(vu);
+  std::vector<std::vector<std::vector<sparse::Rule>>> merged(
+      su, std::vector<std::vector<sparse::Rule>>(vu));
+
+  std::barrier sync(static_cast<std::ptrdiff_t>(shards));
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  // Every worker arrives at every barrier even after a failure (skipping the
+  // work, not the synchronization), so an exception can never deadlock the
+  // fan-out; the first one is rethrown after the join.
+  auto run_phase = [&](auto&& body) {
+    if (!failed.load(std::memory_order_acquire)) {
+      try {
+        body();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_release);
+      }
+    }
+    sync.arrive_and_wait();
+  };
+
+  auto worker = [&](int s) {
+    const auto u = static_cast<std::size_t>(s);
+    // Phase 1: Morton code of every next-frame row — the merge key for
+    // survivors and fresh rules alike (one array load per rule later).
+    run_phase([&] {
+      const auto r = sparse::geometry_shard_range(entries.size(), shards, s);
+      for (std::size_t e = r.begin; e < r.end; ++e) {
+        code_of[static_cast<std::size_t>(entries[e].row)] = entries[e].code;
+      }
+    });
+    // Phase 2: fresh rules of this worker's slice of the added list.
+    run_phase([&] {
+      const auto r = sparse::geometry_shard_range(delta.added.size(), shards, s);
+      enumerate_fresh(next, delta, entries, code_of, offsets, r.begin, r.end, fresh_parts[u]);
+    });
+    // Phase 3: per offset (round-robin across workers), concatenate the
+    // per-worker fresh parts and sort by out code. Out codes are unique
+    // within an offset, so the sorted sequence is independent of the
+    // enumeration split.
+    run_phase([&] {
+      for (int o = s; o < volume; o += shards) {
+        const auto ou = static_cast<std::size_t>(o);
+        std::size_t total = 0;
+        for (std::size_t s2 = 0; s2 < su; ++s2) total += fresh_parts[s2][ou].size();
+        auto& fo = fresh[ou];
+        fo.reserve(total);
+        for (std::size_t s2 = 0; s2 < su; ++s2) {
+          fo.insert(fo.end(), fresh_parts[s2][ou].begin(), fresh_parts[s2][ou].end());
+        }
+        std::sort(fo.begin(), fo.end(), [](const KeyedRule& a, const KeyedRule& b) {
+          return a.out_code < b.out_code;
+        });
+      }
+    });
+    // Phase 4: merge this worker's code range of every offset — survivors
+    // sliced by previous-frame out code (the lists are sorted by it),
+    // fresh rules sliced by out code.
+    run_phase([&] {
+      const auto prev_out_code = [&](const sparse::Rule& r) {
+        return voxel::morton_encode(prev.sites.coord(static_cast<std::size_t>(r.out_row)));
+      };
+      for (int o = 0; o < volume; ++o) {
+        const auto ou = static_cast<std::size_t>(o);
+        const std::vector<sparse::Rule>& old_rules = prev.rulebook.rules_for(o);
+        const auto ob = std::partition_point(
+            old_rules.begin(), old_rules.end(),
+            [&](const sparse::Rule& r) { return prev_out_code(r) < cuts[u]; });
+        const auto oe = std::partition_point(ob, old_rules.end(), [&](const sparse::Rule& r) {
+          return prev_out_code(r) < cuts[u + 1];
+        });
+        const auto& fo = fresh[ou];
+        const auto key_less = [](const KeyedRule& kr, std::uint64_t c) { return kr.out_code < c; };
+        const auto fb = std::lower_bound(fo.begin(), fo.end(), cuts[u], key_less);
+        const auto fe = std::lower_bound(fb, fo.end(), cuts[u + 1], key_less);
+        merge_offset_range(
+            {old_rules.data() + (ob - old_rules.begin()), static_cast<std::size_t>(oe - ob)},
+            delta, code_of,
+            {fo.data() + (fb - fo.begin()), static_cast<std::size_t>(fe - fb)}, merged[u][ou]);
+      }
+    });
+    // Phase 5: per offset (round-robin), splice the per-shard slices into
+    // the rulebook in shard order == Morton order. Workers touch disjoint
+    // offsets, and RuleBook keeps independent per-offset vectors.
+    run_phase([&] {
+      for (int o = s; o < volume; o += shards) {
+        const auto ou = static_cast<std::size_t>(o);
+        std::size_t total = 0;
+        for (std::size_t s2 = 0; s2 < su; ++s2) total += merged[s2][ou].size();
+        g.rulebook.reserve(o, total);
+        for (std::size_t s2 = 0; s2 < su; ++s2) {
+          for (const sparse::Rule& r : merged[s2][ou]) g.rulebook.add(o, r);
+        }
+      }
+    });
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(su - 1);
+  for (int s = 1; s < shards; ++s) threads.emplace_back(worker, s);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
 
   g.out_rows = next.size();
   g.blocked = sparse::BlockedRuleBook(g.rulebook, g.out_rows);
@@ -128,12 +327,15 @@ IncrementalGeometry::IncrementalGeometry(IncrementalGeometryConfig config)
 
 GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame) {
   if (current_ != nullptr && current_->sites.spatial_extent() == frame.spatial_extent()) {
-    return update(frame, diff_frames(current_->sites, frame));
+    return update(frame, diff_frames(current_->sites, frame, config_.geometry));
   }
   GeometryUpdate out;
   out.sites = frame.size();
   out.added = frame.size();
+  const auto t0 = std::chrono::steady_clock::now();
   current_ = sparse::make_submanifold_geometry(frame, config_.kernel_size, config_.geometry);
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  out.shards = sparse::pick_geometry_shards(config_.geometry, frame.size());
   ++rebuilds_;
   out.geometry = current_;
   return out;
@@ -147,15 +349,19 @@ GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame,
   out.added = delta.added.size();
   out.removed = delta.removed.size();
   out.retained = delta.retained;
+  const auto t0 = std::chrono::steady_clock::now();
   if (delta.churn_fraction() <= rebuild_fraction_) {
     current_ = std::make_shared<const sparse::LayerGeometry>(
-        patch_submanifold_geometry(*current_, frame, delta));
+        patch_submanifold_geometry(*current_, frame, delta, config_.geometry));
     ++patches_;
     out.patched = true;
+    out.shards = patch_shards(config_.geometry, frame.size());
   } else {
     current_ = sparse::make_submanifold_geometry(frame, config_.kernel_size, config_.geometry);
     ++rebuilds_;
+    out.shards = sparse::pick_geometry_shards(config_.geometry, frame.size());
   }
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   out.geometry = current_;
   return out;
 }

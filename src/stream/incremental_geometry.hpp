@@ -20,6 +20,16 @@
 // the patch with state carrying and a churn threshold: when a frame changes
 // more than ESCA_STREAM_REBUILD_FRACTION of its sites, patching would touch
 // most rules anyway, so it falls back to a cold (optionally sharded) build.
+//
+// The whole patch is sharded, like the cold builders (one knob:
+// sparse::GeometryOptions / ESCA_GEOMETRY_THREADS): the fresh-site kernel
+// enumeration splits over Morton ranges of the *added* sites (each worker
+// with its own galloping cursors), the survivor scan and the per-offset
+// survivor+fresh merge split at common Morton cut points of the output
+// sites, and the per-range results concatenate in Morton order — so the
+// patched geometry stays bit-identical to the serial patch (and therefore
+// to a cold build) at ANY shard count. One worker fan-out per patch; the
+// phases synchronize on an internal barrier.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +46,11 @@ inline constexpr double kDefaultRebuildFraction = 0.5;
 struct IncrementalGeometryConfig {
   /// Submanifold kernel size (odd).
   int kernel_size{3};
-  /// Shard configuration for cold (re)builds; the patch path is serial.
+  /// Shard configuration for the whole geometry path: cold (re)builds, the
+  /// frame diff AND the incremental patch (0 = the geometry engine's auto
+  /// policy, bounded by the work available; results are bit-identical for
+  /// any value). Serve workers running sticky streams inherit it through
+  /// SequenceSessionConfig::geometry for intra-frame parallelism.
   sparse::GeometryOptions geometry{};
   /// Churn fraction above which update() abandons patching for a cold
   /// rebuild. Negative = resolve from the ESCA_STREAM_REBUILD_FRACTION
@@ -55,14 +69,22 @@ struct GeometryUpdate {
   std::size_t removed{0};
   std::size_t retained{0};
   bool patched{false};  ///< false = cold build (first frame or churn fallback)
+  double seconds{0.0};  ///< wall clock of the patch / cold build (diff excluded)
+  int shards{1};        ///< shard count the patch / build was partitioned into
 };
 
 /// Patch `prev` (a submanifold geometry) into the geometry of `next`.
 /// `delta` must be diff_frames(prev.sites, next); extents must match.
-/// Returns a geometry bit-identical to build_submanifold_geometry(next, k).
+/// Returns a geometry bit-identical to build_submanifold_geometry(next, k)
+/// for any shard count `options` picks (1 = the serial patch).
 sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& prev,
                                                  const sparse::SparseTensor& next,
-                                                 const FrameDelta& delta);
+                                                 const FrameDelta& delta,
+                                                 const sparse::GeometryOptions& options = {});
+
+/// The shard count a patch of a `sites`-site frame with `options` actually
+/// fans out to (1 when ESCA_GEOMETRY_THREADS=0 compiled threading out).
+int patch_shards(const sparse::GeometryOptions& options, std::size_t sites);
 
 /// Per-layer incremental state across an ordered frame sequence. Feed the
 /// frames in order; each update() returns the frame's geometry, patched

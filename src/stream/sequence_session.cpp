@@ -50,12 +50,12 @@ SequenceFrameResult SequenceSession::advance(const sparse::SparseTensor& frame,
     const bool diffable =
         prev != nullptr && prev->sites.spatial_extent() == cur.spatial_extent();
     FrameDelta delta;
-    if (diffable) delta = diff_frames(prev->sites, cur);
+    if (diffable) delta = diff_frames(prev->sites, cur, config_.geometry);
 
     const GeometryUpdate upd =
         diffable ? scales_[s].update(cur, delta) : scales_[s].update(cur);
     result.stats.scales.push_back(
-        ScaleUpdate{upd.sites, upd.added, upd.removed, upd.patched});
+        ScaleUpdate{upd.sites, upd.added, upd.removed, upd.patched, upd.seconds, upd.shards});
     result.geometries.push_back(upd.geometry);
 
     if (s + 1 < scales_.size()) {

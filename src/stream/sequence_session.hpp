@@ -19,6 +19,7 @@
 // carries the stream's state across requests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -38,7 +39,10 @@ struct SequenceSessionConfig {
   int scales{1};
   /// Downsampling kernel == stride between scales (the SS U-Net uses 2).
   int downsample_factor{2};
-  /// Shard configuration forwarded to cold rebuilds.
+  /// Shard configuration for the whole per-frame geometry path: cold
+  /// (re)builds, the frame diff and the incremental patch (see
+  /// IncrementalGeometryConfig::geometry). Intra-frame parallelism — results
+  /// are bit-identical for any value.
   sparse::GeometryOptions geometry{};
   /// Churn fallback threshold; see IncrementalGeometryConfig.
   double rebuild_fraction{-1.0};
@@ -50,6 +54,8 @@ struct ScaleUpdate {
   std::size_t added{0};
   std::size_t removed{0};
   bool patched{false};  ///< false = cold build (first frame or churn fallback)
+  double seconds{0.0};  ///< wall clock of this scale's patch / cold build
+  int shards{1};        ///< shard count the patch / build was partitioned into
 };
 
 /// Geometry-side stats of one advance() call.
@@ -61,6 +67,19 @@ struct SequenceFrameStats {
     std::size_t n = 0;
     for (const ScaleUpdate& s : scales) n += s.patched ? 1 : 0;
     return n;
+  }
+  /// Largest shard count any scale fanned out to this frame.
+  int max_shards() const {
+    int n = 1;
+    for (const ScaleUpdate& s : scales) n = std::max(n, s.shards);
+    return n;
+  }
+  /// Summed patch wall clock of the scales that patched (cold builds
+  /// excluded) — the quantity the serve telemetry histograms.
+  double patch_seconds() const {
+    double t = 0.0;
+    for (const ScaleUpdate& s : scales) t += s.patched ? s.seconds : 0.0;
+    return t;
   }
 };
 

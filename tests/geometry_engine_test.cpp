@@ -74,6 +74,34 @@ TEST(CoordIndexTest, EntriesAreMortonSorted) {
   }
 }
 
+TEST(CoordIndexTest, EnsureSortedEnforcesTheSharedReaderContract) {
+  CoordIndex idx;
+  EXPECT_TRUE(idx.is_sorted());  // empty index is trivially compact
+  for (std::int32_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(idx.insert({i, i, 0}, i));
+  }
+  EXPECT_FALSE(idx.is_sorted());  // small inserts sit in the pending tail
+#ifndef NDEBUG
+  // The shared-reader lookups reject a pending tail in debug builds — the
+  // parallel patch path relies on compacting before the worker fan-out.
+  EXPECT_THROW((void)idx.find_sorted(voxel::morton_encode({1, 1, 0})), InternalError);
+  std::size_t cursor = 0;
+  EXPECT_THROW((void)idx.find_near(voxel::morton_encode({1, 1, 0}), cursor), InternalError);
+#endif
+  idx.ensure_sorted();
+  EXPECT_TRUE(idx.is_sorted());
+  EXPECT_EQ(idx.find_sorted(voxel::morton_encode({3, 3, 0})), 3);
+
+  // An erase re-introduces pending state (a tombstone); ensure_sorted()
+  // clears that too.
+  ASSERT_TRUE(idx.erase({3, 3, 0}));
+  EXPECT_FALSE(idx.is_sorted());
+  idx.ensure_sorted();
+  EXPECT_TRUE(idx.is_sorted());
+  EXPECT_EQ(idx.find_sorted(voxel::morton_encode({3, 3, 0})), -1);
+  EXPECT_EQ(idx.entries().size(), 9U);
+}
+
 TEST(CoordIndexTest, EraseRemovesAndReviveReinserts) {
   CoordIndex idx;
   EXPECT_TRUE(idx.insert({1, 2, 3}, 0));

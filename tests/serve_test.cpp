@@ -485,5 +485,61 @@ TEST(ServeStressTest, ManyClientsManyWorkersStayBitExact) {
   EXPECT_GT(s.requests_per_second, 0.0);
 }
 
+TEST(ServeStressTest, ConcurrentStickyStreamsWithShardedPatching) {
+  // ThreadSanitizer workload for the parallel stream path: several client
+  // threads each drive their own sticky stream while every worker's
+  // SequenceSession shards the frame diff and the geometry patch across an
+  // intra-frame worker fan-out — nested parallelism over one shared Plan.
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 256;
+  cfg.sequence.scales = 2;
+  cfg.sequence.rebuild_fraction = 2.0;
+  cfg.sequence.geometry.shards = 2;  // explicit: force the sharded patch
+  Server server(cfg, small_plan());
+
+  constexpr int kStreams = 4;
+  constexpr int kFramesPerStream = 5;
+  const int expect_shards = sparse::geometry_threading_enabled() ? 2 : 1;
+  std::atomic<int> patched_frames{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    clients.emplace_back([&, s] {
+      Client client = server.client();
+      const auto frames =
+          drifting_frames(kFramesPerStream, 700 + static_cast<std::uint64_t>(s));
+      for (int f = 0; f < kFramesPerStream; ++f) {
+        const Response r =
+            client
+                .submit_sequence(static_cast<std::uint64_t>(s),
+                                 {frames[static_cast<std::size_t>(f)]})
+                .get();
+        ESCA_CHECK(r.status == RequestStatus::kOk, "sequence request failed: " << r.error);
+        ESCA_CHECK(r.sequence.size() == 1U, "expected stats for exactly one frame");
+        const stream::SequenceFrameStats& stats = r.sequence.front();
+        if (stats.patched_scales() > 0) {
+          patched_frames.fetch_add(1, std::memory_order_relaxed);
+          ESCA_CHECK(stats.max_shards() == expect_shards,
+                     "patched frame fanned out to " << stats.max_shards() << " shards, want "
+                                                    << expect_shards);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  // Every frame past the first of each stream patched (state carried, churn
+  // below the fallback threshold).
+  EXPECT_EQ(patched_frames.load(), kStreams * (kFramesPerStream - 1));
+
+  const TelemetrySnapshot s = server.telemetry_snapshot();
+  EXPECT_EQ(s.completed, kStreams * kFramesPerStream);
+  EXPECT_EQ(s.shed + s.expired + s.failed, 0);
+  EXPECT_EQ(s.geometry_patches,
+            static_cast<std::int64_t>(kStreams * (kFramesPerStream - 1) * cfg.sequence.scales));
+  EXPECT_EQ(s.geometry_rebuilds, static_cast<std::int64_t>(kStreams * cfg.sequence.scales));
+  EXPECT_GT(s.patch_p95_seconds, 0.0);
+}
+
 }  // namespace
 }  // namespace esca::serve

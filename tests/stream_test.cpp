@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "common/strings.hpp"
 #include "nn/submanifold_conv.hpp"
 #include "runtime/runtime.hpp"
 #include "sparse/geometry.hpp"
@@ -94,6 +95,85 @@ TEST(FrameDeltaTest, EmptyAndIdenticalFrames) {
   const FrameDelta all = diff_frames(empty, t);
   EXPECT_EQ(all.added.size(), t.size());
   EXPECT_EQ(all.removed.size(), 0U);
+}
+
+/// Field-by-field equality of two deltas (FrameDelta has no operator==; the
+/// sharded-vs-serial properties compare every member).
+void expect_delta_equal(const FrameDelta& a, const FrameDelta& b, const std::string& where) {
+  EXPECT_EQ(a.old_to_new, b.old_to_new) << where;
+  EXPECT_EQ(a.new_to_old, b.new_to_old) << where;
+  EXPECT_EQ(a.added, b.added) << where;
+  EXPECT_EQ(a.removed, b.removed) << where;
+  EXPECT_EQ(a.retained, b.retained) << where;
+}
+
+TEST(FrameDeltaTest, ShardedDiffBitIdenticalToSerial) {
+  for (const double churn : {0.02, 0.1, 0.3}) {
+    Rng rng(9000 + static_cast<int>(churn * 100));
+    const SparseTensor prev = test::random_sparse_tensor({24, 24, 24}, 1, 0.06, rng, 1500);
+    const SparseTensor next = mutate_frame(prev, churn, rng);
+    const FrameDelta serial = diff_frames(prev, next, {.shards = 1});
+    for (const int shards : {2, 4}) {
+      const FrameDelta sharded = diff_frames(prev, next, {.shards = shards});
+      expect_delta_equal(sharded, serial,
+                         str::format("shards=%d churn=%.2f", shards, churn));
+    }
+  }
+}
+
+TEST(FrameDeltaTest, ShardedDiffHandlesEmptyAndBoundaryFrames) {
+  const Coord3 extent{6, 6, 6};
+  SparseTensor empty(extent, 1);
+  // A frame living entirely on the extent boundary (Morton codes cluster at
+  // the run's ends — the cut-point derivation must cope with skew).
+  SparseTensor shell(extent, 1);
+  for (std::int32_t z = 0; z < 6; ++z) {
+    for (std::int32_t y = 0; y < 6; ++y) {
+      for (std::int32_t x = 0; x < 6; ++x) {
+        if (x == 0 || y == 0 || z == 0 || x == 5 || y == 5 || z == 5) {
+          shell.add_site({x, y, z});
+        }
+      }
+    }
+  }
+  SparseTensor corner(extent, 1);
+  corner.add_site({0, 0, 0});
+  corner.add_site({5, 5, 5});
+
+  const SparseTensor* frames[] = {&empty, &shell, &corner};
+  for (const SparseTensor* prev : frames) {
+    for (const SparseTensor* next : frames) {
+      const FrameDelta serial = diff_frames(*prev, *next, {.shards = 1});
+      for (const int shards : {2, 4}) {
+        expect_delta_equal(diff_frames(*prev, *next, {.shards = shards}), serial,
+                           str::format("shards=%d sizes=%zu->%zu", shards, prev->size(),
+                                       next->size()));
+      }
+    }
+  }
+}
+
+// Direct sharded-patch property: patch_submanifold_geometry at 2/4 shards is
+// bit-identical to the serial patch AND to the cold build — rule sequences,
+// row numbering, out_rows and the blocked re-bucketing.
+TEST(StreamGeometryEquivalenceTest, ShardedPatchBitIdenticalToSerialPatchAndCold) {
+  for (const double churn : {0.02, 0.1, 0.3}) {
+    Rng rng(4000 + static_cast<int>(churn * 100));
+    const SparseTensor prev = test::random_sparse_tensor({20, 20, 20}, 1, 0.08, rng, 1200);
+    const SparseTensor next = mutate_frame(prev, churn, rng);
+    const sparse::LayerGeometry base = sparse::build_submanifold_geometry(prev, 3);
+    const FrameDelta delta = diff_frames(base.sites, next);
+    const sparse::LayerGeometry serial =
+        patch_submanifold_geometry(base, next, delta, {.shards = 1});
+    const sparse::LayerGeometry cold = sparse::build_submanifold_geometry(next, 3);
+    ASSERT_TRUE(sparse::geometry_equal(serial, cold)) << "churn=" << churn;
+    for (const int shards : {2, 4}) {
+      const sparse::LayerGeometry sharded =
+          patch_submanifold_geometry(base, next, delta, {.shards = shards});
+      ASSERT_TRUE(sparse::geometry_equal(sharded, serial))
+          << "shards=" << shards << " churn=" << churn;
+    }
+  }
 }
 
 // The tentpole property: for random streams at several churn levels and for
