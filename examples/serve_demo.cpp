@@ -3,11 +3,20 @@
 // A fleet of simulated LiDAR sensors streams sweeps at a shared
 // accelerator: one compiled Plan, a pool of worker Sessions, a bounded
 // queue with admission control, and per-request deadlines for the
-// latency-critical sensors. Prints the per-layer accelerator report of one
-// response (the usual core/report pathway) plus the serving telemetry.
+// latency-critical sensors. A second segment re-observes the scene with
+// ego-motion and submits it as sticky streams — every request of one
+// stream id lands on the worker that owns the stream's incremental
+// geometry. Prints the per-layer accelerator report of one response (the
+// usual core/report pathway) plus the serving telemetry.
+//
+// Observability: trace=<file> records the whole run with the obs span
+// tracer and writes Chrome trace-event JSON (open in
+// https://ui.perfetto.dev or chrome://tracing — nested enqueue/queue-wait/
+// request/frame/layer/patch spans per worker). metrics=prometheus|json|
+// table dumps the server's metrics registry in that exposition format.
 //
 // Build & run:  ./build/examples/serve_demo [workers=3] [sensors=4]
-//               [sweeps=6] [timeout_ms=0]
+//               [sweeps=6] [timeout_ms=0] [streams=2] [trace=] [metrics=]
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -18,7 +27,9 @@
 #include "common/strings.hpp"
 #include "core/report.hpp"
 #include "datasets/nyu_like.hpp"
+#include "datasets/sequence.hpp"
 #include "nn/submanifold_conv.hpp"
+#include "obs/obs.hpp"
 #include "pointcloud/point_cloud.hpp"
 #include "serve/serve.hpp"
 #include "sparse/sparse_tensor.hpp"
@@ -36,6 +47,11 @@ int main(int argc, char** argv) {
   const int sensors = static_cast<int>(args.get_int("sensors", 4));
   const int sweeps = static_cast<int>(args.get_int("sweeps", 6));
   const double timeout_ms = args.get_double("timeout_ms", 0.0);
+  const int streams = static_cast<int>(args.get_int("streams", 2));
+  const std::string trace_path = args.get_string("trace", "");
+  const std::string metrics = args.get_string("metrics", "");
+
+  if (!trace_path.empty()) obs::TraceSession::start();
 
   // One representative sweep defines the scene geometry the Plan is
   // calibrated on (steady-state replay, like the paper's batch evaluation).
@@ -97,6 +113,60 @@ int main(int argc, char** argv) {
     break;
   }
 
-  std::printf("%s\n", server.telemetry_snapshot().table("Serving telemetry").c_str());
+  // Part 2 — sticky streams: the sensor re-observes the scene with slight
+  // ego-motion; each stream's frames patch the previous frame's geometry
+  // on the one worker that owns the stream (stream id % workers).
+  if (streams > 0) {
+    // Slow ego-motion: voxel churn per frame stays well under the patch
+    // fallback threshold, so steady-state frames patch instead of rebuild.
+    datasets::SequenceConfig seq;
+    seq.frames = sweeps;
+    seq.yaw_per_frame = 0.001F;
+    seq.translation_per_frame = {0.0005F, 0.0F, 0.0F};
+    seq.resample_fraction = 0.01F;
+    const datasets::SequenceDataset sensor(cloud, seq, 7);
+    std::vector<sparse::SparseTensor> sequence;
+    sequence.reserve(static_cast<std::size_t>(sweeps));
+    for (int t = 0; t < sweeps; ++t) {
+      sequence.push_back(sparse::SparseTensor::from_voxel_grid(
+          voxel::voxelize(sensor.frame(t), {.resolution = 96}), 1));
+    }
+
+    std::printf("\nsticky streams: %d stream(s) x %d frame(s), worker = stream id %% %d\n",
+                streams, sweeps, workers);
+    std::vector<std::thread> stream_fleet;
+    stream_fleet.reserve(static_cast<std::size_t>(streams));
+    for (int sid = 0; sid < streams; ++sid) {
+      stream_fleet.emplace_back([&, sid] {
+        serve::Client client = server.client();
+        for (const sparse::SparseTensor& frame : sequence) {
+          (void)client.submit_sequence(static_cast<std::uint64_t>(sid), {frame}, {}).get();
+        }
+      });
+    }
+    for (std::thread& t : stream_fleet) t.join();
+  }
+
+  std::printf("\n%s\n", server.telemetry_snapshot().table("Serving telemetry").c_str());
+
+  if (metrics == "prometheus") {
+    std::fputs(server.telemetry().registry().to_prometheus().c_str(), stdout);
+  } else if (metrics == "json") {
+    std::printf("%s\n", server.telemetry().registry().to_json().c_str());
+  } else if (metrics == "table") {
+    std::printf("%s\n", server.telemetry().registry().table("Serve metrics registry").c_str());
+    std::printf("%s\n", obs::Registry::global().table("Process metrics registry").c_str());
+  } else if (!metrics.empty()) {
+    std::fprintf(stderr, "unknown metrics format '%s' (want prometheus|json|table)\n",
+                 metrics.c_str());
+    return 1;
+  }
+
+  if (!trace_path.empty()) {
+    obs::TraceSession::stop();
+    const std::size_t written = obs::TraceSession::write_json_file(trace_path);
+    std::printf("trace: %zu events -> %s (%zu spans dropped; open in https://ui.perfetto.dev)\n",
+                written, trace_path.c_str(), obs::TraceSession::spans_dropped());
+  }
   return 0;
 }

@@ -1,0 +1,28 @@
+// Trace validator CLI: structural checks on Chrome trace-event JSON.
+//
+// Validates the trace files the obs tracer writes (serve_demo trace=...,
+// bench_serve_throughput trace=..., ESCA_TRACE=<path>): the document must
+// parse, every event needs name/ph/ts/tid, and per thread the B/E spans
+// must nest like parentheses with non-decreasing timestamps. CI runs this
+// on the serve_demo trace artifact so a tracer regression fails the build
+// instead of surfacing weeks later as a Perfetto render glitch.
+//
+// Usage:  trace_check <trace.json> [trace2.json ...]
+// Exit:   0 when every file passes, 1 otherwise.
+#include <cstdio>
+
+#include "obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json> [more.json ...]\n");
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const esca::obs::TraceCheckResult result = esca::obs::check_trace_file(argv[i]);
+    std::printf("%s: %s\n", argv[i], result.summary().c_str());
+    all_ok = all_ok && result.ok;
+  }
+  return all_ok ? 0 : 1;
+}

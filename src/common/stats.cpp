@@ -92,13 +92,28 @@ LogHistogram::LogHistogram(double lo, double hi, std::size_t buckets_per_decade)
   counts_.assign(std::max<std::size_t>(n, 1), 0);
 }
 
-void LogHistogram::add(double x) {
+LogHistogram LogHistogram::from_counts(double lo, double hi, std::size_t buckets_per_decade,
+                                       const std::vector<std::int64_t>& counts) {
+  LogHistogram h(lo, hi, buckets_per_decade);
+  ESCA_REQUIRE(counts.size() == h.counts_.size(),
+               "LogHistogram::from_counts: got " << counts.size() << " buckets, shape has "
+                                                 << h.counts_.size());
+  h.counts_ = counts;
+  for (const std::int64_t c : counts) h.total_ += c;
+  return h;
+}
+
+std::size_t LogHistogram::bucket_index(double x) const {
   std::int64_t idx = 0;
   if (x > 0.0) {
     idx = static_cast<std::int64_t>(std::floor((std::log10(x) - log_lo_) / log_step_));
   }
   idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  return static_cast<std::size_t>(idx);
+}
+
+void LogHistogram::add(double x) {
+  ++counts_[bucket_index(x)];
   ++total_;
 }
 

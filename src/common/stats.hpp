@@ -66,7 +66,17 @@ class LogHistogram {
   /// `buckets_per_decade` buckets for every 10x of range (>= 1).
   LogHistogram(double lo, double hi, std::size_t buckets_per_decade = 16);
 
+  /// Rebuild a histogram from externally accumulated per-bucket counts with
+  /// the same shape (the obs registry keeps its buckets in relaxed atomics
+  /// and reconstitutes a LogHistogram on read). `counts.size()` must equal
+  /// the bucket count of LogHistogram(lo, hi, buckets_per_decade).
+  static LogHistogram from_counts(double lo, double hi, std::size_t buckets_per_decade,
+                                  const std::vector<std::int64_t>& counts);
+
   void add(double x);
+  /// The bucket add(x) would increment — exposed so external accumulators
+  /// (obs::HistogramMetric) share this exact bucketing math.
+  std::size_t bucket_index(double x) const;
   std::int64_t total() const { return total_; }
   std::size_t buckets() const { return counts_.size(); }
   std::int64_t bucket_count(std::size_t i) const { return counts_.at(i); }

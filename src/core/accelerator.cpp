@@ -5,8 +5,40 @@
 #include "common/check.hpp"
 #include "common/logging.hpp"
 #include "core/computing_core.hpp"
+#include "obs/metrics.hpp"
 
 namespace esca::core {
+
+namespace {
+
+// sim::mem stall totals as process-wide registry counters: scrapers see the
+// accelerator model's memory pressure without walking per-run reports.
+obs::Counter& bank_conflict_stalls_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_sim_buffer_bank_conflict_stalls_total",
+      "banked-buffer cycles the front-end blocked on a full bank FIFO");
+  return counter;
+}
+
+obs::Counter& port_stalls_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_sim_buffer_port_stalls_total", "bank-ready buffer requests denied a port");
+  return counter;
+}
+
+obs::Counter& sdmu_scan_stalls_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_sim_sdmu_scan_stall_cycles_total", "SDMU scan cycles blocked on a full fragment queue");
+  return counter;
+}
+
+obs::Counter& sdmu_fetch_stalls_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_sim_sdmu_fetch_stall_cycles_total", "SDMU fetch cycles blocked on a full match FIFO");
+  return counter;
+}
+
+}  // namespace
 
 double LayerRunStats::array_utilization(int parallelism) const {
   if (total_cycles <= 0 || parallelism <= 0) return 0.0;
@@ -205,6 +237,11 @@ LayerRunResult Accelerator::run_layer(const quant::QuantizedSubConv& layer,
           ? 2.0 * static_cast<double>(st.mac_ops) / st.total_seconds / 1e9
           : 0.0;
   st.memory_bound = st.dram_seconds >= st.compute_seconds;
+
+  bank_conflict_stalls_counter().inc(st.buffer_sim.bank_conflict_stalls);
+  port_stalls_counter().inc(st.buffer_sim.port_stalls);
+  sdmu_scan_stalls_counter().inc(st.sdmu.scan_stall_cycles);
+  sdmu_fetch_stalls_counter().inc(st.sdmu.fetch_stall_cycles);
 
   return LayerRunResult{std::move(output), std::move(st)};
 }

@@ -1,0 +1,255 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace esca::obs {
+
+namespace {
+
+void require_metric_name(const std::string& name) {
+  ESCA_REQUIRE(!name.empty(), "metric name must not be empty");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    ESCA_REQUIRE(ok, "metric name '" << name << "' has invalid character '" << c
+                                     << "' (want [a-zA-Z0-9_:])");
+  }
+}
+
+/// JSON string escaping for names/help (metric names are already clean, but
+/// help strings are free text).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+template <typename Cell, typename Fn>
+void for_each_sorted(const std::deque<Cell>& cells, Fn&& fn) {
+  std::vector<const Cell*> sorted;
+  sorted.reserve(cells.size());
+  for (const Cell& c : cells) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Cell* a, const Cell* b) { return a->name() < b->name(); });
+  for (const Cell* c : sorted) fn(*c);
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(detail::RegistryTag, std::string name, std::string help,
+                                 double lo, double hi, std::size_t buckets_per_decade)
+    : name_(std::move(name)),
+      help_(std::move(help)),
+      lo_(lo),
+      hi_(hi),
+      buckets_per_decade_(buckets_per_decade),
+      shape_(lo, hi, buckets_per_decade),
+      counts_(shape_.buckets()) {}
+
+LogHistogram HistogramMetric::snapshot() const {
+  std::vector<std::int64_t> counts(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return LogHistogram::from_counts(lo_, hi_, buckets_per_decade_, counts);
+}
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  require_metric_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Counter& c : counters_) {
+    if (c.name() == name) return c;
+  }
+  ESCA_REQUIRE(find_gauge_locked(name) == nullptr && find_histogram_locked(name) == nullptr,
+               "metric '" << name << "' is already registered with a different kind");
+  counters_.emplace_back(detail::RegistryTag{}, name, help);
+  return counters_.back();
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  require_metric_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Gauge& g : gauges_) {
+    if (g.name() == name) return g;
+  }
+  ESCA_REQUIRE(find_counter_locked(name) == nullptr && find_histogram_locked(name) == nullptr,
+               "metric '" << name << "' is already registered with a different kind");
+  gauges_.emplace_back(detail::RegistryTag{}, name, help);
+  return gauges_.back();
+}
+
+HistogramMetric& Registry::histogram(const std::string& name, double lo, double hi,
+                                     std::size_t buckets_per_decade, const std::string& help) {
+  require_metric_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (HistogramMetric& h : histograms_) {
+    if (h.name() == name) {
+      ESCA_REQUIRE(h.lo() == lo && h.hi() == hi && h.buckets_per_decade() == buckets_per_decade,
+                   "histogram '" << name << "' re-registered with a different shape");
+      return h;
+    }
+  }
+  ESCA_REQUIRE(find_counter_locked(name) == nullptr && find_gauge_locked(name) == nullptr,
+               "metric '" << name << "' is already registered with a different kind");
+  histograms_.emplace_back(detail::RegistryTag{}, name, help, lo, hi, buckets_per_decade);
+  return histograms_.back();
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_counter_locked(name);
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_gauge_locked(name);
+}
+
+const HistogramMetric* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_histogram_locked(name);
+}
+
+const Counter* Registry::find_counter_locked(const std::string& name) const {
+  for (const Counter& c : counters_) {
+    if (c.name() == name) return &c;
+  }
+  return nullptr;
+}
+
+const Gauge* Registry::find_gauge_locked(const std::string& name) const {
+  for (const Gauge& g : gauges_) {
+    if (g.name() == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramMetric* Registry::find_histogram_locked(const std::string& name) const {
+  for (const HistogramMetric& h : histograms_) {
+    if (h.name() == name) return &h;
+  }
+  return nullptr;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for_each_sorted(counters_, [&os](const Counter& c) {
+    if (!c.help().empty()) os << "# HELP " << c.name() << " " << c.help() << "\n";
+    os << "# TYPE " << c.name() << " counter\n";
+    os << c.name() << " " << c.value() << "\n";
+  });
+  for_each_sorted(gauges_, [&os](const Gauge& g) {
+    if (!g.help().empty()) os << "# HELP " << g.name() << " " << g.help() << "\n";
+    os << "# TYPE " << g.name() << " gauge\n";
+    os << g.name() << " " << str::format("%g", g.value()) << "\n";
+  });
+  for_each_sorted(histograms_, [&os](const HistogramMetric& h) {
+    if (!h.help().empty()) os << "# HELP " << h.name() << " " << h.help() << "\n";
+    os << "# TYPE " << h.name() << " histogram\n";
+    const LogHistogram snap = h.snapshot();
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.buckets(); ++i) {
+      if (snap.bucket_count(i) == 0) continue;  // sparse: skip empty buckets
+      cumulative += snap.bucket_count(i);
+      os << h.name() << "_bucket{le=\"" << str::format("%.6g", snap.bucket_hi(i)) << "\"} "
+         << cumulative << "\n";
+    }
+    os << h.name() << "_bucket{le=\"+Inf\"} " << snap.total() << "\n";
+    os << h.name() << "_count " << snap.total() << "\n";
+  });
+  return os.str();
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{";
+  os << "\"counters\":{";
+  bool first = true;
+  for_each_sorted(counters_, [&](const Counter& c) {
+    os << (first ? "" : ",") << "\"" << json_escape(c.name()) << "\":" << c.value();
+    first = false;
+  });
+  os << "},\"gauges\":{";
+  first = true;
+  for_each_sorted(gauges_, [&](const Gauge& g) {
+    os << (first ? "" : ",") << "\"" << json_escape(g.name())
+       << "\":" << str::format("%g", g.value());
+    first = false;
+  });
+  os << "},\"histograms\":{";
+  first = true;
+  for_each_sorted(histograms_, [&](const HistogramMetric& h) {
+    const LogHistogram snap = h.snapshot();
+    os << (first ? "" : ",") << "\"" << json_escape(h.name()) << "\":{\"count\":" << snap.total()
+       << ",\"p50\":" << str::format("%.9g", snap.quantile(0.50))
+       << ",\"p95\":" << str::format("%.9g", snap.quantile(0.95))
+       << ",\"p99\":" << str::format("%.9g", snap.quantile(0.99)) << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < snap.buckets(); ++i) {
+      if (snap.bucket_count(i) == 0) continue;
+      os << (first_bucket ? "" : ",") << "[" << str::format("%.6g", snap.bucket_lo(i)) << ","
+         << str::format("%.6g", snap.bucket_hi(i)) << "," << snap.bucket_count(i) << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  });
+  os << "}}";
+  return os.str();
+}
+
+std::string Registry::table(const std::string& title) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Table t(title);
+  t.header({"Metric", "Kind", "Value"});
+  for_each_sorted(counters_, [&t](const Counter& c) {
+    t.row({c.name(), "counter", str::with_commas(c.value())});
+  });
+  for_each_sorted(gauges_, [&t](const Gauge& g) {
+    t.row({g.name(), "gauge", str::format("%g", g.value())});
+  });
+  for_each_sorted(histograms_, [&t](const HistogramMetric& h) {
+    const LogHistogram snap = h.snapshot();
+    t.row({h.name(), "histogram",
+           str::format("n=%lld p50=%.3g p95=%.3g p99=%.3g",
+                       static_cast<long long>(snap.total()), snap.quantile(0.50),
+                       snap.quantile(0.95), snap.quantile(0.99))});
+  });
+  return t.to_string();
+}
+
+}  // namespace esca::obs

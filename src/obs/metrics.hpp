@@ -1,0 +1,194 @@
+// esca::obs — central metrics registry.
+//
+// Every long-lived counter in the system (geometry builds, compute-arena
+// grows, serve shed counts, bank-conflict stalls, ...) registers here once
+// and is updated through a cheap handle: a relaxed atomic add for counters
+// and gauges, a relaxed atomic bucket bump for histograms. Reads aggregate
+// on demand — snapshot(), quantile() and the exposition formats walk the
+// registered cells without stopping writers, so scraping a busy server
+// costs the readers, never the request path.
+//
+// Two exposition formats plus a human one:
+//   to_prometheus()  text format (# HELP / # TYPE / name value)
+//   to_json()        one object per metric, histograms with bucket arrays
+//   table()          column-aligned ASCII via common/table (demos, benches)
+//
+// Registry::global() is the process-wide instance the library's own
+// counters live in; subsystems that need isolated metrics (one
+// serve::Telemetry per Server) own private Registry instances — same
+// machinery, no name collisions across servers.
+//
+// CounterGuard is the test idiom: instead of snapshotting a global counter
+// into a local and comparing by hand (the pre-obs footgun — baselines taken
+// non-atomically and leaked across tests), a guard captures the baseline at
+// construction and exposes the delta since.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace esca::obs {
+
+namespace detail {
+/// Construction token: metric cells are created by a Registry (emplaced in
+/// place — the atomics make them immovable), never directly.
+struct RegistryTag {
+  explicit RegistryTag() = default;
+};
+}  // namespace detail
+
+/// Monotonic counter. inc() is a single relaxed fetch_add — safe and exact
+/// under any concurrency (totals are precise, ordering is not promised).
+class Counter {
+ public:
+  Counter(detail::RegistryTag, std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  void inc(std::int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time value (queue depth, resident streams, ...). set()/add()
+/// are relaxed atomics; last writer wins on set().
+class Gauge {
+ public:
+  Gauge(detail::RegistryTag, std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-spaced histogram with relaxed-atomic buckets: record() computes the
+/// bucket with the exact esca::LogHistogram math and bumps one atomic.
+/// snapshot() reconstitutes a LogHistogram (same shape, same quantile
+/// interpolation), so quantiles computed here match a mutex-guarded
+/// LogHistogram fed the same samples exactly.
+class HistogramMetric {
+ public:
+  HistogramMetric(detail::RegistryTag, std::string name, std::string help, double lo, double hi,
+                  std::size_t buckets_per_decade);
+
+  void record(double x) {
+    counts_[shape_.bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::int64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+  /// Consistent-enough copy for reporting: buckets are read individually
+  /// (relaxed), so a snapshot taken while writers run may straddle a few
+  /// in-flight samples — totals are exact once writers are quiescent.
+  LogHistogram snapshot() const;
+  double quantile(double q) const { return snapshot().quantile(q); }
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t buckets_per_decade() const { return buckets_per_decade_; }
+
+ private:
+  std::string name_;
+  std::string help_;
+  double lo_;
+  double hi_;
+  std::size_t buckets_per_decade_;
+  LogHistogram shape_;  ///< empty instance — bucket math + quantile engine
+  std::deque<std::atomic<std::int64_t>> counts_;
+  std::atomic<std::int64_t> total_{0};
+};
+
+/// Named metric registry. Handles returned by counter()/gauge()/histogram()
+/// are stable for the Registry's lifetime (cells never move); registering
+/// the same name again returns the existing cell (the kind and histogram
+/// shape must match). Registration takes a mutex; updates through the
+/// handles are lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the library's own counters register in.
+  static Registry& global();
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  HistogramMetric& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets_per_decade, const std::string& help = "");
+
+  /// Cell lookups without registering (nullptr when absent).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const HistogramMetric* find_histogram(const std::string& name) const;
+
+  std::size_t size() const;
+
+  /// Prometheus text exposition (one # HELP / # TYPE block per metric,
+  /// histograms as cumulative _bucket/_sum-less le series + _count).
+  std::string to_prometheus() const;
+  /// JSON exposition: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Column-aligned ASCII rendering through common/table.
+  std::string table(const std::string& title) const;
+
+ private:
+  const Counter* find_counter_locked(const std::string& name) const;
+  const Gauge* find_gauge_locked(const std::string& name) const;
+  const HistogramMetric* find_histogram_locked(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  // deques: growth never moves existing cells, so handles stay valid.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<HistogramMetric> histograms_;
+};
+
+/// Scoped counter baseline for tests: captures the counter's value at
+/// construction; delta() is the growth since. Replaces the hand-rolled
+/// `const auto before = some_global(); ... EXPECT_EQ(some_global(), before)`
+/// pattern (which silently breaks when another test's work is attributed to
+/// a stale baseline captured once outside the measured region).
+class CounterGuard {
+ public:
+  explicit CounterGuard(const Counter& counter)
+      : counter_(&counter), base_(counter.value()) {}
+
+  std::int64_t delta() const { return counter_->value() - base_; }
+  /// Move the baseline to the counter's current value.
+  void rebase() { base_ = counter_->value(); }
+
+ private:
+  const Counter* counter_;
+  std::int64_t base_;
+};
+
+}  // namespace esca::obs

@@ -1,0 +1,5 @@
+// Umbrella header for esca::obs — metrics registry + span tracing.
+#pragma once
+
+#include "obs/metrics.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export

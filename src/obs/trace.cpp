@@ -1,0 +1,368 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace esca::obs {
+
+#if ESCA_OBS
+
+namespace detail {
+
+namespace {
+
+/// Per-thread event capacity. ~120 B/event → a few MB per traced thread at
+/// the default; ESCA_TRACE_CAPACITY overrides (clamped to a sane range).
+constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+std::size_t buffer_capacity() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("ESCA_TRACE_CAPACITY")) {
+      const long long n = std::atoll(env);
+      if (n >= 64) return std::min<std::size_t>(static_cast<std::size_t>(n), 1 << 24);
+    }
+    return kDefaultCapacity;
+  }();
+  return cached;
+}
+
+}  // namespace
+
+/// One thread's append-only event array. The owner thread writes events and
+/// publishes them through `size` (release); readers (write_json) acquire
+/// `size` and read the prefix. `open_reserved` tracks begin events whose
+/// end event has not landed yet — every open span holds one reserved slot,
+/// which is what keeps B/E balanced when the buffer fills: a begin is only
+/// recorded when its end is guaranteed to fit too.
+struct TraceBuffer {
+  explicit TraceBuffer(std::int32_t tid_)
+      : tid(tid_), capacity(buffer_capacity()), events(new TraceEvent[capacity]) {}
+
+  std::int32_t tid;
+  std::size_t capacity;
+  // Deliberately uninitialized storage: TraceEvent is trivial, so new[]
+  // maps the multi-MB buffer without touching it and a freshly traced
+  // thread faults in only the pages of slots it actually records. Each
+  // slot is value-initialized right before it is written.
+  std::unique_ptr<TraceEvent[]> events;
+  std::atomic<std::size_t> size{0};
+  std::size_t open_reserved{0};  ///< owner thread only
+  std::atomic<std::uint64_t> dropped{0};
+};
+
+static_assert(std::is_trivially_default_constructible_v<TraceEvent> &&
+                  std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay trivial: buffers are uninitialized storage");
+
+std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  std::atomic<std::size_t> buffers_allocated{0};
+  std::int32_t next_tid{1};
+  std::chrono::steady_clock::time_point epoch{std::chrono::steady_clock::now()};
+  std::string env_path;
+};
+
+TraceState& state() {
+  static TraceState* instance = new TraceState();  // leaked: outlives thread exits
+  return *instance;
+}
+
+/// ESCA_TRACE: unset/""/"0" = disabled; "1"/"on"/"true" = enabled; anything
+/// else = enabled + auto-write to that path at exit.
+struct EnvInit {
+  EnvInit() {
+    const char* env = std::getenv("ESCA_TRACE");
+    if (env == nullptr || env[0] == '\0') return;
+    const std::string value(env);
+    if (value == "0" || value == "off" || value == "false") return;
+    if (value != "1" && value != "on" && value != "true") {
+      state().env_path = value;
+      std::atexit([] {
+        // Best effort: a failed write must not turn exit into a crash.
+        try {
+          (void)TraceSession::write_json_file(state().env_path);
+        } catch (...) {
+        }
+      });
+    }
+    TraceSession::start();
+  }
+};
+
+EnvInit g_env_init;
+
+thread_local TraceBuffer* t_buffer = nullptr;
+
+}  // namespace
+
+TraceBuffer* thread_buffer() {
+  if (t_buffer == nullptr) {
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto buffer = std::make_shared<TraceBuffer>(s.next_tid++);
+    s.buffers.push_back(buffer);
+    s.buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+    t_buffer = buffer.get();  // the global list keeps it alive past thread exit
+  }
+  return t_buffer;
+}
+
+std::int64_t trace_now_ns() { return trace_ns_of(std::chrono::steady_clock::now()); }
+
+std::int64_t trace_ns_of(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t - state().epoch).count();
+}
+
+TraceEvent* buffer_open_span(TraceBuffer* buffer, const char* name, std::int64_t ts_ns) {
+  const std::size_t n = buffer->size.load(std::memory_order_relaxed);
+  // Room for this 'B' AND its future 'E' (one slot per open span is already
+  // reserved for the enclosing spans' ends).
+  if (n + buffer->open_reserved + 2 > buffer->capacity) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  TraceEvent& ev = buffer->events[n];
+  ev = TraceEvent{};
+  ev.name = name;
+  ev.phase = 'B';
+  ev.tid = buffer->tid;
+  ev.ts_ns = ts_ns;
+  ++buffer->open_reserved;
+  buffer->size.store(n + 1, std::memory_order_release);
+  return &ev;
+}
+
+void buffer_close_span(TraceBuffer* buffer, const char* name, std::int64_t ts_ns) {
+  const std::size_t n = buffer->size.load(std::memory_order_relaxed);
+  ESCA_CHECK(buffer->open_reserved > 0 && n < buffer->capacity,
+             "trace buffer close without a reserved slot");
+  TraceEvent& ev = buffer->events[n];
+  ev = TraceEvent{};
+  ev.name = name;
+  ev.phase = 'E';
+  ev.tid = buffer->tid;
+  ev.ts_ns = ts_ns;
+  --buffer->open_reserved;
+  buffer->size.store(n + 1, std::memory_order_release);
+}
+
+void buffer_emit_complete(TraceBuffer* buffer, const char* name, std::int64_t t0_ns,
+                          std::int64_t t1_ns) {
+  const std::size_t n = buffer->size.load(std::memory_order_relaxed);
+  if (n + buffer->open_reserved + 1 > buffer->capacity) {
+    buffer->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // One 'X' complete event: a retroactive interval may overlap the scoped
+  // spans already on this thread's track (it began in the past), which a
+  // B/E pair is not allowed to do.
+  TraceEvent& ev = buffer->events[n];
+  ev = TraceEvent{};
+  ev.name = name;
+  ev.phase = 'X';
+  ev.tid = buffer->tid;
+  ev.ts_ns = t0_ns;
+  ev.dur_ns = t1_ns >= t0_ns ? t1_ns - t0_ns : 0;
+  buffer->size.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+void Span::open(const char* name) {
+  name_ = name;
+  buffer_ = detail::thread_buffer();
+  event_ = detail::buffer_open_span(buffer_, name, detail::trace_now_ns());
+}
+
+void Span::close() {
+  detail::buffer_close_span(buffer_, name_, detail::trace_now_ns());
+  event_ = nullptr;
+}
+
+detail::TraceArg& Span::push_arg(const char* key, detail::TraceArg::Kind kind) {
+  static detail::TraceArg overflow;  // extras past kMaxArgs write here
+  if (event_->num_args >= detail::kMaxArgs) return overflow;
+  detail::TraceArg& a = event_->args[event_->num_args++];
+  a.key = key;
+  a.kind = kind;
+  return a;
+}
+
+void emit_span(const char* name, std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  if (!tracing_enabled()) return;
+  detail::buffer_emit_complete(detail::thread_buffer(), name, detail::trace_ns_of(begin),
+                               detail::trace_ns_of(end));
+}
+
+namespace {
+
+void json_escape_into(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << str::format("\\u%04x", c);
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void TraceSession::start() { detail::g_trace_enabled.store(true, std::memory_order_relaxed); }
+
+void TraceSession::stop() { detail::g_trace_enabled.store(false, std::memory_order_relaxed); }
+
+void TraceSession::clear() {
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto& buffer : s.buffers) {
+    buffer->size.store(0, std::memory_order_release);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+    // open_reserved is owner-thread state; clear() requires quiescence, at
+    // which point every recorded span has closed and it is already 0.
+  }
+}
+
+std::size_t TraceSession::write_json(std::ostream& os) {
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  os << "{\"traceEvents\":[";
+  std::size_t written = 0;
+  std::vector<const detail::TraceEvent*> order;
+  for (const auto& buffer : s.buffers) {
+    const std::size_t n = buffer->size.load(std::memory_order_acquire);
+    // Scoped B/E events land in timestamp order, but retroactive 'X'
+    // events are appended when their interval is already over — stable-sort
+    // the thread's track so ts is non-decreasing (ties keep buffer order,
+    // preserving B-before-E at equal timestamps).
+    order.clear();
+    order.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) order.push_back(&buffer->events[i]);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const detail::TraceEvent* a, const detail::TraceEvent* b) {
+                       return a->ts_ns < b->ts_ns;
+                     });
+    for (const detail::TraceEvent* event : order) {
+      const detail::TraceEvent& ev = *event;
+      if (written > 0) os << ",";
+      // ts is microseconds (the trace-event spec unit); keep ns precision
+      // with a fractional part.
+      os << "{\"name\":\"";
+      json_escape_into(os, ev.name);
+      os << "\",\"ph\":\"" << ev.phase << "\",\"pid\":1,\"tid\":" << ev.tid
+         << ",\"ts\":" << str::format("%.3f", static_cast<double>(ev.ts_ns) / 1e3);
+      if (ev.phase == 'X') {
+        os << ",\"dur\":" << str::format("%.3f", static_cast<double>(ev.dur_ns) / 1e3);
+      }
+      if (ev.phase == 'B') {
+        os << ",\"args\":{";
+        for (std::uint8_t a = 0; a < ev.num_args; ++a) {
+          const detail::TraceArg& arg = ev.args[a];
+          if (a > 0) os << ",";
+          os << "\"";
+          json_escape_into(os, arg.key);
+          os << "\":";
+          switch (arg.kind) {
+            case detail::TraceArg::Kind::kInt:
+              os << arg.value.i;
+              break;
+            case detail::TraceArg::Kind::kDouble:
+              os << str::format("%.9g", arg.value.d);
+              break;
+            case detail::TraceArg::Kind::kString:
+              os << "\"";
+              json_escape_into(os, arg.value.s);
+              os << "\"";
+              break;
+          }
+        }
+        os << "}";
+      }
+      os << "}";
+      ++written;
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return written;
+}
+
+std::size_t TraceSession::write_json_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw RuntimeError("cannot open trace output file: " + path);
+  const std::size_t written = write_json(os);
+  os.flush();
+  if (!os) throw RuntimeError("failed writing trace output file: " + path);
+  return written;
+}
+
+std::size_t TraceSession::events_recorded() {
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const auto& buffer : s.buffers) n += buffer->size.load(std::memory_order_acquire);
+  return n;
+}
+
+std::size_t TraceSession::spans_dropped() {
+  auto& s = detail::state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  std::size_t n = 0;
+  for (const auto& buffer : s.buffers) {
+    n += static_cast<std::size_t>(buffer->dropped.load(std::memory_order_relaxed));
+  }
+  return n;
+}
+
+std::size_t TraceSession::buffers_allocated() {
+  return detail::state().buffers_allocated.load(std::memory_order_relaxed);
+}
+
+const std::string& TraceSession::env_path() { return detail::state().env_path; }
+
+#else  // ESCA_OBS == 0
+
+void TraceSession::start() {}
+void TraceSession::stop() {}
+void TraceSession::clear() {}
+
+std::size_t TraceSession::write_json(std::ostream& os) {
+  os << "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}";
+  return 0;
+}
+
+std::size_t TraceSession::write_json_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw RuntimeError("cannot open trace output file: " + path);
+  return write_json(os);
+}
+
+std::size_t TraceSession::events_recorded() { return 0; }
+std::size_t TraceSession::spans_dropped() { return 0; }
+std::size_t TraceSession::buffers_allocated() { return 0; }
+
+const std::string& TraceSession::env_path() {
+  static const std::string empty;
+  return empty;
+}
+
+#endif  // ESCA_OBS
+
+}  // namespace esca::obs

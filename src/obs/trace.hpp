@@ -1,0 +1,207 @@
+// esca::obs — low-overhead span tracing.
+//
+// RAII scoped spans record begin/end events into per-thread, fixed-capacity
+// buffers: opening a span is one relaxed atomic check plus one in-place POD
+// write when tracing is on, and a single predictable branch when it is off.
+// The hot path never locks and never allocates — a thread's buffer is
+// allocated once, on the first span it records while tracing is enabled.
+//
+//   {
+//     obs::Span span("runtime.layer");
+//     span.arg("layer", layer_index);
+//     ... work ...
+//     span.arg("bound", stats.bound_verdict());   // args can land any time
+//   }                                             // before the span closes
+//
+// TraceSession::write_json() renders every recorded event as Chrome
+// trace-event JSON ("B"/"E" duration events) — open the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing to see the nested
+// queue/worker/frame/layer/patch timeline of a run.
+//
+// Buffer discipline: events append into a bounded per-thread array. A span
+// only records its begin event when room for its end event can be reserved
+// too, so a full buffer degrades by dropping whole spans — the B/E pairing
+// of everything recorded stays balanced per thread (dropped spans are
+// counted). Names and string args must be string literals (or otherwise
+// outlive the session): events store the pointers, not copies.
+//
+// Gates:
+//   compile time  -DESCA_OBS=0 compiles Span/emit_span into empty inlines
+//                 (release builds that want the subsystem gone entirely).
+//   run time      tracing starts disabled; TraceSession::start() or the
+//                 ESCA_TRACE environment variable enables it. ESCA_TRACE=1
+//                 just enables; any other non-"0" value is a path the trace
+//                 is auto-written to at process exit.
+//
+// write_json()/clear() are not synchronized against in-flight spans: call
+// them at quiescent points (after joining workers / draining a server).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#ifndef ESCA_OBS
+#define ESCA_OBS 1
+#endif
+
+namespace esca::obs {
+
+/// True when the tracer is compiled in (ESCA_OBS != 0).
+constexpr bool tracing_compiled() { return ESCA_OBS != 0; }
+
+#if ESCA_OBS
+
+namespace detail {
+
+// TraceArg/TraceEvent stay trivially default-constructible on purpose: the
+// per-thread buffers are allocated as uninitialized storage so the kernel
+// maps their pages lazily — only slots actually recorded ever fault in.
+// Every slot is value-initialized (`ev = TraceEvent{}`) right before use.
+struct TraceArg {
+  const char* key;
+  enum class Kind : std::uint8_t { kInt, kDouble, kString } kind;
+  union {
+    std::int64_t i;
+    double d;
+    const char* s;
+  } value;
+};
+
+inline constexpr std::size_t kMaxArgs = 4;
+
+struct TraceEvent {
+  const char* name;
+  char phase;  ///< 'B'/'E' (scoped spans) or 'X' (retroactive complete)
+  std::uint8_t num_args;
+  std::int32_t tid;
+  std::int64_t ts_ns;
+  std::int64_t dur_ns;  ///< 'X' events only
+  TraceArg args[kMaxArgs];
+};
+
+struct TraceBuffer;
+
+extern std::atomic<bool> g_trace_enabled;
+
+TraceBuffer* thread_buffer();  ///< allocate/register on first use
+TraceEvent* buffer_open_span(TraceBuffer* buffer, const char* name, std::int64_t ts_ns);
+void buffer_close_span(TraceBuffer* buffer, const char* name, std::int64_t ts_ns);
+void buffer_emit_complete(TraceBuffer* buffer, const char* name, std::int64_t t0_ns,
+                          std::int64_t t1_ns);
+std::int64_t trace_now_ns();
+std::int64_t trace_ns_of(std::chrono::steady_clock::time_point t);
+
+}  // namespace detail
+
+/// Fast runtime check: one relaxed atomic load.
+inline bool tracing_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+/// RAII duration span. Construction records a 'B' event (when tracing is
+/// enabled and the thread's buffer has room), destruction the matching 'E'.
+/// Zero heap allocations; a disabled tracer costs one branch.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_enabled()) open(name);
+  }
+  ~Span() {
+    if (event_ != nullptr) close();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach an argument to the begin event (visible in the Perfetto span
+  /// details). At most detail::kMaxArgs per span; extras are ignored. `key`
+  /// (and string values) must outlive the trace session — use literals.
+  void arg(const char* key, std::int64_t v) {
+    if (event_ != nullptr) push_arg(key, detail::TraceArg::Kind::kInt).value.i = v;
+  }
+  void arg(const char* key, std::size_t v) { arg(key, static_cast<std::int64_t>(v)); }
+  void arg(const char* key, int v) { arg(key, static_cast<std::int64_t>(v)); }
+  void arg(const char* key, double v) {
+    if (event_ != nullptr) push_arg(key, detail::TraceArg::Kind::kDouble).value.d = v;
+  }
+  void arg(const char* key, const char* literal) {
+    if (event_ != nullptr) push_arg(key, detail::TraceArg::Kind::kString).value.s = literal;
+  }
+
+  /// True when this span is recording (tracing on and buffer not full).
+  bool recording() const { return event_ != nullptr; }
+
+ private:
+  void open(const char* name);
+  void close();
+  detail::TraceArg& push_arg(const char* key, detail::TraceArg::Kind kind);
+
+  const char* name_{nullptr};
+  detail::TraceEvent* event_{nullptr};
+  detail::TraceBuffer* buffer_{nullptr};
+};
+
+/// Record a span whose begin/end times are already known (e.g. queue wait:
+/// the interval ended the moment a worker picked the request up, but only
+/// the worker knows both timestamps). Recorded on the calling thread as one
+/// 'X' complete event — it may overlap the thread's scoped B/E spans (the
+/// interval began while an earlier span was still open), which 'X' events
+/// are allowed to do and B/E pairs are not.
+void emit_span(const char* name, std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end);
+
+#else  // ESCA_OBS == 0: the whole tracer compiles to nothing.
+
+inline constexpr bool tracing_enabled() { return false; }
+
+class Span {
+ public:
+  explicit Span(const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void arg(const char*, std::int64_t) {}
+  void arg(const char*, std::size_t) {}
+  void arg(const char*, int) {}
+  void arg(const char*, double) {}
+  void arg(const char*, const char*) {}
+  bool recording() const { return false; }
+};
+
+inline void emit_span(const char*, std::chrono::steady_clock::time_point,
+                      std::chrono::steady_clock::time_point) {}
+
+#endif  // ESCA_OBS
+
+/// Process-wide trace control. All static; states are: disabled (default),
+/// enabled (recording). Works — as inert no-ops — when ESCA_OBS=0 too, so
+/// callers need no #if.
+class TraceSession {
+ public:
+  /// Start recording (idempotent). The first call pins the trace epoch.
+  static void start();
+  /// Stop recording; events stay buffered for write_json().
+  static void stop();
+  /// Drop every buffered event and dropped-span count (quiescent only).
+  static void clear();
+
+  /// Render everything recorded as Chrome trace-event JSON
+  /// ({"traceEvents":[...]}). Returns the number of events written.
+  static std::size_t write_json(std::ostream& os);
+  /// write_json() into `path`; throws esca::RuntimeError on IO failure.
+  static std::size_t write_json_file(const std::string& path);
+
+  static std::size_t events_recorded();  ///< events buffered right now
+  static std::size_t spans_dropped();    ///< spans lost to full buffers
+  /// Thread buffers ever allocated (the disabled-mode zero-allocation
+  /// proof: this must not grow while tracing is off).
+  static std::size_t buffers_allocated();
+
+  /// The path ESCA_TRACE named (empty when unset or a bare enable flag).
+  /// When non-empty the trace is also auto-written there at process exit.
+  static const std::string& env_path();
+};
+
+}  // namespace esca::obs

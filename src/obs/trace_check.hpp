@@ -1,0 +1,42 @@
+// Structural validator for Chrome trace-event JSON.
+//
+// A trace that fails to parse or whose B/E events don't nest cleanly per
+// thread renders as garbage (or not at all) in Perfetto — and a tracer bug
+// that unbalances B/E pairs is exactly the kind of corruption that only
+// shows up when someone finally opens a trace. This checker makes it a CI
+// failure instead: a tiny self-contained JSON parser (no dependencies)
+// plus the trace-event rules the obs tracer promises:
+//
+//   - the document parses and is {"traceEvents": [...]} (or a bare array),
+//   - every event has a string "name", a one-char "ph", numeric "ts"/"tid",
+//   - per tid, 'B'/'E' events nest like parentheses with matching names and
+//     non-decreasing timestamps, and every span opened is closed.
+//
+// Used by tests/obs_test.cpp and the trace_check example binary the CI
+// release job runs on the serve_demo trace artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace esca::obs {
+
+struct TraceCheckResult {
+  bool ok{false};
+  std::string error;        ///< first problem found (empty when ok)
+  std::size_t events{0};    ///< trace events seen
+  std::size_t threads{0};   ///< distinct tids seen
+  std::size_t max_depth{0}; ///< deepest B-nesting across threads
+  std::size_t args_seen{0}; ///< events carrying at least one arg
+
+  std::string summary() const;
+};
+
+/// Validate a trace-event JSON document.
+TraceCheckResult check_trace_json(std::string_view text);
+
+/// Validate the trace in `path` (IO errors become a failed result).
+TraceCheckResult check_trace_file(const std::string& path);
+
+}  // namespace esca::obs

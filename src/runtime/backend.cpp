@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace esca::runtime {
 
@@ -108,6 +109,9 @@ FrameReport Backend::run_frame(const Plan& plan, const std::string& frame_id,
   ESCA_REQUIRE(plan.uid != 0, "plan was not produced by compile()/make_plan()");
   ESCA_REQUIRE(!plan.network.layers.empty(), "plan has no layers to execute");
   const bool resident = weights_resident_for(plan);
+  obs::Span span("runtime.frame");
+  span.arg("layers", plan.network.layers.size());
+  span.arg("weights_resident", static_cast<std::int64_t>(resident));
   FrameReport report = execute_frame(plan, frame_id, options, resident);
   if (supports_weight_residency()) resident_plan_uid_ = plan.uid;
   return report;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace esca::runtime {
 
@@ -23,11 +24,14 @@ FrameReport CpuBackend::execute_frame(const Plan& plan, const std::string& frame
                                       const RunOptions& options, bool /*weights_resident*/) {
   FrameReport report;
   report.frame_id = frame_id;
+  int layer_index = 0;
   for (const core::CompiledLayer& cl : plan.network.layers) {
     // Steady-state frames replay the Plan-cached rulebook through this
     // backend's compute engine (persistent arena — no per-frame compute
     // allocations); only hand-built plans without geometry fall back to an
     // ad-hoc build.
+    obs::Span span("runtime.layer");
+    span.arg("layer", layer_index++);
     auto start = std::chrono::steady_clock::now();
     quant::QSparseTensor output = cl.run_gold(&compute_engine());
     double best_seconds = seconds_since(start);

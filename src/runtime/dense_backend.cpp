@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/zero_removing.hpp"
+#include "obs/trace.hpp"
 #include "sparse/sparse_tensor.hpp"
 
 namespace esca::runtime {
@@ -28,7 +29,10 @@ FrameReport DenseAccelBackend::execute_frame(const Plan& plan, const std::string
                                              bool /*weights_resident*/) {
   FrameReport report;
   report.frame_id = frame_id;
+  int layer_index = 0;
   for (const core::CompiledLayer& cl : plan.network.layers) {
+    obs::Span span("runtime.layer");
+    span.arg("layer", layer_index++);
     const int kernel = cl.layer.kernel_size();
 
     baseline::DenseAccelRun run;

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace esca::runtime {
 
@@ -17,6 +18,8 @@ Session::Session(Backend& backend, PlanPtr plan)
 
 RunReport Session::submit(const FrameBatch& batch, const RunOptions& options) {
   ESCA_REQUIRE(batch.size() >= 1, "batch must contain at least one frame");
+  obs::Span span("runtime.submit");
+  span.arg("frames", batch.size());
   RunReport report;
   report.backend_name = backend_->name();
   history_.backend_name = report.backend_name;

@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace esca::serve {
 
@@ -121,8 +122,11 @@ int Server::stream_owner(std::uint64_t stream_id) const {
 }
 
 std::future<Response> Server::enqueue(PendingRequest request, int affinity) {
+  obs::Span span("serve.enqueue");
+  span.arg("kind", request.kind == RequestKind::kSequence ? "sequence" : "batch");
   telemetry_.on_submitted();
   request.id = ++next_request_id_;
+  span.arg("id", static_cast<std::int64_t>(request.id));
   request.enqueued = std::chrono::steady_clock::now();
   if (request.options.timeout_seconds > 0.0) {
     request.deadline = request.enqueued +
@@ -143,6 +147,7 @@ std::future<Response> Server::enqueue(PendingRequest request, int affinity) {
   if (!queue_.try_push(std::move(request), info)) {
     // Admission control: full (or stopped) queue sheds synchronously — the
     // client learns about overload now, not after a timeout.
+    span.arg("outcome", "shed");
     telemetry_.on_shed();
     std::promise<Response> shed_promise;
     future = shed_promise.get_future();
@@ -179,6 +184,10 @@ void Server::worker_loop(int worker_id) {
     telemetry_.sample_queue_depth(queue_.depth());
     const auto picked_up = std::chrono::steady_clock::now();
     const double queue_seconds = seconds_between(request->enqueued, picked_up);
+    // The wait interval ended the instant this worker popped the request;
+    // only now are both endpoints known, so it is recorded retroactively
+    // (on this worker's trace track, preceding the request span).
+    obs::emit_span("serve.queue_wait", request->enqueued, picked_up);
 
     Response response;
     response.request_id = request->id;
@@ -193,6 +202,10 @@ void Server::worker_loop(int worker_id) {
     }
 
     response.worker_id = worker_id;
+    obs::Span span("serve.request");
+    span.arg("worker", worker_id);
+    span.arg("id", static_cast<std::int64_t>(request->id));
+    span.arg("kind", request->kind == RequestKind::kSequence ? "sequence" : "batch");
     try {
       if (request->kind == RequestKind::kSequence) {
         auto it = streams.find(request->stream_id);
@@ -236,6 +249,7 @@ void Server::worker_loop(int worker_id) {
     } else {
       telemetry_.on_failed(response.total_seconds);
     }
+    span.arg("status", to_string(response.status));
     fulfill(*request, std::move(response));
   }
 }

@@ -17,49 +17,72 @@ constexpr std::size_t kBucketsPerDecade = 20;
 }  // namespace
 
 Telemetry::Telemetry()
-    : latency_hist_(kLatencyLo, kLatencyHi, kBucketsPerDecade),
-      patch_hist_(kLatencyLo, kLatencyHi, kBucketsPerDecade) {}
+    : submitted_(registry_.counter("esca_serve_submitted_total",
+                                   "accepted + rejected submissions")),
+      completed_(registry_.counter("esca_serve_completed_total",
+                                   "requests executed successfully")),
+      shed_(registry_.counter("esca_serve_shed_total",
+                              "requests rejected at admission (queue full/closed)")),
+      expired_(registry_.counter("esca_serve_expired_total",
+                                 "requests whose deadline passed before/mid execution")),
+      failed_(registry_.counter("esca_serve_failed_total", "requests whose execution threw")),
+      frames_(registry_.counter("esca_serve_frames_total",
+                                "frames across completed requests")),
+      dram_bytes_(registry_.counter("esca_serve_dram_bytes_total",
+                                    "modelled DRAM in+out over completed work")),
+      bank_conflict_stalls_(registry_.counter("esca_serve_bank_conflict_stalls_total",
+                                              "modelled buffer bank-conflict stalls")),
+      memory_bound_layers_(registry_.counter("esca_serve_memory_bound_layers_total",
+                                             "executed layers the roofline called memory-bound")),
+      geometry_patches_(registry_.counter("esca_serve_geometry_patches_total",
+                                          "sequence scales advanced by the patch path")),
+      geometry_rebuilds_(registry_.counter("esca_serve_geometry_rebuilds_total",
+                                           "sequence scales that cold-rebuilt")),
+      latency_hist_(registry_.histogram("esca_serve_request_seconds", kLatencyLo, kLatencyHi,
+                                        kBucketsPerDecade, "end-to-end request latency")),
+      patch_hist_(registry_.histogram("esca_serve_patch_seconds", kLatencyLo, kLatencyHi,
+                                      kBucketsPerDecade,
+                                      "per-frame geometry patch wall clock")) {}
 
 void Telemetry::on_submitted() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (!saw_submit_) {
-    first_submit_ = std::chrono::steady_clock::now();
-    saw_submit_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!saw_submit_) {
+      first_submit_ = std::chrono::steady_clock::now();
+      saw_submit_ = true;
+    }
   }
-  ++submitted_;
+  submitted_.inc();
 }
 
-void Telemetry::on_shed() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++shed_;
-}
+void Telemetry::on_shed() { shed_.inc(); }
 
 void Telemetry::on_expired(double queue_seconds) {
+  expired_.inc();
   std::lock_guard<std::mutex> lock(mutex_);
-  ++expired_;
   queue_wait_.add(queue_seconds);
 }
 
 void Telemetry::on_failed(double total_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++failed_;
+  failed_.inc();
   // Failed requests executed too: mean/max and the quantile histogram must
   // describe the same population.
+  latency_hist_.record(total_seconds);
+  std::lock_guard<std::mutex> lock(mutex_);
   latency_.add(total_seconds);
-  latency_hist_.add(total_seconds);
 }
 
 void Telemetry::on_completed(double queue_seconds, double total_seconds, std::size_t frames,
                              const MemoryCounters& mem) {
+  completed_.inc();
+  frames_.inc(static_cast<std::int64_t>(frames));
+  latency_hist_.record(total_seconds);
+  dram_bytes_.inc(mem.dram_bytes);
+  bank_conflict_stalls_.inc(mem.bank_conflict_stalls);
+  memory_bound_layers_.inc(mem.memory_bound_layers);
   std::lock_guard<std::mutex> lock(mutex_);
-  ++completed_;
-  frames_ += static_cast<std::int64_t>(frames);
   queue_wait_.add(queue_seconds);
   latency_.add(total_seconds);
-  latency_hist_.add(total_seconds);
-  dram_bytes_ += mem.dram_bytes;
-  bank_conflict_stalls_ += mem.bank_conflict_stalls;
-  memory_bound_layers_ += mem.memory_bound_layers;
 }
 
 void Telemetry::sample_queue_depth(std::size_t depth) {
@@ -69,48 +92,49 @@ void Telemetry::sample_queue_depth(std::size_t depth) {
 
 void Telemetry::on_sequence_frame(std::size_t patched_scales, std::size_t rebuilt_scales,
                                   double patch_seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  geometry_patches_ += static_cast<std::int64_t>(patched_scales);
-  geometry_rebuilds_ += static_cast<std::int64_t>(rebuilt_scales);
-  if (patched_scales > 0) patch_hist_.add(patch_seconds);
+  geometry_patches_.inc(static_cast<std::int64_t>(patched_scales));
+  geometry_rebuilds_.inc(static_cast<std::int64_t>(rebuilt_scales));
+  if (patched_scales > 0) patch_hist_.record(patch_seconds);
 }
 
 TelemetrySnapshot Telemetry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   TelemetrySnapshot s;
-  s.submitted = submitted_;
-  s.completed = completed_;
-  s.shed = shed_;
-  s.expired = expired_;
-  s.failed = failed_;
-  s.frames = frames_;
-  s.p50_seconds = latency_hist_.quantile(0.50);
-  s.p95_seconds = latency_hist_.quantile(0.95);
-  s.p99_seconds = latency_hist_.quantile(0.99);
+  s.submitted = submitted_.value();
+  s.completed = completed_.value();
+  s.shed = shed_.value();
+  s.expired = expired_.value();
+  s.failed = failed_.value();
+  s.frames = frames_.value();
+  s.dram_bytes = dram_bytes_.value();
+  s.bank_conflict_stalls = bank_conflict_stalls_.value();
+  s.memory_bound_layers = memory_bound_layers_.value();
+  s.geometry_patches = geometry_patches_.value();
+  s.geometry_rebuilds = geometry_rebuilds_.value();
+  const LogHistogram latency_hist = latency_hist_.snapshot();
+  s.p50_seconds = latency_hist.quantile(0.50);
+  s.p95_seconds = latency_hist.quantile(0.95);
+  s.p99_seconds = latency_hist.quantile(0.99);
+  if (s.geometry_patches > 0) {
+    const LogHistogram patch_hist = patch_hist_.snapshot();
+    s.patch_p50_seconds = patch_hist.quantile(0.50);
+    s.patch_p95_seconds = patch_hist.quantile(0.95);
+    s.patch_p99_seconds = patch_hist.quantile(0.99);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   s.mean_seconds = latency_.mean();
   s.max_seconds = latency_.max();
   s.mean_queue_seconds = queue_wait_.mean();
   s.max_queue_seconds = queue_wait_.max();
   s.mean_queue_depth = queue_depth_.mean();
   s.max_queue_depth = queue_depth_.max();
-  s.dram_bytes = dram_bytes_;
-  s.bank_conflict_stalls = bank_conflict_stalls_;
-  s.memory_bound_layers = memory_bound_layers_;
-  s.geometry_patches = geometry_patches_;
-  s.geometry_rebuilds = geometry_rebuilds_;
-  if (geometry_patches_ > 0) {
-    s.patch_p50_seconds = patch_hist_.quantile(0.50);
-    s.patch_p95_seconds = patch_hist_.quantile(0.95);
-    s.patch_p99_seconds = patch_hist_.quantile(0.99);
-  }
   if (saw_submit_) {
     s.elapsed_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - first_submit_)
             .count();
   }
   if (s.elapsed_seconds > 0.0) {
-    s.requests_per_second = static_cast<double>(completed_) / s.elapsed_seconds;
-    s.frames_per_second = static_cast<double>(frames_) / s.elapsed_seconds;
+    s.requests_per_second = static_cast<double>(s.completed) / s.elapsed_seconds;
+    s.frames_per_second = static_cast<double>(s.frames) / s.elapsed_seconds;
   }
   return s;
 }

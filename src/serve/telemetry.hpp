@@ -1,12 +1,21 @@
 // Latency telemetry for the serving layer.
 //
-// Every request outcome is folded into streaming aggregates built from the
-// common/stats primitives: a log-spaced latency histogram (p50/p95/p99 over
-// microseconds-to-seconds without per-request storage), Welford stats for
-// queue wait and queue depth, and plain counters for shed/expired/failed
-// traffic. A Snapshot is a consistent copy taken under the mutex; rendering
-// goes through the same common/table pathway the benches use, and each
-// Response's RunReport still feeds core/report tables/CSV unchanged.
+// Every request outcome is folded into streaming aggregates. Counters and
+// the log-spaced latency histograms live in a per-server obs::Registry —
+// the same cells a scraper reads through registry().to_prometheus() /
+// to_json() — updated through relaxed atomics, so counting a shed request
+// never takes the telemetry mutex. Welford mean/max aggregates (latency,
+// queue wait, queue depth) have no lock-free cell and stay under the
+// mutex. A Snapshot is a consistent copy; its quantiles come from the
+// registry histograms, which share esca::LogHistogram's exact bucket math,
+// so the numbers are identical to the pre-registry implementation.
+// Rendering goes through the same common/table pathway the benches use,
+// and each Response's RunReport still feeds core/report tables/CSV
+// unchanged.
+//
+// The registry is per-Telemetry (therefore per-Server): two servers in one
+// process keep disjoint metric namespaces instead of fighting over global
+// cells.
 #pragma once
 
 #include <chrono>
@@ -15,6 +24,7 @@
 #include <string>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace esca::serve {
 
@@ -89,27 +99,34 @@ class Telemetry {
 
   TelemetrySnapshot snapshot() const;
 
+  /// The metric cells behind snapshot(), for exposition: counters named
+  /// esca_serve_*_total plus the esca_serve_request_seconds /
+  /// esca_serve_patch_seconds histograms. Writers keep running during a
+  /// scrape; totals are exact once they are quiescent.
+  const obs::Registry& registry() const { return registry_; }
+
  private:
+  obs::Registry registry_;
+
+  // Lock-free cells (relaxed atomics in the registry).
+  obs::Counter& submitted_;
+  obs::Counter& completed_;
+  obs::Counter& shed_;
+  obs::Counter& expired_;
+  obs::Counter& failed_;
+  obs::Counter& frames_;
+  obs::Counter& dram_bytes_;
+  obs::Counter& bank_conflict_stalls_;
+  obs::Counter& memory_bound_layers_;
+  obs::Counter& geometry_patches_;
+  obs::Counter& geometry_rebuilds_;
+  obs::HistogramMetric& latency_hist_;
+  obs::HistogramMetric& patch_hist_;
+
+  // Welford aggregates and the epoch need the mutex.
   mutable std::mutex mutex_;
   std::chrono::steady_clock::time_point first_submit_{};
   bool saw_submit_{false};
-
-  std::int64_t submitted_{0};
-  std::int64_t completed_{0};
-  std::int64_t shed_{0};
-  std::int64_t expired_{0};
-  std::int64_t failed_{0};
-  std::int64_t frames_{0};
-
-  std::int64_t dram_bytes_{0};
-  std::int64_t bank_conflict_stalls_{0};
-  std::int64_t memory_bound_layers_{0};
-
-  std::int64_t geometry_patches_{0};
-  std::int64_t geometry_rebuilds_{0};
-
-  LogHistogram latency_hist_;
-  LogHistogram patch_hist_;
   RunningStat latency_;
   RunningStat queue_wait_;
   RunningStat queue_depth_;

@@ -44,8 +44,6 @@ constexpr std::size_t kGatherRows = 128;
 /// must bring at least this many MACs to pay for its wakeup.
 constexpr std::int64_t kMinMacsPerThread = 1 << 21;
 
-std::atomic<std::uint64_t> g_arena_grows{0};
-std::atomic<std::uint64_t> g_fallback_buckets{0};
 
 int default_threads() {
   static const int cached = [] {
@@ -327,7 +325,7 @@ std::byte* ScratchArena::raw_take(std::size_t bytes, std::size_t align) {
   // true total demand.
   overflow_.push_back(std::make_unique<std::byte[]>(bytes + align));
   ++grows_;
-  g_arena_grows.fetch_add(1, std::memory_order_relaxed);
+  compute_arena_grows_counter().inc();
   used_ = aligned + bytes;
   std::byte* raw = overflow_.back().get();
   const auto addr = reinterpret_cast<std::uintptr_t>(raw);
@@ -339,7 +337,7 @@ void ScratchArena::reset() {
     slab_ = std::make_unique<std::byte[]>(high_water_);
     slab_bytes_ = high_water_;
     ++grows_;
-    g_arena_grows.fetch_add(1, std::memory_order_relaxed);
+    compute_arena_grows_counter().inc();
   }
   overflow_.clear();
   used_ = 0;
@@ -354,14 +352,29 @@ int resolve_compute_threads(int requested) {
   return default_threads();
 }
 
-std::uint64_t compute_arena_grows() { return g_arena_grows.load(std::memory_order_relaxed); }
+obs::Counter& compute_arena_grows_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_compute_arena_grows_total", "ScratchArena heap allocations (every arena)");
+  return counter;
+}
+
+obs::Counter& compute_fallback_buckets_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_compute_fallback_buckets_total",
+      "per-call rule bucketings instead of geometry-cached replays");
+  return counter;
+}
+
+std::uint64_t compute_arena_grows() {
+  return static_cast<std::uint64_t>(compute_arena_grows_counter().value());
+}
 
 std::uint64_t compute_fallback_buckets() {
-  return g_fallback_buckets.load(std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(compute_fallback_buckets_counter().value());
 }
 
 BlockedRuleBook bucket_on_the_fly(const RuleBook& rulebook, std::size_t num_out_rows) {
-  g_fallback_buckets.fetch_add(1, std::memory_order_relaxed);
+  compute_fallback_buckets_counter().inc();
   return BlockedRuleBook(rulebook, num_out_rows);
 }
 

@@ -41,6 +41,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sparse/rulebook.hpp"
 #include "sparse/sparse_tensor.hpp"
 
@@ -104,12 +105,18 @@ struct ComputeOptions {
 int resolve_compute_threads(int requested);
 
 /// Process-wide count of ScratchArena heap allocations (every arena).
+/// Back-compat shim over registry counter `esca_compute_arena_grows_total`.
 std::uint64_t compute_arena_grows();
 
 /// Process-wide count of on-the-fly rule bucketings: a plain-RuleBook entry
 /// point had to build a BlockedRuleBook per call instead of replaying a
-/// geometry-cached one. Steady-state serving must keep this flat.
+/// geometry-cached one. Steady-state serving must keep this flat. Shim over
+/// registry counter `esca_compute_fallback_buckets_total`.
 std::uint64_t compute_fallback_buckets();
+
+/// The registry cells behind the shims above (obs::CounterGuard baselines).
+obs::Counter& compute_arena_grows_counter();
+obs::Counter& compute_fallback_buckets_counter();
 
 /// Bucket a plain rulebook per call (counted by compute_fallback_buckets()).
 /// Hot paths replay LayerGeometry::blocked instead.

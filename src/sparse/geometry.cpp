@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "voxel/morton.hpp"
 
 // Compile-time default shard count: -1 = auto (environment override, then
@@ -22,9 +23,6 @@ namespace {
 
 constexpr bool kThreadingEnabled = (ESCA_GEOMETRY_THREADS != 0);
 constexpr int kMaxShards = 64;
-
-std::atomic<std::uint64_t> g_geometry_builds{0};
-std::atomic<std::uint64_t> g_geometry_transposes{0};
 
 int default_shards() {
   static const int cached = [] {
@@ -123,10 +121,24 @@ bool geometry_equal(const LayerGeometry& a, const LayerGeometry& b) {
   return true;
 }
 
-std::uint64_t geometry_builds() { return g_geometry_builds.load(std::memory_order_relaxed); }
+obs::Counter& geometry_builds_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_geometry_builds_total", "cold geometry builds (submanifold/downsample/inverse)");
+  return counter;
+}
+
+obs::Counter& geometry_transposes_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_geometry_transposes_total", "inverse geometries derived by rulebook transpose");
+  return counter;
+}
+
+std::uint64_t geometry_builds() {
+  return static_cast<std::uint64_t>(geometry_builds_counter().value());
+}
 
 std::uint64_t geometry_transposes() {
-  return g_geometry_transposes.load(std::memory_order_relaxed);
+  return static_cast<std::uint64_t>(geometry_transposes_counter().value());
 }
 
 int resolve_geometry_shards(int requested) {
@@ -179,7 +191,10 @@ LayerGeometry build_submanifold_geometry(const SparseTensor& input, int kernel_s
                                          const GeometryOptions& options) {
   ESCA_REQUIRE(kernel_size % 2 == 1, "submanifold convolution requires odd kernel size, got "
                                          << kernel_size);
-  g_geometry_builds.fetch_add(1, std::memory_order_relaxed);
+  geometry_builds_counter().inc();
+  obs::Span span("sparse.build_geometry");
+  span.arg("kind", "submanifold");
+  span.arg("sites", input.size());
   const int k = kernel_size;
   const int volume = k * k * k;
   LayerGeometry g(GeometryKind::kSubmanifold, k, 1, input.zeros_like(1));
@@ -224,7 +239,10 @@ LayerGeometry build_downsample_geometry(const SparseTensor& input, int kernel_si
                                         const GeometryOptions& options) {
   ESCA_REQUIRE(kernel_size >= 1, "kernel size must be >= 1");
   ESCA_REQUIRE(stride >= 1, "stride must be >= 1");
-  g_geometry_builds.fetch_add(1, std::memory_order_relaxed);
+  geometry_builds_counter().inc();
+  obs::Span span("sparse.build_geometry");
+  span.arg("kind", "downsample");
+  span.arg("sites", input.size());
   const int k = kernel_size;
   const int volume = k * k * k;
 
@@ -298,7 +316,10 @@ LayerGeometry build_inverse_geometry(const SparseTensor& input, const SparseTens
                                      int kernel_size, int stride,
                                      const GeometryOptions& options) {
   ESCA_REQUIRE(kernel_size >= 1 && stride >= 1, "bad inverse-conv geometry");
-  g_geometry_builds.fetch_add(1, std::memory_order_relaxed);
+  geometry_builds_counter().inc();
+  obs::Span span("sparse.build_geometry");
+  span.arg("kind", "inverse");
+  span.arg("sites", input.size());
   const int k = kernel_size;
   const int volume = k * k * k;
   LayerGeometry g(GeometryKind::kInverse, k, stride, input.zeros_like(1));
@@ -370,7 +391,7 @@ LayerGeometry transpose_downsample_geometry(const LayerGeometry& down,
                  "target row " << r << " is " << target.coord(r)
                                << ", downsample input row is " << down.sites.coord(r));
   }
-  g_geometry_transposes.fetch_add(1, std::memory_order_relaxed);
+  geometry_transposes_counter().inc();
 
   LayerGeometry g(GeometryKind::kInverse, down.kernel_size, down.stride,
                   coarse.zeros_like(1));

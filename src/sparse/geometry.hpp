@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/metrics.hpp"
 #include "sparse/rulebook.hpp"
 #include "sparse/sparse_tensor.hpp"
 
@@ -150,11 +151,19 @@ bool geometry_equal(const LayerGeometry& a, const LayerGeometry& b);
 /// Process-wide count of geometry builds (any kind). Monotonic; tests use
 /// it to prove that steady-state frames replay cached geometry instead of
 /// rebuilding it. Rulebook transposes are NOT builds — they are counted by
-/// geometry_transposes().
+/// geometry_transposes(). Back-compat shim over the obs registry counter
+/// `esca_geometry_builds_total` (see geometry_builds_counter()).
 std::uint64_t geometry_builds();
 
-/// Process-wide count of transpose-derived geometries.
+/// Process-wide count of transpose-derived geometries (registry counter
+/// `esca_geometry_transposes_total`).
 std::uint64_t geometry_transposes();
+
+/// The registry cells behind the shims above — scope test baselines with
+/// obs::CounterGuard(geometry_builds_counter()) instead of hand-copied
+/// before/after snapshots.
+obs::Counter& geometry_builds_counter();
+obs::Counter& geometry_transposes_counter();
 
 /// The shard count a build with `requested` shards would actually use
 /// (0 = resolve the default; see GeometryOptions::shards).

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace esca::stream {
 
@@ -54,6 +55,10 @@ FrameDelta diff_frames(const sparse::SparseTensor& prev, const sparse::SparseTen
   ESCA_REQUIRE(prev.spatial_extent() == next.spatial_extent(),
                "cannot diff frames over different extents: " << prev.spatial_extent() << " vs "
                                                              << next.spatial_extent());
+  obs::Span span("stream.diff_frames");
+  span.arg("prev_sites", prev.size());
+  span.arg("next_sites", next.size());
+
   FrameDelta delta;
   delta.old_to_new.assign(prev.size(), -1);
   delta.new_to_old.assign(next.size(), -1);

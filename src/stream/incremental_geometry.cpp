@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 #include "voxel/morton.hpp"
 
 namespace esca::stream {
@@ -142,6 +143,11 @@ sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& pr
   const int k = prev.kernel_size;
   const int volume = k * k * k;
 
+  obs::Span span("stream.patch_geometry");
+  span.arg("sites", next.size());
+  span.arg("added", delta.added.size());
+  span.arg("removed", delta.removed.size());
+
   sparse::LayerGeometry g(sparse::GeometryKind::kSubmanifold, k, 1, next.zeros_like(1));
 
   // Compact both indexes on the calling thread; every worker read below is
@@ -155,6 +161,7 @@ sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& pr
   }
 
   const int shards = patch_shards(options, next.size());
+  span.arg("shards", shards);
   if (shards <= 1) {
     // Serial patch: one pass, rules written straight into the rulebook.
     std::vector<std::uint64_t> code_of(next.size());
@@ -325,6 +332,19 @@ IncrementalGeometry::IncrementalGeometry(IncrementalGeometryConfig config)
                "incremental geometry requires an odd kernel, got " << config_.kernel_size);
 }
 
+obs::Counter& stream_geometry_patches_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_stream_geometry_patches_total", "frames advanced by the incremental patch path");
+  return counter;
+}
+
+obs::Counter& stream_geometry_rebuilds_counter() {
+  static obs::Counter& counter = obs::Registry::global().counter(
+      "esca_stream_geometry_rebuilds_total",
+      "cold stream rebuilds (first frame, extent change or churn fallback)");
+  return counter;
+}
+
 GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame) {
   if (current_ != nullptr && current_->sites.spatial_extent() == frame.spatial_extent()) {
     return update(frame, diff_frames(current_->sites, frame, config_.geometry));
@@ -337,6 +357,7 @@ GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame) {
   out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   out.shards = sparse::pick_geometry_shards(config_.geometry, frame.size());
   ++rebuilds_;
+  stream_geometry_rebuilds_counter().inc();
   out.geometry = current_;
   return out;
 }
@@ -354,11 +375,13 @@ GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame,
     current_ = std::make_shared<const sparse::LayerGeometry>(
         patch_submanifold_geometry(*current_, frame, delta, config_.geometry));
     ++patches_;
+    stream_geometry_patches_counter().inc();
     out.patched = true;
     out.shards = patch_shards(config_.geometry, frame.size());
   } else {
     current_ = sparse::make_submanifold_geometry(frame, config_.kernel_size, config_.geometry);
     ++rebuilds_;
+    stream_geometry_rebuilds_counter().inc();
     out.shards = sparse::pick_geometry_shards(config_.geometry, frame.size());
   }
   out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

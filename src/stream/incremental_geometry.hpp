@@ -86,6 +86,14 @@ sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& pr
 /// fans out to (1 when ESCA_GEOMETRY_THREADS=0 compiled threading out).
 int patch_shards(const sparse::GeometryOptions& options, std::size_t sites);
 
+/// Process-wide registry counters aggregating every IncrementalGeometry in
+/// the process: `esca_stream_geometry_patches_total` counts frames advanced
+/// by the incremental patch path, `esca_stream_geometry_rebuilds_total`
+/// counts cold rebuilds (first frame, extent change, or churn fallback).
+/// Per-instance counts stay on IncrementalGeometry::patches()/rebuilds().
+obs::Counter& stream_geometry_patches_counter();
+obs::Counter& stream_geometry_rebuilds_counter();
+
 /// Per-layer incremental state across an ordered frame sequence. Feed the
 /// frames in order; each update() returns the frame's geometry, patched
 /// from the previous frame whenever the churn threshold allows.

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 #include "voxel/morton.hpp"
 
 namespace esca::stream {
@@ -37,6 +38,10 @@ SequenceFrameResult SequenceSession::advance(const sparse::SparseTensor& frame,
                                              const runtime::RunOptions& options) {
   if (frame_id.empty()) frame_id = str::format("stream%zu", frames_);
 
+  obs::Span advance_span("stream.advance");
+  advance_span.arg("frame", frames_);
+  advance_span.arg("scales", scales_.size());
+
   SequenceFrameResult result;
   result.stats.scales.reserve(scales_.size());
   result.geometries.reserve(scales_.size());
@@ -49,11 +54,15 @@ SequenceFrameResult SequenceSession::advance(const sparse::SparseTensor& frame,
     const sparse::LayerGeometryPtr prev = scales_[s].current();
     const bool diffable =
         prev != nullptr && prev->sites.spatial_extent() == cur.spatial_extent();
+    obs::Span scale_span("stream.scale");
+    scale_span.arg("scale", s);
     FrameDelta delta;
     if (diffable) delta = diff_frames(prev->sites, cur, config_.geometry);
 
     const GeometryUpdate upd =
         diffable ? scales_[s].update(cur, delta) : scales_[s].update(cur);
+    scale_span.arg("patched", static_cast<std::int64_t>(upd.patched));
+    scale_span.arg("shards", upd.shards);
     result.stats.scales.push_back(
         ScaleUpdate{upd.sites, upd.added, upd.removed, upd.patched, upd.seconds, upd.shards});
     result.geometries.push_back(upd.geometry);

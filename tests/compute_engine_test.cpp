@@ -267,17 +267,17 @@ TEST(ComputeEngineTest, QuantForwardCachesGeometryOnTheTensor) {
   const SparseTensor x = dense_rows_tensor(120, 3, rng);
   quant::QSparseTensor qx = quant::QSparseTensor::from_float(x, quant::QuantParams{0.01F});
 
-  const std::uint64_t builds_before = geometry_builds();
+  const obs::CounterGuard builds(geometry_builds_counter());
   const quant::QSparseTensor y1 = q.forward(qx);
-  EXPECT_EQ(geometry_builds(), builds_before + 1);  // first call builds...
+  EXPECT_EQ(builds.delta(), 1);  // first call builds...
   const quant::QSparseTensor y2 = q.forward(qx);
-  EXPECT_EQ(geometry_builds(), builds_before + 1);  // ...repeat calls replay
+  EXPECT_EQ(builds.delta(), 1);  // ...repeat calls replay
   EXPECT_TRUE(y1 == y2);
 
   // Mutating the coordinate set invalidates the cache.
   qx.add_site({63, 63, 63});
   (void)q.forward(qx);
-  EXPECT_EQ(geometry_builds(), builds_before + 2);
+  EXPECT_EQ(builds.delta(), 2);
 }
 
 TEST(ComputeEngineTest, SteadyStateSessionSubmitDoesNotAllocateInApplyPath) {
@@ -298,12 +298,12 @@ TEST(ComputeEngineTest, SteadyStateSessionSubmitDoesNotAllocateInApplyPath) {
 
   // Warmup: the backend's arena grows to the largest layer once.
   (void)session.submit(runtime::FrameBatch::replay(2));
-  const std::uint64_t grows = compute_arena_grows();
-  const std::uint64_t buckets = compute_fallback_buckets();
+  const obs::CounterGuard grows(compute_arena_grows_counter());
+  const obs::CounterGuard buckets(compute_fallback_buckets_counter());
   (void)session.submit(runtime::FrameBatch::replay(4));
-  EXPECT_EQ(compute_arena_grows(), grows)
+  EXPECT_EQ(grows.delta(), 0)
       << "steady-state frames must not grow any compute arena";
-  EXPECT_EQ(compute_fallback_buckets(), buckets)
+  EXPECT_EQ(buckets.delta(), 0)
       << "steady-state frames must replay geometry-cached buckets, not re-bucket";
 }
 

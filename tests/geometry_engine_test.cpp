@@ -270,7 +270,7 @@ TEST(GeometryEngineTest, MacsScaleWithChannels) {
 TEST(GeometryEngineTest, BuildCounterCountsEveryBuild) {
   Rng rng(84);
   const auto t = test::random_sparse_tensor({10, 10, 10}, 1, 0.08, rng);
-  const std::uint64_t before = geometry_builds();
+  const obs::CounterGuard builds(geometry_builds_counter());
   (void)build_submanifold_geometry(t, 3);
   (void)build_downsample_geometry(t, 2, 2);
   const auto fine = t;
@@ -278,7 +278,7 @@ TEST(GeometryEngineTest, BuildCounterCountsEveryBuild) {
   SparseTensor coarse(down.out_extent, 1);
   for (const Coord3& c : down.out_coords) coarse.add_site(c);
   (void)build_inverse_geometry(coarse, fine, 2, 2);
-  EXPECT_EQ(geometry_builds(), before + 4);  // 3 direct + 1 via the wrapper
+  EXPECT_EQ(builds.delta(), 4);  // 3 direct + 1 via the wrapper
 }
 
 TEST(GeometryEngineTest, ResolveShardsHonorsRequest) {
@@ -298,11 +298,11 @@ TEST(GeometryEngineTest, TransposedInverseIsBitIdenticalToDirectBuild) {
     for (const Coord3& c : down.out_coords) coarse.add_site(c);
 
     const LayerGeometry direct = build_inverse_geometry(coarse, fine, k, stride);
-    const std::uint64_t builds_before = geometry_builds();
-    const std::uint64_t transposes_before = geometry_transposes();
+    const obs::CounterGuard builds(geometry_builds_counter());
+    const obs::CounterGuard transposes(geometry_transposes_counter());
     const LayerGeometry transposed = transpose_downsample_geometry(down, coarse, fine);
-    EXPECT_EQ(geometry_builds(), builds_before);  // a transpose is not a build
-    EXPECT_EQ(geometry_transposes(), transposes_before + 1);
+    EXPECT_EQ(builds.delta(), 0);  // a transpose is not a build
+    EXPECT_EQ(transposes.delta(), 1);
 
     EXPECT_EQ(transposed.kind, GeometryKind::kInverse);
     EXPECT_EQ(transposed.kernel_size, direct.kernel_size);
@@ -342,12 +342,12 @@ TEST(GeometryEngineTest, UNetForwardDerivesInverseGeometryByTranspose) {
   cfg.reps_per_level = 1;
   const nn::SSUNet net(cfg, 11);
 
-  const std::uint64_t builds_before = geometry_builds();
-  const std::uint64_t transposes_before = geometry_transposes();
+  const obs::CounterGuard builds(geometry_builds_counter());
+  const obs::CounterGuard transposes(geometry_transposes_counter());
   (void)net.forward(x);
-  const auto levels = static_cast<std::uint64_t>(cfg.levels);
-  EXPECT_EQ(geometry_builds() - builds_before, levels + (levels - 1));
-  EXPECT_EQ(geometry_transposes() - transposes_before, levels - 1);
+  const auto levels = static_cast<std::int64_t>(cfg.levels);
+  EXPECT_EQ(builds.delta(), levels + (levels - 1));
+  EXPECT_EQ(transposes.delta(), levels - 1);
 }
 
 TEST(GeometryEngineTest, UNetTraceSharesOneGeometryPerScale) {

@@ -98,7 +98,7 @@ TEST(RuntimeGeometryCacheTest, FramesReplayPlanCachedGeometryOnEveryBackend) {
   std::vector<quant::QSparseTensor> esca_outputs;
   std::vector<quant::QSparseTensor> cpu_outputs;
 
-  const std::uint64_t builds_before = sparse::geometry_builds();
+  const obs::CounterGuard builds(sparse::geometry_builds_counter());
   for (const auto kind : {BackendKind::kEsca, BackendKind::kCpu, BackendKind::kDense}) {
     RuntimeConfig cfg;
     cfg.backend = kind;
@@ -109,7 +109,7 @@ TEST(RuntimeGeometryCacheTest, FramesReplayPlanCachedGeometryOnEveryBackend) {
     if (kind == BackendKind::kCpu) cpu_outputs = report.frames[1].outputs;
   }
   // Two frames on each of the three backends: zero geometry rebuilds.
-  EXPECT_EQ(sparse::geometry_builds(), builds_before);
+  EXPECT_EQ(builds.delta(), 0);
 
   ASSERT_EQ(esca_outputs.size(), plan.layer_count());
   ASSERT_EQ(cpu_outputs.size(), plan.layer_count());

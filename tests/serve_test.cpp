@@ -196,7 +196,7 @@ TEST(ServeServerTest, ConcurrentClientsBitIdenticalToSequentialSession) {
   }
   for (std::thread& t : clients) t.join();
 
-  const std::uint64_t builds_before = sparse::geometry_builds();
+  const obs::CounterGuard builds(sparse::geometry_builds_counter());
   for (auto& future : futures) {
     const Response response = future.get();
     ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
@@ -212,7 +212,7 @@ TEST(ServeServerTest, ConcurrentClientsBitIdenticalToSequentialSession) {
     }
   }
   // Every worker replayed the Plan-cached geometry — zero rebuilds.
-  EXPECT_EQ(sparse::geometry_builds(), builds_before);
+  EXPECT_EQ(builds.delta(), 0);
 
   const TelemetrySnapshot s = server.telemetry_snapshot();
   EXPECT_EQ(s.completed, kClients * kRequestsPerClient);

@@ -276,6 +276,10 @@ TEST(StreamIncrementalGeometryTest, ChurnFallbackRebuildsColdly) {
   Rng rng(21);
   SparseTensor frame = test::random_sparse_tensor({16, 16, 16}, 1, 0.08, rng);
   IncrementalGeometry inc({.kernel_size = 3, .rebuild_fraction = 0.05});
+  // The process-wide registry counters move in lockstep with the
+  // per-instance tallies.
+  const obs::CounterGuard global_patches(stream_geometry_patches_counter());
+  const obs::CounterGuard global_rebuilds(stream_geometry_rebuilds_counter());
   (void)inc.update(frame);
   EXPECT_EQ(inc.rebuilds(), 1U);
 
@@ -302,6 +306,9 @@ TEST(StreamIncrementalGeometryTest, ChurnFallbackRebuildsColdly) {
   const GeometryUpdate resized = inc.update(regrid);
   EXPECT_FALSE(resized.patched);
   EXPECT_EQ(inc.rebuilds(), 3U);
+
+  EXPECT_EQ(global_patches.delta(), static_cast<std::int64_t>(inc.patches()));
+  EXPECT_EQ(global_rebuilds.delta(), static_cast<std::int64_t>(inc.rebuilds()));
 }
 
 TEST(StreamIncrementalGeometryTest, RebuildFractionEnvKnob) {
