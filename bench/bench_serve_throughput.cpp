@@ -17,9 +17,17 @@
 // pass as Chrome trace-event JSON for Perfetto / chrome://tracing;
 // max_overhead_pct (default 5) fails the bench when tracing costs more.
 //
+// Chaos mode: faults=<spec> arms the esca::fault injector (see
+// fault/injector.hpp for the spec grammar) for the whole run, retries=N
+// wraps closed-loop submissions in a serve::RetryPolicy with N attempts,
+// and brownout=1 enables the overload brown-out. The BENCH line then
+// reports failed/retried/brownout_sheds so chaos throughput is trackable;
+// the tracer-overhead gate is skipped (injected delays would drown it).
+//
 // Usage: bench_serve_throughput [workers=4] [requests=64] [queue=64]
 //          [clients=8] [frames=1] [resolution=64] [mode=closed] [rate=0]
 //          [backend=esca] [verify=1] [trace=] [max_overhead_pct=5]
+//          [faults=] [retries=1] [brownout=0]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -34,6 +42,7 @@
 #include "common/config.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
+#include "fault/fault.hpp"
 #include "nn/submanifold_conv.hpp"
 #include "obs/obs.hpp"
 #include "serve/serve.hpp"
@@ -58,10 +67,20 @@ int main(int argc, char** argv) {
   const std::string trace_path = args.get_string("trace", "");
   const double max_overhead_pct = args.get_double("max_overhead_pct", 5.0);
   const int reps = static_cast<int>(args.get_int("reps", 3));
+  const std::string faults = args.get_string("faults", "");
+  const int retries = static_cast<int>(args.get_int("retries", 1));
+  const bool brownout = args.get_bool("brownout", false);
 
   if (mode != "closed" && mode != "open") {
     std::fprintf(stderr, "unknown mode '%s' (want closed|open)\n", mode.c_str());
     return 1;
+  }
+  if (!faults.empty()) {
+#if ESCA_FAULT
+    fault::Injector::global().configure(faults);  // armed for the whole run
+#else
+    std::fprintf(stderr, "faults= ignored: binary built with -DESCA_FAULT=0\n");
+#endif
   }
 
   std::printf("ESCA bench: serve throughput — %d workers, %d requests (%s loop)\n\n", workers,
@@ -77,6 +96,7 @@ int main(int argc, char** argv) {
   serve::ServerConfig cfg;
   cfg.workers = workers;
   cfg.queue_capacity = queue;
+  cfg.brownout.enabled = brownout;
   cfg.runtime.backend = runtime::parse_backend_kind(args.get_string("backend", "esca"));
   runtime::Engine compiler{cfg.runtime};
   const runtime::PlanPtr plan =
@@ -95,11 +115,17 @@ int main(int argc, char** argv) {
       std::vector<std::thread> pool;
       pool.reserve(static_cast<std::size_t>(clients));
       std::atomic<int> remaining{requests};
+      serve::RetryPolicy retry_policy;
+      retry_policy.max_attempts = retries;
       for (int c = 0; c < clients; ++c) {
         pool.emplace_back([&] {
           serve::Client client = server.client();
           while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
-            (void)client.submit_sync(batch, submit);
+            if (retries > 1) {
+              (void)client.submit_with_retry(batch, submit, retry_policy);
+            } else {
+              (void)client.submit_sync(batch, submit);
+            }
           }
         });
       }
@@ -165,15 +191,20 @@ int main(int argc, char** argv) {
   std::printf(
       "\nBENCH {\"bench\":\"serve_throughput\",\"mode\":\"%s\",\"workers\":%d,"
       "\"requests\":%d,\"completed\":%lld,\"shed\":%lld,\"expired\":%lld,"
+      "\"failed\":%lld,\"retried\":%lld,\"brownout_sheds\":%lld,"
       "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
       "\"mean_queue_ms\":%.4f,\"throughput_rps\":%.2f,\"frames_per_s\":%.2f,"
       "\"trace_events\":%zu,\"obs_overhead_pct\":%.2f}\n",
       mode.c_str(), workers, requests, static_cast<long long>(s.completed),
-      static_cast<long long>(s.shed), static_cast<long long>(s.expired), s.p50_seconds * 1e3,
-      s.p95_seconds * 1e3, s.p99_seconds * 1e3, s.mean_queue_seconds * 1e3,
-      s.requests_per_second, s.frames_per_second, trace_events, overhead_pct);
+      static_cast<long long>(s.shed), static_cast<long long>(s.expired),
+      static_cast<long long>(s.failed), static_cast<long long>(s.retries),
+      static_cast<long long>(s.brownout_sheds), s.p50_seconds * 1e3, s.p95_seconds * 1e3,
+      s.p99_seconds * 1e3, s.mean_queue_seconds * 1e3, s.requests_per_second,
+      s.frames_per_second, trace_events, overhead_pct);
 
-  if (max_overhead_pct > 0.0 && overhead_pct > max_overhead_pct) {
+  // Injected faults and delays would drown the tracer in the comparison, so
+  // the overhead gate only applies to fault-free runs.
+  if (faults.empty() && max_overhead_pct > 0.0 && overhead_pct > max_overhead_pct) {
     std::fprintf(stderr, "FAIL: tracing overhead %.2f%% exceeds max_overhead_pct=%.2f\n",
                  overhead_pct, max_overhead_pct);
     return 1;

@@ -1,0 +1,4 @@
+// Umbrella header for esca::fault — deterministic fault injection.
+#pragma once
+
+#include "fault/injector.hpp"  // IWYU pragma: export

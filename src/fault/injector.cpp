@@ -1,0 +1,299 @@
+#include "fault/injector.hpp"
+
+#if ESCA_FAULT
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/strings.hpp"
+#include "obs/obs.hpp"
+
+namespace esca::fault {
+
+namespace {
+
+/// SplitMix64 — the per-call probability decision hash64(seed, site, n).
+/// A pure function of its inputs: schedules replay identically across runs
+/// and are independent of thread interleaving across sites.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// One armed schedule (parsed from a "pattern:key=value,..." spec entry).
+struct Schedule {
+  std::string pattern;       ///< exact name, "prefix.*" or "*"
+  double probability{-1.0};  ///< -1 = not given (fires every call unless nth)
+  std::uint64_t nth{0};      ///< 1-based call that fires; 0 = off
+  std::int64_t max_fires{-1};  ///< -1 = unlimited
+  double delay_ms{0.0};
+  bool nonstd{false};
+
+  /// Specificity for site resolution: exact > longest prefix > "*".
+  int specificity() const {
+    if (pattern == "*") return 0;
+    if (pattern.size() >= 2 && pattern.ends_with(".*")) {
+      return 1 + static_cast<int>(pattern.size());
+    }
+    return 1 << 20;
+  }
+
+  bool matches(const std::string& site) const {
+    if (pattern == "*") return true;
+    if (pattern.ends_with(".*")) {
+      return str::starts_with(site, std::string_view(pattern).substr(0, pattern.size() - 1));
+    }
+    return pattern == site;
+  }
+};
+
+Schedule parse_entry(const std::string& entry) {
+  const std::size_t colon = entry.find(':');
+  ESCA_REQUIRE(colon != std::string::npos && colon > 0,
+               "fault spec entry '" << entry << "' is not 'site:schedule'");
+  Schedule sched;
+  sched.pattern = str::trim(entry.substr(0, colon));
+  ESCA_REQUIRE(!sched.pattern.empty(), "fault spec entry '" << entry << "' has an empty site");
+  for (const std::string& field_raw : str::split(entry.substr(colon + 1), ',')) {
+    const std::string field = str::trim(field_raw);
+    if (field.empty()) continue;
+    const std::size_t eq = field.find('=');
+    const std::string key = field.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : field.substr(eq + 1);
+    char* end = nullptr;
+    if (key == "p") {
+      sched.probability = std::strtod(value.c_str(), &end);
+      ESCA_REQUIRE(end != value.c_str() && *end == '\0' && sched.probability >= 0.0 &&
+                       sched.probability <= 1.0,
+                   "fault spec p='" << value << "' is not a probability in [0, 1]");
+    } else if (key == "nth") {
+      const long long n = std::strtoll(value.c_str(), &end, 10);
+      ESCA_REQUIRE(end != value.c_str() && *end == '\0' && n >= 1,
+                   "fault spec nth='" << value << "' is not a call index >= 1");
+      sched.nth = static_cast<std::uint64_t>(n);
+    } else if (key == "max") {
+      const long long n = std::strtoll(value.c_str(), &end, 10);
+      ESCA_REQUIRE(end != value.c_str() && *end == '\0' && n >= 1,
+                   "fault spec max='" << value << "' is not a fire cap >= 1");
+      sched.max_fires = n;
+    } else if (key == "delay_ms") {
+      sched.delay_ms = std::strtod(value.c_str(), &end);
+      ESCA_REQUIRE(end != value.c_str() && *end == '\0' && sched.delay_ms >= 0.0,
+                   "fault spec delay_ms='" << value << "' is not a delay >= 0");
+    } else if (key == "once") {
+      ESCA_REQUIRE(value.empty(), "fault spec 'once' takes no value");
+      sched.max_fires = 1;
+    } else if (key == "nonstd") {
+      ESCA_REQUIRE(value.empty(), "fault spec 'nonstd' takes no value");
+      sched.nonstd = true;
+    } else {
+      ESCA_REQUIRE(false, "unknown fault spec key '" << key << "' in '" << entry << "'");
+    }
+  }
+  return sched;
+}
+
+}  // namespace
+
+/// Per-site runtime state: the resolved schedule plus atomic call/fire
+/// counters (the probability decision is counter-hash based, so concurrent
+/// calls of one site need no lock beyond the counter fetch_add).
+struct SiteState {
+  const Schedule* schedule{nullptr};  ///< nullptr = no armed pattern matches
+  std::uint64_t name_hash{0};
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> fired{0};
+};
+
+struct Injector::Impl {
+  mutable std::mutex mutex;
+  std::uint64_t seed{0};
+  std::vector<Schedule> schedules;           ///< stable addresses (never shrunk while armed)
+  std::unordered_map<std::string, SiteState> sites;
+  obs::Counter& injected_total = obs::Registry::global().counter(
+      "esca_fault_injected_total", "faults fired by esca::fault::Injector");
+
+  SiteState& site_state(const char* site) {
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = sites.find(site);
+    if (it == sites.end()) {
+      it = sites.try_emplace(site).first;
+      it->second.name_hash = fnv1a(it->first);
+      // Most specific armed pattern wins; ties broken by spec order.
+      const Schedule* best = nullptr;
+      for (const Schedule& s : schedules) {
+        if (s.matches(it->first) && (best == nullptr || s.specificity() > best->specificity())) {
+          best = &s;
+        }
+      }
+      it->second.schedule = best;
+    }
+    return it->second;
+  }
+};
+
+Injector::Impl* Injector::impl() {
+  Impl* existing = impl_.load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  // Intentionally leaked: sites fire from worker threads that may outlive
+  // static destruction order; a leaked Impl can never dangle.
+  Impl* fresh = new Impl();
+  if (impl_.compare_exchange_strong(existing, fresh, std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return existing;
+}
+
+const Injector::Impl* Injector::impl() const {
+  return const_cast<Injector*>(this)->impl();
+}
+
+Injector& Injector::global() {
+  static Injector* instance = [] {
+    auto* injector = new Injector();  // leaked: outlives any worker thread
+    if (const char* env = std::getenv("ESCA_FAULT")) {
+      const std::string spec = str::trim(env);
+      // "0"/"1" are the compile-gate idiom, not schedules; ignore them.
+      if (!spec.empty() && spec != "0" && spec != "1") {
+        try {
+          injector->configure(spec);
+        } catch (const InvalidArgument& e) {
+          // A typo'd chaos spec must not abort the server at first use —
+          // warn loudly and run faultless instead.
+          ESCA_LOG_WARN << "ESCA_FAULT spec rejected: " << e.what();
+        }
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+void Injector::configure(const std::string& spec) {
+  Impl& impl = *this->impl();
+  std::vector<Schedule> schedules;
+  std::uint64_t seed = 0;
+  for (const std::string& entry_raw : str::split(spec, ';')) {
+    const std::string entry = str::trim(entry_raw);
+    if (entry.empty()) continue;
+    if (str::starts_with(entry, "seed=")) {
+      const std::string value = entry.substr(5);
+      char* end = nullptr;
+      const unsigned long long s = std::strtoull(value.c_str(), &end, 10);
+      ESCA_REQUIRE(end != value.c_str() && *end == '\0',
+                   "fault spec seed='" << value << "' is not an integer");
+      seed = s;
+      continue;
+    }
+    schedules.push_back(parse_entry(entry));
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.seed = seed;
+    impl.schedules = std::move(schedules);
+    impl.sites.clear();  // re-resolve patterns and zero call/fire state
+    armed_.store(!impl.schedules.empty(), std::memory_order_release);
+  }
+}
+
+void Injector::reset() { configure(""); }
+
+std::uint64_t Injector::seed() const {
+  const Impl& impl = *this->impl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  return impl.seed;
+}
+
+bool Injector::fire(const char* site) {
+  Impl& impl = *this->impl();
+  SiteState& state = impl.site_state(site);
+  const Schedule* sched = state.schedule;
+  const std::uint64_t call = state.calls.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (sched == nullptr) return false;
+  if (sched->nth != 0) {
+    if (call != sched->nth) return false;
+  } else if (sched->probability >= 0.0) {
+    const std::uint64_t h = mix64(impl.seed ^ state.name_hash ^ call);
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / static_cast<double>(1ULL << 53));
+    if (u >= sched->probability) return false;
+  }
+  // One-shot / capped schedules: claim a fire slot atomically so concurrent
+  // calls never overshoot max_fires.
+  if (sched->max_fires >= 0) {
+    std::uint64_t prior = state.fired.load(std::memory_order_relaxed);
+    do {
+      if (prior >= static_cast<std::uint64_t>(sched->max_fires)) return false;
+    } while (!state.fired.compare_exchange_weak(prior, prior + 1, std::memory_order_relaxed));
+  } else {
+    state.fired.fetch_add(1, std::memory_order_relaxed);
+  }
+  impl.injected_total.inc();
+  if (obs::tracing_enabled()) {
+    obs::Span span("fault.inject");
+    span.arg("site", site);  // literal at every call site
+    span.arg("call", static_cast<std::int64_t>(call));
+  }
+  return true;
+}
+
+void Injector::throw_if_armed(const char* site) {
+  if (!fire(site)) return;
+  const Schedule* sched = impl()->site_state(site).schedule;
+  if (sched != nullptr && sched->delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sched->delay_ms));
+  }
+  if (sched != nullptr && sched->nonstd) throw InjectedFaultNonStd{site};
+  throw InjectedFault(std::string("injected fault at site '") + site + "'");
+}
+
+void Injector::delay_if_armed(const char* site) {
+  if (!fire(site)) return;
+  const Schedule* sched = impl()->site_state(site).schedule;
+  if (sched != nullptr && sched->delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(sched->delay_ms));
+  }
+}
+
+std::uint64_t Injector::calls(const std::string& site) const {
+  const Impl& impl = *this->impl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const auto it = impl.sites.find(site);
+  return it == impl.sites.end() ? 0 : it->second.calls.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::fired(const std::string& site) const {
+  const Impl& impl = *this->impl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  const auto it = impl.sites.find(site);
+  return it == impl.sites.end() ? 0 : it->second.fired.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::total_fired() const {
+  const Impl& impl = *this->impl();
+  std::lock_guard<std::mutex> lock(impl.mutex);
+  std::uint64_t n = 0;
+  for (const auto& site : impl.sites) n += site.second.fired.load(std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace esca::fault
+
+#endif  // ESCA_FAULT

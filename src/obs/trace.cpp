@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "common/strings.hpp"
 
 namespace esca::obs {
@@ -26,9 +27,10 @@ constexpr std::size_t kDefaultCapacity = 1 << 15;
 
 std::size_t buffer_capacity() {
   static const std::size_t cached = [] {
-    if (const char* env = std::getenv("ESCA_TRACE_CAPACITY")) {
-      const long long n = std::atoll(env);
-      if (n >= 64) return std::min<std::size_t>(static_cast<std::size_t>(n), 1 << 24);
+    // Strict parsing (common/env): garbage or a capacity below the 64-event
+    // floor warns and keeps the default instead of silently ignoring it.
+    if (const auto env = env_int("ESCA_TRACE_CAPACITY", 64)) {
+      return std::min<std::size_t>(static_cast<std::size_t>(*env), 1 << 24);
     }
     return kDefaultCapacity;
   }();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 
 namespace esca::runtime {
@@ -108,6 +109,12 @@ FrameReport Backend::run_frame(const Plan& plan, const std::string& frame_id,
                                const RunOptions& options) {
   ESCA_REQUIRE(plan.uid != 0, "plan was not produced by compile()/make_plan()");
   ESCA_REQUIRE(!plan.network.layers.empty(), "plan has no layers to execute");
+  // Chaos sites: artificial execution latency, then an execution failure
+  // (spec `nonstd` throws a non-std::exception type here — the serve worker
+  // catch (...) hardening target). Both fire before execute_frame, so a
+  // failed frame never half-updates backend state or weight residency.
+  fault::maybe_delay("runtime.run.delay");
+  fault::maybe_throw("runtime.run");
   const bool resident = weights_resident_for(plan);
   obs::Span span("runtime.frame");
   span.arg("layers", plan.network.layers.size());

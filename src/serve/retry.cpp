@@ -1,0 +1,46 @@
+#include "serve/retry.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace esca::serve {
+
+namespace {
+
+/// SplitMix64 finalizer — full avalanche, so consecutive attempt numbers
+/// give uncorrelated jitter.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void RetryPolicy::validate() const {
+  ESCA_REQUIRE(max_attempts >= 1, "retry max_attempts must be >= 1, got " << max_attempts);
+  ESCA_REQUIRE(initial_backoff_seconds >= 0.0,
+               "retry initial backoff must be >= 0, got " << initial_backoff_seconds);
+  ESCA_REQUIRE(backoff_multiplier >= 1.0,
+               "retry backoff multiplier must be >= 1, got " << backoff_multiplier);
+  ESCA_REQUIRE(max_backoff_seconds >= initial_backoff_seconds,
+               "retry max backoff " << max_backoff_seconds << " is below the initial backoff "
+                                    << initial_backoff_seconds);
+  ESCA_REQUIRE(jitter >= 0.0 && jitter < 1.0, "retry jitter must be in [0, 1), got " << jitter);
+}
+
+double RetryPolicy::backoff_seconds(int attempt) const {
+  ESCA_REQUIRE(attempt >= 1, "backoff attempt numbers are 1-based, got " << attempt);
+  double base = initial_backoff_seconds;
+  for (int k = 1; k < attempt && base < max_backoff_seconds; ++k) base *= backoff_multiplier;
+  base = std::min(base, max_backoff_seconds);
+  // Map the top 53 bits of the hash to u in [0, 1) — the same construction
+  // fault::Injector uses, a pure function of (seed, attempt).
+  const std::uint64_t h = mix64(seed ^ (static_cast<std::uint64_t>(attempt) * 0xd1342543de82ef95ull));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return base * (1.0 - jitter * u);
+}
+
+}  // namespace esca::serve

@@ -1,0 +1,80 @@
+// Client-side retry with deterministic backoff — the third leg of the
+// serving robustness story (fault injection and worker supervision being
+// the server side).
+//
+// A RetryPolicy re-submits a request whose terminal status is retryable:
+// kShed (the server was momentarily overloaded — backing off and retrying
+// is exactly the right client response to admission control) and kFailed
+// (transient execution faults). kExpired is never retried: the request's
+// own deadline has passed, so a retry could only violate it. kOk is
+// terminal.
+//
+// The backoff schedule is a pure function of (policy, attempt number):
+// exponential growth capped at max_backoff_seconds, scaled by a jitter
+// factor derived by hashing (seed, attempt) — no global RNG, no clock
+// sampling — so the same policy replayed over the same status sequence
+// produces bit-identical wait timelines. Jitter still decorrelates distinct
+// clients: give each its own seed.
+//
+// The retry loop is deadline-aware end to end: the submit timeout is the
+// TOTAL budget across all attempts. Each attempt is submitted with the
+// budget remaining at that instant (so the server-side deadline agrees with
+// the client-side one), and a backoff that would sleep past the deadline
+// aborts the loop instead (deadline_exhausted) — a retry never fires after
+// the deadline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace esca::serve {
+
+/// When and how long to back off between attempts. Defaults give three
+/// attempts spanning ~3 ms of backoff — tune to the workload's latency
+/// scale.
+struct RetryPolicy {
+  /// Total attempts including the first (>= 1; 1 = no retries).
+  int max_attempts{3};
+  /// Backoff before the first retry (>= 0).
+  double initial_backoff_seconds{0.001};
+  /// Growth factor per further retry (>= 1).
+  double backoff_multiplier{2.0};
+  /// Ceiling on any single backoff.
+  double max_backoff_seconds{0.250};
+  /// Jitter fraction in [0, 1): attempt k sleeps base_k * (1 - jitter * u_k)
+  /// with u_k in [0, 1) hashed from (seed, k) alone.
+  double jitter{0.1};
+  /// Jitter seed — give each client its own to decorrelate retry storms.
+  std::uint64_t seed{0};
+
+  /// kShed and kFailed retry; kOk and kExpired are terminal.
+  bool retryable(RequestStatus status) const {
+    return status == RequestStatus::kShed || status == RequestStatus::kFailed;
+  }
+
+  /// The backoff slept after attempt `attempt` (1-based). Deterministic:
+  /// depends on this policy and `attempt` only.
+  double backoff_seconds(int attempt) const;
+
+  /// Throws InvalidArgument on out-of-range fields.
+  void validate() const;
+};
+
+/// Outcome of a submit_with_retry call.
+struct RetryResult {
+  Response response;  ///< the final attempt's response
+  int attempts{1};    ///< attempts actually submitted
+  /// The backoffs actually slept, in order (attempts - 1 entries, fewer
+  /// when the deadline cut the loop short).
+  std::vector<double> backoffs;
+  /// True when a retry was warranted but the remaining deadline budget
+  /// could not cover the backoff — the loop stopped instead of retrying
+  /// past the deadline.
+  bool deadline_exhausted{false};
+
+  bool ok() const { return response.ok(); }
+};
+
+}  // namespace esca::serve

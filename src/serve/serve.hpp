@@ -2,13 +2,16 @@
 // serving over the runtime layer:
 //
 //   Server    — worker pool, one Backend+Session replica per worker over a
-//               shared Plan, bounded priority queue with admission control
-//   Client    — submission handle returning future<Response>
+//               shared Plan, bounded priority queue with admission control,
+//               worker supervision, stream quarantine and brown-out
+//   Client    — submission handle returning future<Response>, with
+//               deadline-aware retries (submit_with_retry)
 //   Telemetry — streaming latency percentiles, queue depth, shed counts
 //
 // See server.hpp for the architecture sketch.
 #pragma once
 
 #include "serve/request_queue.hpp"  // IWYU pragma: export
+#include "serve/retry.hpp"          // IWYU pragma: export
 #include "serve/server.hpp"         // IWYU pragma: export
 #include "serve/telemetry.hpp"      // IWYU pragma: export

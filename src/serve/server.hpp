@@ -27,12 +27,28 @@
 // stream::SequenceSession carries the stream's per-scale incremental
 // geometry across requests — stream state never migrates, so it needs no
 // locking either.
+//
+// Robustness (exercised by the esca::fault chaos harness):
+//   - every request reaches exactly one terminal status, even when a worker
+//     thread dies mid-request — the death path resolves the popped request
+//     kFailed before the thread unwinds;
+//   - a supervisor thread respawns dead workers into the same slot, so the
+//     sticky id-mod-workers routing keeps functioning;
+//   - a request that throws inside a sequence quarantines that stream's
+//     state (a mid-patch failure can leave incremental geometry
+//     inconsistent) — the stream's next request cold-rebuilds;
+//   - BrownoutConfig sheds low-priority work early and degrades sticky
+//     streams to cold builds while the queue-wait EWMA says overloaded;
+//   - serve/retry.hpp adds deadline-aware client retries on top.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -85,6 +101,24 @@ struct Response {
   bool ok() const { return status == RequestStatus::kOk; }
 };
 
+/// Overload brown-out. Workers fold every request's queue wait into an
+/// EWMA; when it crosses `enter_queue_wait_seconds` the server enters
+/// brown-out: admission sheds requests below `shed_below_priority`
+/// immediately (cheaper than queueing work that would expire anyway) and
+/// sticky streams degrade to cold geometry builds (bit-identical outputs,
+/// no incremental state carried while overloaded). The mode exits only when
+/// the EWMA falls below `exit_queue_wait_seconds` — the hysteresis band
+/// keeps it from flapping at the threshold.
+struct BrownoutConfig {
+  bool enabled{false};
+  /// EWMA smoothing factor in (0, 1]; higher = reacts faster.
+  double ewma_alpha{0.2};
+  double enter_queue_wait_seconds{0.050};
+  double exit_queue_wait_seconds{0.010};
+  /// While active, admission sheds requests with priority below this.
+  int shed_below_priority{1};
+};
+
 struct ServerConfig {
   int workers{2};
   std::size_t queue_capacity{64};
@@ -99,6 +133,8 @@ struct ServerConfig {
   /// next request re-pins and cold-builds). The Server's owner table is
   /// bounded at workers * this.
   int max_streams_per_worker{64};
+  /// Overload brown-out (disabled by default; see BrownoutConfig).
+  BrownoutConfig brownout{};
   /// When true the constructor does not launch the worker pool; call
   /// start(). Deterministic queue tests fill the queue before any worker
   /// can drain it.
@@ -106,6 +142,8 @@ struct ServerConfig {
 };
 
 class Server;
+struct RetryPolicy;  // serve/retry.hpp
+struct RetryResult;
 
 /// Lightweight submission handle — copyable, safe to use from any thread;
 /// must not outlive the Server.
@@ -121,6 +159,16 @@ class Client {
   std::future<Response> submit_sequence(std::uint64_t stream_id,
                                         std::vector<sparse::SparseTensor> frames,
                                         const SubmitOptions& options = {});
+
+  /// Blocking submit with retries under `policy` (serve/retry.hpp). The
+  /// options' timeout is the TOTAL deadline budget across every attempt;
+  /// retries never fire past it.
+  RetryResult submit_with_retry(const runtime::FrameBatch& batch,
+                                const SubmitOptions& options, const RetryPolicy& policy);
+  RetryResult submit_sequence_with_retry(std::uint64_t stream_id,
+                                         std::vector<sparse::SparseTensor> frames,
+                                         const SubmitOptions& options,
+                                         const RetryPolicy& policy);
 
   std::uint64_t id() const { return id_; }
 
@@ -184,10 +232,12 @@ class Server {
   TelemetrySnapshot telemetry_snapshot() const { return telemetry_.snapshot(); }
 
  private:
+  friend class Client;  // submit_with_retry drives retry_loop
+
   enum class RequestKind : std::uint8_t { kBatch, kSequence };
 
   struct PendingRequest {
-    std::uint64_t id;
+    std::uint64_t id{0};
     RequestKind kind{RequestKind::kBatch};
     runtime::FrameBatch batch;
     /// Sequence payload (kind == kSequence).
@@ -197,10 +247,24 @@ class Server {
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Set by fulfill(): lets the worker-death path prove the popped
+    /// request got its terminal status before the thread dies.
+    bool fulfilled{false};
   };
 
   std::future<Response> enqueue(PendingRequest request, int affinity);
+  /// Thread body: runs worker_loop and, if anything escapes it (a
+  /// worker-killing fault), reports this worker dead to the supervisor.
+  void worker_entry(int worker_id);
   void worker_loop(int worker_id);
+  /// Joins dead workers and respawns their slot (same id, so sticky-stream
+  /// ownership id mod workers keeps functioning) until shutdown.
+  void supervisor_loop();
+  /// Folds one queue-wait sample into the brown-out EWMA and flips the
+  /// mode across the hysteresis band.
+  void update_brownout(double queue_seconds);
+  RetryResult retry_loop(const SubmitOptions& options, const RetryPolicy& policy,
+                         const std::function<Response(const SubmitOptions&)>& attempt);
   void run_batch(runtime::Session& session, PendingRequest& request, Response& response);
   void run_sequence(stream::SequenceSession& stream, PendingRequest& request,
                     Response& response);
@@ -216,6 +280,21 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
 
+  // Worker supervision: dead workers enqueue their id; the supervisor owns
+  // joining and respawning them. shutdown() stops the supervisor before
+  // joining workers_, so the two never touch a slot concurrently.
+  std::thread supervisor_;
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  std::vector<int> dead_workers_;
+  bool supervisor_stop_{false};
+
+  // Brown-out state. The flag is read on every admission and worker pickup;
+  // the EWMA itself only under the mutex (worker pickups contend rarely).
+  std::atomic<bool> brownout_active_{false};
+  std::mutex brownout_mutex_;
+  double brownout_ewma_{0.0};
+  bool brownout_seeded_{false};
 };
 
 }  // namespace esca::serve

@@ -38,6 +38,19 @@ Telemetry::Telemetry()
                                           "sequence scales advanced by the patch path")),
       geometry_rebuilds_(registry_.counter("esca_serve_geometry_rebuilds_total",
                                            "sequence scales that cold-rebuilt")),
+      stream_quarantines_(
+          registry_.counter("esca_serve_stream_quarantines_total",
+                            "sticky streams invalidated after a failed request")),
+      worker_respawns_(registry_.counter("esca_serve_worker_respawns_total",
+                                         "worker threads the supervisor respawned")),
+      retries_(registry_.counter("esca_serve_retries_total",
+                                 "client retry attempts (submit_with_retry)")),
+      brownout_sheds_(registry_.counter("esca_serve_brownout_sheds_total",
+                                        "requests shed because of brown-out mode")),
+      brownout_entries_(registry_.counter("esca_serve_brownout_entries_total",
+                                          "times the server entered brown-out")),
+      brownout_active_(registry_.gauge("esca_serve_brownout_active",
+                                       "1 while the server is in brown-out")),
       latency_hist_(registry_.histogram("esca_serve_request_seconds", kLatencyLo, kLatencyHi,
                                         kBucketsPerDecade, "end-to-end request latency")),
       patch_hist_(registry_.histogram("esca_serve_patch_seconds", kLatencyLo, kLatencyHi,
@@ -57,19 +70,39 @@ void Telemetry::on_submitted() {
 
 void Telemetry::on_shed() { shed_.inc(); }
 
-void Telemetry::on_expired(double queue_seconds) {
+void Telemetry::on_expired(double queue_seconds, double total_seconds) {
   expired_.inc();
-  std::lock_guard<std::mutex> lock(mutex_);
-  queue_wait_.add(queue_seconds);
-}
-
-void Telemetry::on_failed(double total_seconds) {
-  failed_.inc();
-  // Failed requests executed too: mean/max and the quantile histogram must
-  // describe the same population.
+  // Expired and failed requests held server resources too: both feed the
+  // queue-wait aggregates and the end-to-end latency histogram, so every
+  // terminal outcome describes the same two populations.
   latency_hist_.record(total_seconds);
   std::lock_guard<std::mutex> lock(mutex_);
+  queue_wait_.add(queue_seconds);
   latency_.add(total_seconds);
+}
+
+void Telemetry::on_failed(double queue_seconds, double total_seconds) {
+  failed_.inc();
+  latency_hist_.record(total_seconds);
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_wait_.add(queue_seconds);
+  latency_.add(total_seconds);
+}
+
+void Telemetry::on_stream_quarantined() { stream_quarantines_.inc(); }
+
+void Telemetry::on_worker_respawn() { worker_respawns_.inc(); }
+
+void Telemetry::on_retry() { retries_.inc(); }
+
+void Telemetry::on_brownout_shed() {
+  shed_.inc();
+  brownout_sheds_.inc();
+}
+
+void Telemetry::on_brownout(bool active) {
+  brownout_active_.set(active ? 1.0 : 0.0);
+  if (active) brownout_entries_.inc();
 }
 
 void Telemetry::on_completed(double queue_seconds, double total_seconds, std::size_t frames,
@@ -110,6 +143,12 @@ TelemetrySnapshot Telemetry::snapshot() const {
   s.memory_bound_layers = memory_bound_layers_.value();
   s.geometry_patches = geometry_patches_.value();
   s.geometry_rebuilds = geometry_rebuilds_.value();
+  s.stream_quarantines = stream_quarantines_.value();
+  s.worker_respawns = worker_respawns_.value();
+  s.retries = retries_.value();
+  s.brownout_sheds = brownout_sheds_.value();
+  s.brownout_entries = brownout_entries_.value();
+  s.brownout_active = brownout_active_.value() != 0.0;
   const LogHistogram latency_hist = latency_hist_.snapshot();
   s.p50_seconds = latency_hist.quantile(0.50);
   s.p95_seconds = latency_hist.quantile(0.95);
@@ -147,6 +186,13 @@ std::string TelemetrySnapshot::table(const std::string& title) const {
   t.row({"shed (queue full)", std::to_string(shed)});
   t.row({"expired (deadline)", std::to_string(expired)});
   t.row({"failed", std::to_string(failed)});
+  t.separator();
+  t.row({"stream quarantines", std::to_string(stream_quarantines)});
+  t.row({"worker respawns", std::to_string(worker_respawns)});
+  t.row({"client retries", std::to_string(retries)});
+  t.row({"brownout sheds / entries",
+         std::to_string(brownout_sheds) + " / " + std::to_string(brownout_entries)});
+  t.row({"brownout active", brownout_active ? "yes" : "no"});
   t.separator();
   t.row({"latency p50", units::seconds(p50_seconds)});
   t.row({"latency p95", units::seconds(p95_seconds)});

@@ -46,6 +46,16 @@ struct TelemetrySnapshot {
   std::int64_t failed{0};     ///< execution threw
   std::int64_t frames{0};     ///< frames across completed requests
 
+  /// Robustness counters (see server.hpp): sticky streams whose state was
+  /// invalidated after a failed request, worker threads the supervisor
+  /// respawned, client retries, and brown-out activity.
+  std::int64_t stream_quarantines{0};
+  std::int64_t worker_respawns{0};
+  std::int64_t retries{0};
+  std::int64_t brownout_sheds{0};    ///< sheds attributable to brown-out mode
+  std::int64_t brownout_entries{0};  ///< times the server entered brown-out
+  bool brownout_active{false};
+
   double p50_seconds{0.0};  ///< end-to-end request latency quantiles
   double p95_seconds{0.0};
   double p99_seconds{0.0};
@@ -85,11 +95,23 @@ class Telemetry {
 
   void on_submitted();
   void on_shed();
-  void on_expired(double queue_seconds);
-  void on_failed(double total_seconds);
+  /// Terminal outcomes all take (queue_seconds, total_seconds): the queue
+  /// wait feeds queue-wait aggregates, the end-to-end latency feeds the
+  /// mean/max and quantile histogram — one population, every outcome.
+  void on_expired(double queue_seconds, double total_seconds);
+  void on_failed(double queue_seconds, double total_seconds);
   void on_completed(double queue_seconds, double total_seconds, std::size_t frames,
                     const MemoryCounters& mem = {});
   void sample_queue_depth(std::size_t depth);
+
+  /// Robustness events (see server.hpp).
+  void on_stream_quarantined();
+  void on_worker_respawn();
+  void on_retry();
+  /// A brown-out admission shed — counts as a shed AND as a brown-out shed.
+  void on_brownout_shed();
+  /// Brown-out mode flipped; `active` rising edges count as entries.
+  void on_brownout(bool active);
 
   /// One advanced sequence frame: how many scales patched vs cold-built and
   /// the frame's summed patch wall clock (0 when nothing patched — not
@@ -120,6 +142,12 @@ class Telemetry {
   obs::Counter& memory_bound_layers_;
   obs::Counter& geometry_patches_;
   obs::Counter& geometry_rebuilds_;
+  obs::Counter& stream_quarantines_;
+  obs::Counter& worker_respawns_;
+  obs::Counter& retries_;
+  obs::Counter& brownout_sheds_;
+  obs::Counter& brownout_entries_;
+  obs::Gauge& brownout_active_;
   obs::HistogramMetric& latency_hist_;
   obs::HistogramMetric& patch_hist_;
 

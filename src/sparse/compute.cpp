@@ -10,6 +10,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
+#include "fault/injector.hpp"
 
 // Compile-time default worker count: -1 = auto (environment override, then
 // hardware concurrency); 0 = hard-disable thread spawning (every apply runs
@@ -47,11 +49,11 @@ constexpr std::int64_t kMinMacsPerThread = 1 << 21;
 
 int default_threads() {
   static const int cached = [] {
-    if (const char* env = std::getenv("ESCA_COMPUTE_THREADS")) {
-      // "0" means serial, like the compile-time knob; junk falls through.
-      const int n = std::atoi(env);
-      if (n == 0 && env[0] == '0') return 1;
-      if (n >= 1) return std::min(n, kMaxThreads);
+    // "0" means serial, like the compile-time knob; garbage and negative
+    // values warn and fall through (common/env strict parsing).
+    if (const auto env = env_int("ESCA_COMPUTE_THREADS", 0)) {
+      if (*env == 0) return 1;
+      return static_cast<int>(std::min<long long>(*env, kMaxThreads));
     }
     if constexpr (ESCA_COMPUTE_THREADS > 0) {
       return std::min(static_cast<int>(ESCA_COMPUTE_THREADS), kMaxThreads);
@@ -319,6 +321,10 @@ std::byte* ScratchArena::raw_take(std::size_t bytes, std::size_t align) {
     used_ = aligned + bytes;
     return slab_.get() + aligned;
   }
+  // Chaos site: an arena grow is the allocation-heavy path's one heap
+  // touch — injected failure here models allocation exhaustion mid-apply
+  // (the arena itself stays consistent: nothing mutated yet).
+  fault::maybe_throw("sparse.arena.grow");
   // Overflow: serve from a dedicated side slab so earlier spans stay valid;
   // reset() consolidates to the new high-water mark. used_ keeps advancing
   // as if the slab were large enough, so high_water_ records the cycle's

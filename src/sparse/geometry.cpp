@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
 #include "obs/trace.hpp"
 #include "voxel/morton.hpp"
 
@@ -26,11 +27,11 @@ constexpr int kMaxShards = 64;
 
 int default_shards() {
   static const int cached = [] {
-    if (const char* env = std::getenv("ESCA_GEOMETRY_THREADS")) {
-      // "0" means serial, like the compile-time knob; junk falls through.
-      const int n = std::atoi(env);
-      if (n == 0 && env[0] == '0') return 1;
-      if (n >= 1) return std::min(n, kMaxShards);
+    // "0" means serial, like the compile-time knob; garbage and negative
+    // values warn and fall through (common/env strict parsing).
+    if (const auto env = env_int("ESCA_GEOMETRY_THREADS", 0)) {
+      if (*env == 0) return 1;
+      return static_cast<int>(std::min<long long>(*env, kMaxShards));
     }
     if constexpr (ESCA_GEOMETRY_THREADS > 0) {
       return std::min(static_cast<int>(ESCA_GEOMETRY_THREADS), kMaxShards);

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/check.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 
 namespace esca::stream {
@@ -58,6 +59,9 @@ FrameDelta diff_frames(const sparse::SparseTensor& prev, const sparse::SparseTen
   obs::Span span("stream.diff_frames");
   span.arg("prev_sites", prev.size());
   span.arg("next_sites", next.size());
+  // Chaos site: the diff runs before any state mutates, so a failure here
+  // must leave the stream able to retry or cold-rebuild cleanly.
+  fault::maybe_throw("stream.diff");
 
   FrameDelta delta;
   delta.old_to_new.assign(prev.size(), -1);

@@ -12,6 +12,8 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "common/env.hpp"
+#include "fault/injector.hpp"
 #include "obs/trace.hpp"
 #include "voxel/morton.hpp"
 
@@ -22,12 +24,9 @@ namespace {
 double resolve_rebuild_fraction(double configured) {
   if (configured >= 0.0) return configured;
   // Read the environment at construction (not a cached static) so tests and
-  // operators can retune the knob between sessions.
-  if (const char* env = std::getenv("ESCA_STREAM_REBUILD_FRACTION")) {
-    char* end = nullptr;
-    const double v = std::strtod(env, &end);
-    if (end != env && v >= 0.0) return v;
-  }
+  // operators can retune the knob between sessions. Garbage and negative
+  // values warn and keep the default (common/env strict parsing).
+  if (const auto env = env_double("ESCA_STREAM_REBUILD_FRACTION", 0.0)) return *env;
   return kDefaultRebuildFraction;
 }
 
@@ -147,6 +146,11 @@ sparse::LayerGeometry patch_submanifold_geometry(const sparse::LayerGeometry& pr
   span.arg("sites", next.size());
   span.arg("added", delta.added.size());
   span.arg("removed", delta.removed.size());
+
+  // Chaos site: a patch that dies mid-stream leaves the caller's carried
+  // state (IncrementalGeometry / SequenceSession coarse occupancy) halfway
+  // between two frames — exactly what serve's stream quarantine must absorb.
+  fault::maybe_throw("stream.patch");
 
   sparse::LayerGeometry g(sparse::GeometryKind::kSubmanifold, k, 1, next.zeros_like(1));
 
@@ -371,7 +375,11 @@ GeometryUpdate IncrementalGeometry::update(const sparse::SparseTensor& frame,
   out.removed = delta.removed.size();
   out.retained = delta.retained;
   const auto t0 = std::chrono::steady_clock::now();
-  if (delta.churn_fraction() <= rebuild_fraction_) {
+  // Chaos site: force the churn fallback — the patched and cold-built
+  // geometries are bit-identical, so flipping paths at random must never
+  // change results (the chaos suite's cheapest invariant).
+  const bool force_rebuild = fault::maybe_fire("stream.force_rebuild");
+  if (!force_rebuild && delta.churn_fraction() <= rebuild_fraction_) {
     current_ = std::make_shared<const sparse::LayerGeometry>(
         patch_submanifold_geometry(*current_, frame, delta, config_.geometry));
     ++patches_;

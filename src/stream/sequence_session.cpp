@@ -38,6 +38,10 @@ SequenceFrameResult SequenceSession::advance(const sparse::SparseTensor& frame,
                                              const runtime::RunOptions& options) {
   if (frame_id.empty()) frame_id = str::format("stream%zu", frames_);
 
+  // Degraded mode: dropping the carried state up front forces every scale
+  // down the cold-build path this frame (nothing to diff against).
+  if (forced_rebuild_) reset();
+
   obs::Span advance_span("stream.advance");
   advance_span.arg("frame", frames_);
   advance_span.arg("scales", scales_.size());

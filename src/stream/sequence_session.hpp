@@ -116,6 +116,14 @@ class SequenceSession {
   /// Drop all carried geometry state (the next frame cold-builds).
   void reset();
 
+  /// Degraded mode (the serve brown-out hook): while set, every advance()
+  /// drops carried state first, so each frame cold-builds instead of
+  /// diffing/patching. Outputs are bit-identical to the incremental path —
+  /// only the per-frame cost rises — and no incremental state accumulates
+  /// while the server is overloaded.
+  void set_forced_rebuild(bool forced) { forced_rebuild_ = forced; }
+  bool forced_rebuild() const { return forced_rebuild_; }
+
  private:
   /// Incrementally maintained occupancy of one coarse scale.
   struct CoarseState {
@@ -138,6 +146,7 @@ class SequenceSession {
   std::vector<IncrementalGeometry> scales_;
   std::vector<CoarseState> coarse_;  ///< one per scale transition
   std::size_t frames_{0};
+  bool forced_rebuild_{false};
 };
 
 }  // namespace esca::stream

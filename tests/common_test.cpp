@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
 #include <sstream>
 
 #include "common/check.hpp"
 #include "common/config.hpp"
+#include "common/env.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
@@ -198,6 +201,57 @@ TEST(UnitsTest, Rendering) {
   EXPECT_EQ(units::ops_per_second(17.73e9), "17.73 GOPS");
   EXPECT_EQ(units::frequency(270e6), "270.0 MHz");
   EXPECT_EQ(units::seconds(0.00321), "3.210 ms");
+}
+
+/// Sets an environment variable for one scope, restoring "unset" on exit.
+struct ScopedEnv {
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  const char* name_;
+};
+
+TEST(EnvTest, UnsetVariablesComeBackEmpty) {
+  ::unsetenv("ESCA_TEST_ENV_KNOB");
+  EXPECT_EQ(env_int("ESCA_TEST_ENV_KNOB"), std::nullopt);
+  EXPECT_EQ(env_double("ESCA_TEST_ENV_KNOB"), std::nullopt);
+}
+
+TEST(EnvTest, WholeValueMustParse) {
+  {
+    ScopedEnv env("ESCA_TEST_ENV_KNOB", "4x");  // atoi would read 4
+    EXPECT_EQ(env_int("ESCA_TEST_ENV_KNOB"), std::nullopt);
+  }
+  {
+    ScopedEnv env("ESCA_TEST_ENV_KNOB", "abc");  // atoi would read 0
+    EXPECT_EQ(env_int("ESCA_TEST_ENV_KNOB"), std::nullopt);
+    EXPECT_EQ(env_double("ESCA_TEST_ENV_KNOB"), std::nullopt);
+  }
+  {
+    ScopedEnv env("ESCA_TEST_ENV_KNOB", "");
+    EXPECT_EQ(env_int("ESCA_TEST_ENV_KNOB"), std::nullopt);
+  }
+  {
+    ScopedEnv env("ESCA_TEST_ENV_KNOB", "1.5");  // not a whole integer
+    EXPECT_EQ(env_int("ESCA_TEST_ENV_KNOB"), std::nullopt);
+    EXPECT_EQ(env_double("ESCA_TEST_ENV_KNOB"), 1.5);
+  }
+}
+
+TEST(EnvTest, GoodValuesAndBoundsEnforced) {
+  {
+    ScopedEnv env("ESCA_TEST_ENV_KNOB", "-12");
+    EXPECT_EQ(env_int("ESCA_TEST_ENV_KNOB"), -12);
+    EXPECT_EQ(env_double("ESCA_TEST_ENV_KNOB"), -12.0);
+    // Out of the caller's range => treated as unset, default applies.
+    EXPECT_EQ(env_int("ESCA_TEST_ENV_KNOB", /*lo=*/1, /*hi=*/64), std::nullopt);
+  }
+  {
+    ScopedEnv env("ESCA_TEST_ENV_KNOB", "0.25");
+    EXPECT_EQ(env_double("ESCA_TEST_ENV_KNOB", /*lo=*/0.0, /*hi=*/1.0), 0.25);
+    EXPECT_EQ(env_double("ESCA_TEST_ENV_KNOB", /*lo=*/0.5, /*hi=*/1.0), std::nullopt);
+  }
 }
 
 }  // namespace

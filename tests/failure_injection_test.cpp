@@ -10,16 +10,11 @@
 #include "nn/submanifold_conv.hpp"
 #include "nn/unet.hpp"
 #include "quant/qsubconv.hpp"
+#include "runtime/runtime.hpp"
 #include "test_util.hpp"
 
 namespace esca::core {
 namespace {
-
-// This suite intentionally exercises the deprecated run_network /
-// run_network_batch shims: their failure behavior must stay intact until
-// they are removed (the supported path is runtime::Engine/Session).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 struct Fixture {
   quant::QuantizedSubConv layer;
@@ -51,15 +46,18 @@ TEST(FailureInjectionTest, TamperedLayerIsCaughtByNetworkVerification) {
   const nn::SSUNet net(cfg, 11);
   std::vector<nn::TraceEntry> trace;
   (void)net.forward(x, &trace);
-  CompiledNetwork compiled = LayerCompiler::compile(trace);
-  ASSERT_FALSE(compiled.layers.empty());
+  runtime::Engine engine;
+  runtime::Plan plan = engine.compile(trace);
+  ASSERT_FALSE(plan.network.layers.empty());
 
   // Tamper with one gold output value: the bit-exactness verification in
-  // run_network must now fail loudly.
-  auto f = compiled.layers.front().gold_output.features(0);
+  // the runtime must now fail loudly.
+  auto f = plan.network.layers.front().gold_output.features(0);
   f[0] = static_cast<std::int16_t>(f[0] + 1);
-  Accelerator acc{ArchConfig{}};
-  EXPECT_THROW((void)run_network(acc, compiled, /*verify=*/true), InternalError);
+  runtime::Session session = engine.open_session(std::move(plan));
+  EXPECT_THROW(
+      (void)session.submit(runtime::FrameBatch::single(), runtime::RunOptions{.verify = true}),
+      InternalError);
 }
 
 TEST(FailureInjectionTest, CorruptedEncodingColumnStartIsRejected) {
@@ -120,6 +118,12 @@ TEST(FailureInjectionTest, KernelArchMismatchRejected) {
   EXPECT_THROW((void)acc.run_layer(fx.layer, fx.input), InvalidArgument);
 }
 
+// This test intentionally exercises the deprecated run_network_batch shim:
+// its behavior must stay intact until removal (the supported path is
+// runtime::Engine/Session, which every other test here now uses).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 TEST(DeprecatedShimTest, RunNetworkBatchStillChargesWeightsOnce) {
   Rng rng(207);
   const auto x = test::clustered_tensor({16, 16, 16}, 1, rng, 4, 60);
@@ -142,19 +146,10 @@ TEST(DeprecatedShimTest, RunNetworkBatchStillChargesWeightsOnce) {
   }
 }
 
+#pragma GCC diagnostic pop
+
 TEST(FailureInjectionTest, BatchRequiresPositiveCount) {
-  Rng rng(206);
-  const auto x = test::clustered_tensor({16, 16, 16}, 1, rng, 4, 60);
-  nn::SSUNetConfig cfg;
-  cfg.base_planes = 4;
-  cfg.levels = 1;
-  cfg.reps_per_level = 1;
-  const nn::SSUNet net(cfg, 3);
-  std::vector<nn::TraceEntry> trace;
-  (void)net.forward(x, &trace);
-  const CompiledNetwork compiled = LayerCompiler::compile(trace);
-  Accelerator acc{ArchConfig{}};
-  EXPECT_THROW((void)run_network_batch(acc, compiled, 0), InvalidArgument);
+  EXPECT_THROW((void)runtime::FrameBatch::replay(0), InvalidArgument);
 }
 
 TEST(FailureInjectionTest, InvalidArchConfigsRejectedAtConstruction) {
@@ -168,8 +163,6 @@ TEST(FailureInjectionTest, InvalidArchConfigsRejectedAtConstruction) {
   cfg.mask_read_cycles = 0;
   EXPECT_THROW(Accelerator{cfg}, InvalidArgument);
 }
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace esca::core

@@ -149,7 +149,8 @@ TEST(ObsTelemetryTest, RegistryCellsReproduceSnapshotExactly) {
   }
   telemetry.on_shed();
   telemetry.on_shed();
-  telemetry.on_expired(0.5);
+  telemetry.on_expired(/*queue=*/0.25, /*total=*/0.5);
+  reference.add(0.5);  // expired requests feed the latency histogram too
   telemetry.on_sequence_frame(3, 1, 0.002);
 
   const serve::TelemetrySnapshot s = telemetry.snapshot();

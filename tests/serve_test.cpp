@@ -149,7 +149,9 @@ TEST(ServeTelemetryTest, CountersAndSnapshotsAggregate) {
   t.on_submitted();
   t.on_completed(/*queue=*/0.001, /*total=*/0.004, /*frames=*/2);
   t.on_shed();
-  t.on_expired(/*queue=*/0.010);
+  // Every terminal outcome feeds both aggregates: expired requests
+  // contribute their queue wait AND their end-to-end latency.
+  t.on_expired(/*queue=*/0.010, /*total=*/0.012);
   t.sample_queue_depth(3);
   t.sample_queue_depth(1);
 
@@ -159,7 +161,7 @@ TEST(ServeTelemetryTest, CountersAndSnapshotsAggregate) {
   EXPECT_EQ(s.shed, 1);
   EXPECT_EQ(s.expired, 1);
   EXPECT_EQ(s.frames, 2);
-  EXPECT_NEAR(s.mean_seconds, 0.004, 1e-9);
+  EXPECT_NEAR(s.mean_seconds, (0.004 + 0.012) / 2.0, 1e-9);
   EXPECT_NEAR(s.mean_queue_seconds, (0.001 + 0.010) / 2.0, 1e-9);
   EXPECT_NEAR(s.mean_queue_depth, 2.0, 1e-9);
   EXPECT_GT(s.p50_seconds, 0.0);
