@@ -120,20 +120,23 @@ int main(int argc, char** argv) {
                    str::with_commas(mem.dram_bursts), str::with_commas(mem.bank_conflict_stalls),
                    str::format("%.2f", ms), str::fixed(report.effective_gops(), 2),
                    str::format("%d/%d", mem.memory_bound_layers, mem.compute_bound_layers)});
-        std::printf(
-            "BENCH {\"bench\":\"mem_hierarchy\",\"dataflow\":\"%s\",\"buffer_scale\":%.6f,"
-            "\"banks\":%d,\"resolution\":%d,\"frames\":%d,\"dram_bytes\":%lld,"
-            "\"dram_bursts\":%lld,\"sram_read_bytes\":%lld,\"sram_write_bytes\":%lld,"
-            "\"bank_conflict_stalls\":%lld,\"port_stalls\":%lld,\"seconds\":%.6f,"
-            "\"gops\":%.3f,\"memory_bound_layers\":%d,\"compute_bound_layers\":%d}\n",
-            to_string(dataflow), scale, banks, resolution, frames,
-            static_cast<long long>(mem.dram_bytes_in + mem.dram_bytes_out),
-            static_cast<long long>(mem.dram_bursts),
-            static_cast<long long>(mem.sram_read_bytes),
-            static_cast<long long>(mem.sram_write_bytes),
-            static_cast<long long>(mem.bank_conflict_stalls),
-            static_cast<long long>(mem.port_stalls), report.total_seconds(),
-            report.effective_gops(), mem.memory_bound_layers, mem.compute_bound_layers);
+        bench::BenchLine("mem_hierarchy")
+            .field("dataflow", to_string(dataflow))
+            .field("buffer_scale", scale, 6)
+            .field("banks", banks)
+            .field("resolution", resolution)
+            .field("frames", frames)
+            .field("dram_bytes", static_cast<std::int64_t>(mem.dram_bytes_in + mem.dram_bytes_out))
+            .field("dram_bursts", static_cast<std::int64_t>(mem.dram_bursts))
+            .field("sram_read_bytes", static_cast<std::int64_t>(mem.sram_read_bytes))
+            .field("sram_write_bytes", static_cast<std::int64_t>(mem.sram_write_bytes))
+            .field("bank_conflict_stalls", static_cast<std::int64_t>(mem.bank_conflict_stalls))
+            .field("port_stalls", static_cast<std::int64_t>(mem.port_stalls))
+            .field("seconds", report.total_seconds(), 6)
+            .field("gops", report.effective_gops(), 3)
+            .field("memory_bound_layers", mem.memory_bound_layers)
+            .field("compute_bound_layers", mem.compute_bound_layers)
+            .emit();
       }
     }
   }
@@ -144,6 +147,7 @@ int main(int argc, char** argv) {
              "sweep did not produce both roofline verdicts (memory-bound points: "
                  << memory_bound_points << ", compute-bound points: " << compute_bound_points
                  << ")");
+  bench::emit_obs_snapshot();
   std::printf(
       "\nReading: at 1/256 buffer capacity the weight-stationary schedule re-streams\n"
       "activations once per weight chunk and tiles overflow the activation buffer —\n"

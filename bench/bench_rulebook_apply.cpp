@@ -81,13 +81,18 @@ void emit(Table& table, const char* dtype, int c, std::int64_t rules, const Timi
              ms(t.engine[0]), ms(t.engine[1]), ms(t.engine[2]),
              str::format("%.2fx", t.scalar / t.engine[0]),
              str::format("%.2fx", t.engine[0] / t.engine[2])});
-  std::printf(
-      "BENCH {\"bench\":\"rulebook_apply\",\"dtype\":\"%s\",\"cin\":%d,\"cout\":%d,"
-      "\"rules\":%lld,\"scalar_ms\":%.4f,\"engine_x1_ms\":%.4f,\"engine_x2_ms\":%.4f,"
-      "\"engine_x4_ms\":%.4f,\"speedup_x1\":%.3f,\"scaling_x4\":%.3f}\n",
-      dtype, c, c, static_cast<long long>(rules), t.scalar * 1e3, t.engine[0] * 1e3,
-      t.engine[1] * 1e3, t.engine[2] * 1e3, t.scalar / t.engine[0],
-      t.engine[0] / t.engine[2]);
+  bench::BenchLine("rulebook_apply")
+      .field("dtype", dtype)
+      .field("cin", c)
+      .field("cout", c)
+      .field("rules", static_cast<std::int64_t>(rules))
+      .field("scalar_ms", t.scalar * 1e3, 4)
+      .field("engine_x1_ms", t.engine[0] * 1e3, 4)
+      .field("engine_x2_ms", t.engine[1] * 1e3, 4)
+      .field("engine_x4_ms", t.engine[2] * 1e3, 4)
+      .field("speedup_x1", t.scalar / t.engine[0], 3)
+      .field("scaling_x4", t.engine[0] / t.engine[2], 3)
+      .emit();
 }
 
 }  // namespace
@@ -171,6 +176,7 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   table.print();
+  bench::emit_obs_snapshot();
   if (!verified) {
     std::printf("\n!! verification FAILED — timings above are not valid datapoints\n");
     return 1;

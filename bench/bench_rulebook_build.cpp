@@ -40,6 +40,8 @@ double best_seconds(int repeats, const Fn& fn) {
 
 std::string ms(double seconds) { return str::format("%.2f ms", seconds * 1e3); }
 
+bool g_verified = true;  // any engine-vs-oracle rule-count mismatch fails the run
+
 void run_workload(Table& table, const std::string& name, const sparse::SparseTensor& t,
                   int repeats) {
   std::int64_t rules_sub = 0;
@@ -66,6 +68,7 @@ void run_workload(Table& table, const std::string& name, const sparse::SparseTen
     if (check_sub != rules_sub || check_down != rules_down) {
       std::printf("!! rule-count mismatch on %s (shards=%d)\n", name.c_str(),
                   shard_counts[s]);
+      g_verified = false;
     }
   }
 
@@ -77,6 +80,23 @@ void run_workload(Table& table, const std::string& name, const sparse::SparseTen
              str::with_commas(rules_down), ms(hash_down), ms(engine_down[0]),
              ms(engine_down[1]), ms(engine_down[2]),
              str::format("%.2fx", hash_down / engine_down[0])});
+
+  const auto emit_line = [&](const char* kind, std::int64_t rules, double hash_s,
+                             const double engine_s[3]) {
+    bench::BenchLine("rulebook_build")
+        .field("workload", name)
+        .field("kind", kind)
+        .field("sites", t.size())
+        .field("rules", rules)
+        .field("hash_ms", hash_s * 1e3, 4)
+        .field("engine_x1_ms", engine_s[0] * 1e3, 4)
+        .field("engine_x2_ms", engine_s[1] * 1e3, 4)
+        .field("engine_x4_ms", engine_s[2] * 1e3, 4)
+        .field("speedup_x1", hash_s / engine_s[0], 3)
+        .emit();
+  };
+  emit_line("sub_k3", rules_sub, hash_sub, engine_sub);
+  emit_line("down_k2s2", rules_down, hash_down, engine_down);
 }
 
 }  // namespace
@@ -102,5 +122,10 @@ int main(int argc, char** argv) {
     run_workload(table, str::format("nyu%zu", i), bench::nyu_tensor(i, resolution), repeats);
   }
   table.print();
+  bench::emit_obs_snapshot();
+  if (!g_verified) {
+    std::printf("\n!! verification FAILED — timings above are not valid datapoints\n");
+    return 1;
+  }
   return 0;
 }

@@ -188,19 +188,27 @@ int main(int argc, char** argv) {
   std::fputs(s.table("Serve throughput — " + mode + " loop").c_str(), stdout);
 
   // Machine-readable summary for trend tracking.
-  std::printf(
-      "\nBENCH {\"bench\":\"serve_throughput\",\"mode\":\"%s\",\"workers\":%d,"
-      "\"requests\":%d,\"completed\":%lld,\"shed\":%lld,\"expired\":%lld,"
-      "\"failed\":%lld,\"retried\":%lld,\"brownout_sheds\":%lld,"
-      "\"p50_ms\":%.4f,\"p95_ms\":%.4f,\"p99_ms\":%.4f,"
-      "\"mean_queue_ms\":%.4f,\"throughput_rps\":%.2f,\"frames_per_s\":%.2f,"
-      "\"trace_events\":%zu,\"obs_overhead_pct\":%.2f}\n",
-      mode.c_str(), workers, requests, static_cast<long long>(s.completed),
-      static_cast<long long>(s.shed), static_cast<long long>(s.expired),
-      static_cast<long long>(s.failed), static_cast<long long>(s.retries),
-      static_cast<long long>(s.brownout_sheds), s.p50_seconds * 1e3, s.p95_seconds * 1e3,
-      s.p99_seconds * 1e3, s.mean_queue_seconds * 1e3, s.requests_per_second,
-      s.frames_per_second, trace_events, overhead_pct);
+  std::printf("\n");
+  bench::BenchLine("serve_throughput")
+      .field("mode", mode)
+      .field("workers", workers)
+      .field("requests", requests)
+      .field("completed", static_cast<std::int64_t>(s.completed))
+      .field("shed", static_cast<std::int64_t>(s.shed))
+      .field("expired", static_cast<std::int64_t>(s.expired))
+      .field("failed", static_cast<std::int64_t>(s.failed))
+      .field("retried", static_cast<std::int64_t>(s.retries))
+      .field("brownout_sheds", static_cast<std::int64_t>(s.brownout_sheds))
+      .field("p50_ms", s.p50_seconds * 1e3, 4)
+      .field("p95_ms", s.p95_seconds * 1e3, 4)
+      .field("p99_ms", s.p99_seconds * 1e3, 4)
+      .field("mean_queue_ms", s.mean_queue_seconds * 1e3, 4)
+      .field("throughput_rps", s.requests_per_second, 2)
+      .field("frames_per_s", s.frames_per_second, 2)
+      .field("trace_events", trace_events)
+      .field("obs_overhead_pct", overhead_pct, 2)
+      .emit();
+  bench::emit_obs_snapshot();
 
   // Injected faults and delays would drown the tracer in the comparison, so
   // the overhead gate only applies to fault-free runs.

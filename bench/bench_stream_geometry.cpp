@@ -163,18 +163,24 @@ int main(int argc, char** argv) {
                  str::format("%.2fx", vs_1t),
                  str::format("%llu", static_cast<unsigned long long>(r.patched)),
                  str::format("%llu", static_cast<unsigned long long>(r.rebuilds))});
-      std::printf(
-          "BENCH {\"bench\":\"stream_geometry\",\"overlap_pct\":%d,\"measured_overlap\":%.4f,"
-          "\"resolution\":%d,\"frames\":%d,\"sites\":%zu,\"threads\":%d,\"cold_ms\":%.4f,"
-          "\"incremental_ms\":%.4f,\"speedup\":%.3f,\"speedup_vs_1t\":%.3f,"
-          "\"patched\":%llu,\"fallbacks\":%llu}\n",
-          overlap_pct, r.measured_overlap, resolution, frames, r.mean_sites, thread_sweep[ti],
-          r.cold_ms, incr_ms, r.cold_ms / incr_ms, vs_1t,
-          static_cast<unsigned long long>(r.patched),
-          static_cast<unsigned long long>(r.rebuilds));
+      bench::BenchLine("stream_geometry")
+          .field("overlap_pct", overlap_pct)
+          .field("measured_overlap", r.measured_overlap, 4)
+          .field("resolution", resolution)
+          .field("frames", frames)
+          .field("sites", r.mean_sites)
+          .field("threads", thread_sweep[ti])
+          .field("cold_ms", r.cold_ms, 4)
+          .field("incremental_ms", incr_ms, 4)
+          .field("speedup", r.cold_ms / incr_ms, 3)
+          .field("speedup_vs_1t", vs_1t, 3)
+          .field("patched", static_cast<std::uint64_t>(r.patched))
+          .field("fallbacks", static_cast<std::uint64_t>(r.rebuilds))
+          .emit();
     }
   }
   std::printf("\n");
   table.print();
+  bench::emit_obs_snapshot();
   return 0;
 }

@@ -6,14 +6,22 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "common/json.hpp"
 #include "core/layer_compiler.hpp"
 #include "datasets/nyu_like.hpp"
 #include "datasets/shapenet_like.hpp"
 #include "nn/unet.hpp"
+#include "obs/metrics.hpp"
 #include "sparse/sparse_tensor.hpp"
 #include "voxel/voxelizer.hpp"
+#include "xp/record.hpp"
 
 namespace esca::bench {
 
@@ -59,6 +67,70 @@ inline NetworkWorkload benchmark_network(const sparse::SparseTensor& input) {
   (void)net.forward(input, &w.trace);
   w.compiled = core::LayerCompiler::compile(w.trace);
   return w;
+}
+
+// --- BENCH-line emission ------------------------------------------------------
+//
+// Every bench emits its machine-readable summary through this builder
+// instead of a hand-rolled printf: fields are typed at the call site,
+// strings are JSON-escaped, and each line carries the harness schema
+// version (xp::kBenchLineSchema) — so a typo in one bench is a compile
+// error or a parse failure in bench_gate, never a silently skewed history.
+class BenchLine {
+ public:
+  explicit BenchLine(std::string_view bench) {
+    json_ = "{\"bench\":\"";
+    json_ += json::escape(bench);
+    json_ += "\",\"schema\":";
+    json_ += std::to_string(xp::kBenchLineSchema);
+  }
+
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  BenchLine& field(std::string_view key, T v) {
+    return raw(key, std::to_string(v));
+  }
+  /// Fixed-point double; `digits` matches what the legacy printf emitted.
+  BenchLine& field(std::string_view key, double v, int digits = 4) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return raw(key, buf);
+  }
+  BenchLine& field(std::string_view key, std::string_view v) {
+    std::string quoted = "\"";
+    quoted += json::escape(v);
+    quoted += "\"";
+    return raw(key, quoted);
+  }
+  BenchLine& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  BenchLine& field(std::string_view key, bool v) { return raw(key, v ? "true" : "false"); }
+
+  std::string json() const { return json_ + "}"; }
+
+  /// Print the `BENCH {...}` line to stdout.
+  void emit() const { std::printf("BENCH %s\n", json().c_str()); }
+
+ private:
+  BenchLine& raw(std::string_view key, std::string_view value) {
+    json_ += ",\"";
+    json_ += json::escape(key);
+    json_ += "\":";
+    json_ += value;
+    return *this;
+  }
+
+  std::string json_;
+};
+
+/// Registry snapshot hook for the experiment harness: when the runner arms
+/// ESCA_BENCH_OBS=1, dump the process-wide obs registry as one BENCHOBS
+/// line (Registry::to_json verbatim) so counter-derived metrics ride along
+/// with the BENCH lines. A no-op otherwise — benches stay quiet for humans.
+inline void emit_obs_snapshot() {
+  if (std::getenv("ESCA_BENCH_OBS") == nullptr) return;
+  std::printf("BENCHOBS %s\n", obs::Registry::global().to_json().c_str());
 }
 
 }  // namespace esca::bench

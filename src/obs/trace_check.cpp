@@ -1,226 +1,22 @@
 #include "obs/trace_check.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/strings.hpp"
 
 namespace esca::obs {
 
 namespace {
 
-// --- minimal JSON parser ------------------------------------------------------
-//
-// Just enough JSON for trace-event documents: objects, arrays, strings,
-// numbers, true/false/null. Values are held in a tiny tree; no attempt at
-// perfect number semantics (doubles everywhere) — the checker only compares
-// timestamps and reads small ints.
-
-struct JsonValue;
-using JsonObject = std::map<std::string, JsonValue>;
-using JsonArray = std::vector<JsonValue>;
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind{Kind::kNull};
-  bool boolean{false};
-  double number{0.0};
-  std::string string;
-  JsonArray array;
-  JsonObject object;
-
-  const JsonValue* get(const std::string& key) const {
-    if (kind != Kind::kObject) return nullptr;
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool parse(JsonValue& out, std::string& error) {
-    skip_ws();
-    if (!parse_value(out, error)) return false;
-    skip_ws();
-    if (pos_ != text_.size()) {
-      error = trailing_error();
-      return false;
-    }
-    return true;
-  }
-
- private:
-  std::string trailing_error() const {
-    return str::format("trailing content at offset %zu", pos_);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  bool fail(std::string& error, const std::string& what) {
-    error = str::format("JSON parse error at offset %zu: %s", pos_, what.c_str());
-    return false;
-  }
-
-  bool parse_value(JsonValue& out, std::string& error) {
-    if (pos_ >= text_.size()) return fail(error, "unexpected end of input");
-    const char c = text_[pos_];
-    if (c == '{') return parse_object(out, error);
-    if (c == '[') return parse_array(out, error);
-    if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
-      return parse_string(out.string, error);
-    }
-    if (c == 't' || c == 'f') return parse_keyword(out, error, c == 't' ? "true" : "false");
-    if (c == 'n') return parse_keyword(out, error, "null");
-    return parse_number(out, error);
-  }
-
-  bool parse_keyword(JsonValue& out, std::string& error, std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return fail(error, "bad literal");
-    pos_ += word.size();
-    if (word == "true" || word == "false") {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = word == "true";
-    } else {
-      out.kind = JsonValue::Kind::kNull;
-    }
-    return true;
-  }
-
-  bool parse_number(JsonValue& out, std::string& error) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) ++pos_;
-    bool digits = false;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
-      if (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0) digits = true;
-      ++pos_;
-    }
-    if (!digits) return fail(error, "expected a value");
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
-    return true;
-  }
-
-  bool parse_string(std::string& out, std::string& error) {
-    if (text_[pos_] != '"') return fail(error, "expected '\"'");
-    ++pos_;
-    out.clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) break;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return fail(error, "truncated \\u escape");
-            // Decoded only far enough for validity; non-ASCII folds to '?'.
-            const std::string hex(text_.substr(pos_, 4));
-            char* end = nullptr;
-            const long code = std::strtol(hex.c_str(), &end, 16);
-            if (end != hex.c_str() + 4) return fail(error, "bad \\u escape");
-            out += code < 0x80 ? static_cast<char>(code) : '?';
-            pos_ += 4;
-            break;
-          }
-          default:
-            return fail(error, "bad escape character");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return fail(error, "unterminated string");
-  }
-
-  bool parse_array(JsonValue& out, std::string& error) {
-    out.kind = JsonValue::Kind::kArray;
-    ++pos_;  // '['
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      JsonValue element;
-      skip_ws();
-      if (!parse_value(element, error)) return false;
-      out.array.push_back(std::move(element));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail(error, "unterminated array");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail(error, "expected ',' or ']'");
-    }
-  }
-
-  bool parse_object(JsonValue& out, std::string& error) {
-    out.kind = JsonValue::Kind::kObject;
-    ++pos_;  // '{'
-    skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (pos_ >= text_.size() || text_[pos_] != '"') return fail(error, "expected object key");
-      if (!parse_string(key, error)) return false;
-      skip_ws();
-      if (pos_ >= text_.size() || text_[pos_] != ':') return fail(error, "expected ':'");
-      ++pos_;
-      skip_ws();
-      JsonValue value;
-      if (!parse_value(value, error)) return false;
-      out.object.emplace(std::move(key), std::move(value));
-      skip_ws();
-      if (pos_ >= text_.size()) return fail(error, "unterminated object");
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail(error, "expected ',' or '}'");
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_{0};
-};
-
-// --- trace-event rules --------------------------------------------------------
+// The JSON parsing this checker carried originally now lives in
+// common/json.{hpp,cpp} (promoted in PR 10 so the experiment harness and
+// the BENCH comparator share it); this file keeps only the trace-event
+// rules. Behavior is bit-identical: same parse errors, same verdicts.
 
 struct OpenSpan {
   std::string name;
@@ -242,16 +38,16 @@ std::string TraceCheckResult::summary() const {
 }
 
 TraceCheckResult check_trace_json(std::string_view text) {
-  JsonValue root;
+  json::Value root;
   std::string error;
-  if (!JsonParser(text).parse(root, error)) return failed(error);
+  if (!json::parse(text, root, error)) return failed(error);
 
-  const JsonArray* events = nullptr;
-  if (root.kind == JsonValue::Kind::kArray) {
+  const json::Array* events = nullptr;
+  if (root.is_array()) {
     events = &root.array;
-  } else if (root.kind == JsonValue::Kind::kObject) {
-    const JsonValue* te = root.get("traceEvents");
-    if (te == nullptr || te->kind != JsonValue::Kind::kArray) {
+  } else if (root.is_object()) {
+    const json::Value* te = root.get("traceEvents");
+    if (te == nullptr || !te->is_array()) {
       return failed("document is an object without a \"traceEvents\" array");
     }
     events = &te->array;
@@ -263,32 +59,32 @@ TraceCheckResult check_trace_json(std::string_view text) {
   std::map<std::int64_t, std::vector<OpenSpan>> stacks;   // tid -> open spans
   std::map<std::int64_t, double> last_ts;                 // tid -> previous ts
   for (std::size_t i = 0; i < events->size(); ++i) {
-    const JsonValue& ev = (*events)[i];
-    if (ev.kind != JsonValue::Kind::kObject) {
+    const json::Value& ev = (*events)[i];
+    if (!ev.is_object()) {
       return failed(str::format("event %zu is not an object", i));
     }
-    const JsonValue* name = ev.get("name");
-    const JsonValue* ph = ev.get("ph");
-    const JsonValue* ts = ev.get("ts");
-    const JsonValue* tid = ev.get("tid");
-    if (name == nullptr || name->kind != JsonValue::Kind::kString || name->string.empty()) {
+    const json::Value* name = ev.get("name");
+    const json::Value* ph = ev.get("ph");
+    const json::Value* ts = ev.get("ts");
+    const json::Value* tid = ev.get("tid");
+    if (name == nullptr || !name->is_string() || name->string.empty()) {
       return failed(str::format("event %zu lacks a string \"name\"", i));
     }
-    if (ph == nullptr || ph->kind != JsonValue::Kind::kString || ph->string.size() != 1) {
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1) {
       return failed(str::format("event %zu lacks a one-char \"ph\"", i));
     }
-    if (ts == nullptr || ts->kind != JsonValue::Kind::kNumber) {
+    if (ts == nullptr || !ts->is_number()) {
       return failed(str::format("event %zu lacks a numeric \"ts\"", i));
     }
-    if (tid == nullptr || tid->kind != JsonValue::Kind::kNumber) {
+    if (tid == nullptr || !tid->is_number()) {
       return failed(str::format("event %zu lacks a numeric \"tid\"", i));
     }
     const auto t = static_cast<std::int64_t>(tid->number);
     const char phase = ph->string[0];
     ++result.events;
 
-    const JsonValue* args = ev.get("args");
-    if (args != nullptr && args->kind == JsonValue::Kind::kObject && !args->object.empty()) {
+    const json::Value* args = ev.get("args");
+    if (args != nullptr && args->is_object() && !args->object.empty()) {
       ++result.args_seen;
     }
 

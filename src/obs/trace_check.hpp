@@ -4,8 +4,8 @@
 // thread renders as garbage (or not at all) in Perfetto — and a tracer bug
 // that unbalances B/E pairs is exactly the kind of corruption that only
 // shows up when someone finally opens a trace. This checker makes it a CI
-// failure instead: a tiny self-contained JSON parser (no dependencies)
-// plus the trace-event rules the obs tracer promises:
+// failure instead: the dependency-free common/json parser plus the
+// trace-event rules the obs tracer promises:
 //
 //   - the document parses and is {"traceEvents": [...]} (or a bare array),
 //   - every event has a string "name", a one-char "ph", numeric "ts"/"tid",

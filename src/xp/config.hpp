@@ -1,0 +1,82 @@
+// esca::xp — the declarative experiment schema (configs/xp/*.json).
+//
+// One config file describes one experiment: which bench binary to exec, a
+// parameter grid (every key -> list of values; the cartesian product is the
+// invocation set), how many repetitions to fold best-of-N over, a reduced
+// `smoke` profile for CI, the fields that identify a data point within the
+// bench's BENCH output, and the metric rules the regression comparator
+// enforces. DNNsim's proto/batch.proto is the idiom: one declarative file
+// -> sweep of runs -> structured per-run stats; here the stats come back on
+// the existing BENCH/obs substrate instead of a bespoke stats path.
+//
+//   {
+//     "schema": 1,
+//     "name": "stream_geometry",
+//     "binary": "bench_stream_geometry",
+//     "key": ["overlap_pct", "threads"],
+//     "profile": { "args": {"frames": "6"}, "grid": {}, "repetitions": 3 },
+//     "smoke":   { "args": {"smoke": "1"}, "repetitions": 1 },
+//     "metrics": [
+//       {"name": "sites",          "direction": "equal", "stable": true},
+//       {"name": "incremental_ms", "direction": "lower", "tolerance_pct": 30}
+//     ]
+//   }
+//
+// Metric semantics:
+//   direction  "lower" | "higher" | "equal" — which way is better; "equal"
+//              demands bit-equality (deterministic counters).
+//   stable     true  -> a violation FAILS the gate (counter-derived metrics:
+//                       rule counts, DRAM bytes, stall totals, ...);
+//              false -> a violation WARNS (wall-clock metrics on noisy CI).
+//   record     "bench" (default) gates BENCH-line fields, "obs" gates the
+//              flattened obs-registry snapshot of the invocation.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace esca::xp {
+
+enum class Direction { kLowerIsBetter, kHigherIsBetter, kEqual };
+
+const char* to_string(Direction d);
+
+/// One comparator rule: how a named metric is judged across PRs.
+struct MetricRule {
+  std::string name;
+  Direction direction{Direction::kLowerIsBetter};
+  double tolerance_pct{0.0};   ///< ignored for kEqual
+  bool stable{false};          ///< fail (true) vs warn (false) on violation
+  std::string record{"bench"}; ///< kRecordBench or kRecordObs
+};
+
+/// Fixed args + parameter grid + repetition count for one profile.
+struct Profile {
+  std::map<std::string, std::string> args;
+  std::map<std::string, std::vector<std::string>> grid;
+  int repetitions{1};
+};
+
+struct ExperimentConfig {
+  std::string name;
+  std::string binary;
+  std::vector<std::string> key;  ///< BENCH fields identifying a point
+  Profile profile;               ///< the full run
+  Profile smoke;                 ///< the CI-sized run
+  std::vector<MetricRule> metrics;
+
+  static bool from_json(std::string_view text, ExperimentConfig& out, std::string& error);
+  static bool load(const std::string& path, ExperimentConfig& out, std::string& error);
+
+  /// The rule for a metric on a record kind; nullptr when undeclared
+  /// (undeclared fields are carried in history but never gated).
+  const MetricRule* rule_for(const std::string& metric, const std::string& record) const;
+};
+
+/// Cartesian product of a parameter grid in deterministic order: keys
+/// sorted, first key slowest. An empty grid yields one empty combination.
+std::vector<std::map<std::string, std::string>> expand_grid(
+    const std::map<std::string, std::vector<std::string>>& grid);
+
+}  // namespace esca::xp

@@ -1,0 +1,207 @@
+#include "xp/record.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace esca::xp {
+
+namespace {
+
+constexpr std::string_view kBenchPrefix = "BENCH {";
+constexpr std::string_view kObsPrefix = "BENCHOBS {";
+
+json::Value object_value(json::Object fields) {
+  return json::Value::make_object(std::move(fields));
+}
+
+}  // namespace
+
+const json::Value* RunRecord::field(const std::string& name) const {
+  const auto it = fields.find(name);
+  return it == fields.end() ? nullptr : &it->second;
+}
+
+double RunRecord::number(const std::string& name) const {
+  const json::Value* v = field(name);
+  return v != nullptr && v->is_number() ? v->number
+                                        : std::numeric_limits<double>::quiet_NaN();
+}
+
+bool RunRecord::has_number(const std::string& name) const {
+  const json::Value* v = field(name);
+  return v != nullptr && v->is_number();
+}
+
+LineKind classify_line(std::string_view line) {
+  if (str::starts_with(line, kBenchPrefix)) return LineKind::kBench;
+  if (str::starts_with(line, kObsPrefix)) return LineKind::kObs;
+  return LineKind::kOther;
+}
+
+bool parse_bench_line(std::string_view line, RunRecord& out, std::string& error) {
+  if (!str::starts_with(line, kBenchPrefix)) {
+    error = "not a BENCH line";
+    return false;
+  }
+  json::Value root;
+  if (!json::parse(line.substr(kBenchPrefix.size() - 1), root, error)) return false;
+  if (!root.is_object()) {
+    error = "BENCH payload is not an object";
+    return false;
+  }
+  const json::Value* schema = root.get("schema");
+  if (schema == nullptr || !schema->is_number()) {
+    error = "BENCH line lacks a numeric \"schema\" field (stale emitter?)";
+    return false;
+  }
+  if (static_cast<int>(schema->number) != kBenchLineSchema) {
+    error = str::format("BENCH line schema %d, this harness speaks %d",
+                        static_cast<int>(schema->number), kBenchLineSchema);
+    return false;
+  }
+  out.kind = kRecordBench;
+  out.fields = std::move(root.object);
+  return true;
+}
+
+bool parse_obs_line(std::string_view line, RunRecord& out, std::string& error) {
+  if (!str::starts_with(line, kObsPrefix)) {
+    error = "not a BENCHOBS line";
+    return false;
+  }
+  json::Value root;
+  if (!json::parse(line.substr(kObsPrefix.size() - 1), root, error)) return false;
+  if (!root.is_object()) {
+    error = "BENCHOBS payload is not an object";
+    return false;
+  }
+  out.kind = kRecordObs;
+  out.fields.clear();
+  for (const char* section : {"counters", "gauges"}) {
+    if (const json::Value* group = root.get(section); group != nullptr && group->is_object()) {
+      for (const auto& [name, value] : group->object) {
+        if (value.is_number()) out.fields.emplace(name, value);
+      }
+    }
+  }
+  if (const json::Value* hists = root.get("histograms");
+      hists != nullptr && hists->is_object()) {
+    for (const auto& [name, value] : hists->object) {
+      if (const json::Value* count = value.get("count");
+          count != nullptr && count->is_number()) {
+        out.fields.emplace(name + "_count", *count);
+      }
+    }
+  }
+  return true;
+}
+
+std::string BenchHistory::to_json() const {
+  // Hand-rendered so each run sits on its own line: the file is checked in,
+  // and per-line runs keep `git diff` readable when a baseline refreshes.
+  std::ostringstream os;
+  os << "{\n";
+  os << "\"schema\":" << schema << ",\n";
+  os << "\"bench\":\"" << json::escape(bench) << "\",\n";
+  os << "\"meta\":{\"host\":\"" << json::escape(meta.host) << "\",\"cpus\":" << meta.cpus
+     << ",\"date\":\"" << json::escape(meta.date) << "\",\"git\":\"" << json::escape(meta.git)
+     << "\",\"profile\":\"" << json::escape(meta.profile) << "\"},\n";
+  os << "\"runs\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    os << (i == 0 ? "\n" : ",\n");
+    json::Object args;
+    for (const auto& [k, v] : r.args) args.emplace(k, json::Value::make_string(v));
+    os << "{\"kind\":\"" << json::escape(r.kind) << "\",\"args\":"
+       << object_value(std::move(args)).dump()
+       << ",\"fields\":" << object_value(r.fields).dump() << "}";
+  }
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+bool BenchHistory::from_json(std::string_view text, BenchHistory& out, std::string& error) {
+  json::Value root;
+  if (!json::parse(text, root, error)) return false;
+  if (!root.is_object()) {
+    error = "history document is not an object";
+    return false;
+  }
+  out = BenchHistory{};
+  out.schema = static_cast<int>(root.int_or("schema", -1));
+  out.bench = root.string_or("bench", "");
+  if (out.schema < 0 || out.bench.empty()) {
+    error = "history document lacks \"schema\"/\"bench\"";
+    return false;
+  }
+  if (const json::Value* meta = root.get("meta"); meta != nullptr && meta->is_object()) {
+    out.meta.host = meta->string_or("host", "");
+    out.meta.cpus = static_cast<int>(meta->int_or("cpus", 0));
+    out.meta.date = meta->string_or("date", "");
+    out.meta.git = meta->string_or("git", "");
+    out.meta.profile = meta->string_or("profile", "");
+  }
+  const json::Value* runs = root.get("runs");
+  if (runs == nullptr || !runs->is_array()) {
+    error = "history document lacks a \"runs\" array";
+    return false;
+  }
+  for (std::size_t i = 0; i < runs->array.size(); ++i) {
+    const json::Value& rv = runs->array[i];
+    if (!rv.is_object()) {
+      error = str::format("history run %zu is not an object", i);
+      return false;
+    }
+    RunRecord rec;
+    rec.kind = rv.string_or("kind", kRecordBench);
+    if (const json::Value* args = rv.get("args"); args != nullptr && args->is_object()) {
+      for (const auto& [k, v] : args->object) {
+        if (v.is_string()) rec.args.emplace(k, v.string);
+      }
+    }
+    const json::Value* fields = rv.get("fields");
+    if (fields == nullptr || !fields->is_object()) {
+      error = str::format("history run %zu lacks a \"fields\" object", i);
+      return false;
+    }
+    rec.fields = fields->object;
+    out.runs.push_back(std::move(rec));
+  }
+  return true;
+}
+
+bool BenchHistory::save(const std::string& path, std::string& error) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) {
+    error = "cannot write " + path;
+    return false;
+  }
+  os << to_json();
+  os.flush();
+  if (!os) {
+    error = "write failed: " + path;
+    return false;
+  }
+  return true;
+}
+
+bool BenchHistory::load(const std::string& path, BenchHistory& out, std::string& error) {
+  std::ifstream is(path);
+  if (!is) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  if (!from_json(buffer.str(), out, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace esca::xp

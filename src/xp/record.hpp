@@ -1,0 +1,88 @@
+// esca::xp — typed run records and the checked-in BENCH history format.
+//
+// Every bench emits machine-readable lines on stdout:
+//
+//   BENCH {"bench":"stream_geometry","schema":1,"overlap_pct":50,...}
+//   BENCHOBS {"counters":{"esca_geometry_builds_total":42,...},...}
+//
+// (the first via bench_util.hpp's BenchLine builder, the second via
+// emit_obs_snapshot() when ESCA_BENCH_OBS=1 — Registry::global().to_json()
+// verbatim). This header defines the parsed form (RunRecord), the merged
+// per-bench history document the harness checks into bench/history/
+// (BenchHistory, schema-versioned, with host/date/git provenance), and the
+// line parsers the runner and the regression comparator share.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace esca::xp {
+
+/// Version stamped into every BENCH line by the BenchLine builder and
+/// required by the parser — bump when a line's field semantics change.
+inline constexpr int kBenchLineSchema = 1;
+/// Version of the merged history document in bench/history/.
+inline constexpr int kHistorySchema = 1;
+
+/// Record kinds: a parsed BENCH line or a flattened obs-registry snapshot.
+inline constexpr const char* kRecordBench = "bench";
+inline constexpr const char* kRecordObs = "obs";
+
+/// One data point: the fields of a BENCH line (or the counters/gauges of an
+/// obs snapshot) plus the key=value args of the invocation that emitted it.
+struct RunRecord {
+  std::string kind{kRecordBench};            ///< kRecordBench | kRecordObs
+  std::map<std::string, std::string> args;   ///< invocation command-line args
+  json::Object fields;                       ///< metric/parameter values
+
+  const json::Value* field(const std::string& name) const;
+  /// Numeric field value; NaN when absent or non-numeric.
+  double number(const std::string& name) const;
+  bool has_number(const std::string& name) const;
+};
+
+/// Classification of one line of bench stdout.
+enum class LineKind { kOther, kBench, kObs };
+LineKind classify_line(std::string_view line);
+
+/// Parse a `BENCH {...}` line into a kRecordBench record. Fails on malformed
+/// JSON, a non-object payload, or a missing/mismatched "schema" field (every
+/// emitter goes through BenchLine, so absence means a stale binary).
+bool parse_bench_line(std::string_view line, RunRecord& out, std::string& error);
+
+/// Parse a `BENCHOBS {...}` line (Registry::to_json) into a kRecordObs
+/// record: counters and gauges flatten to numeric fields, histograms fold to
+/// `<name>_count` (quantiles are host-timing and never gated).
+bool parse_obs_line(std::string_view line, RunRecord& out, std::string& error);
+
+/// Provenance stamped into a history document (never compared).
+struct HistoryMeta {
+  std::string host;
+  int cpus{0};
+  std::string date;     ///< UTC, ISO-8601
+  std::string git;      ///< short commit hash or "unknown"
+  std::string profile;  ///< "smoke" or "full"
+};
+
+/// The merged, schema-versioned per-bench history document — one file per
+/// bench under bench/history/BENCH_<name>.json, all grid points and
+/// repetitions folded in.
+struct BenchHistory {
+  int schema{kHistorySchema};
+  std::string bench;
+  HistoryMeta meta;
+  std::vector<RunRecord> runs;
+
+  std::string to_json() const;  ///< pretty-enough: one run per line, diffable
+  static bool from_json(std::string_view text, BenchHistory& out, std::string& error);
+
+  bool save(const std::string& path, std::string& error) const;
+  static bool load(const std::string& path, BenchHistory& out, std::string& error);
+};
+
+}  // namespace esca::xp

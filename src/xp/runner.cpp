@@ -1,0 +1,204 @@
+#include "xp/runner.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <ctime>
+#include <set>
+#include <thread>
+
+#include "common/strings.hpp"
+#include "xp/compare.hpp"
+
+namespace esca::xp {
+
+namespace {
+
+/// Run `command` through the shell, capturing stdout+stderr. Returns false
+/// only when the process cannot be spawned; the exit code comes back in
+/// `exit_code`.
+bool capture(const std::string& command, std::string& output, int& exit_code) {
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) output.append(buf, n);
+  const int status = ::pclose(pipe);
+  if (status < 0) return false;
+  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 128 + WTERMSIG(status);
+  return true;
+}
+
+std::string first_line(const std::string& text) {
+  const std::size_t nl = text.find('\n');
+  return str::trim(nl == std::string::npos ? text : text.substr(0, nl));
+}
+
+/// Fold one repetition's record into the accumulated one: direction-aware
+/// best-of-N for declared metrics, first-rep value otherwise.
+void merge_record(RunRecord& into, const RunRecord& rec, const ExperimentConfig& config,
+                  const std::string& id, std::vector<std::string>& warnings) {
+  for (const auto& [name, value] : rec.fields) {
+    const auto it = into.fields.find(name);
+    if (it == into.fields.end()) {
+      into.fields.emplace(name, value);
+      continue;
+    }
+    const MetricRule* rule = config.rule_for(name, rec.kind);
+    if (rule == nullptr) continue;  // undeclared: first repetition wins
+    if (!value.is_number() || !it->second.is_number()) {
+      if (value.dump() != it->second.dump()) {
+        warnings.push_back("non-numeric metric \"" + name + "\" differs across repetitions at " +
+                           id);
+      }
+      continue;
+    }
+    switch (rule->direction) {
+      case Direction::kLowerIsBetter:
+        it->second.number = std::min(it->second.number, value.number);
+        break;
+      case Direction::kHigherIsBetter:
+        it->second.number = std::max(it->second.number, value.number);
+        break;
+      case Direction::kEqual:
+        if (it->second.number != value.number) {
+          warnings.push_back(str::format(
+              "\"equal\" metric %s flapped across repetitions at %s: %s vs %s — "
+              "nondeterminism, first value kept",
+              name.c_str(), id.c_str(), json::dump_number(it->second.number).c_str(),
+              json::dump_number(value.number).c_str()));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+HistoryMeta collect_meta(const std::string& profile) {
+  HistoryMeta meta;
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0) meta.host = host;
+  meta.cpus = static_cast<int>(std::thread::hardware_concurrency());
+  std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    char when[32];
+    std::strftime(when, sizeof(when), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    meta.date = when;
+  }
+  std::string git_out;
+  int rc = -1;
+  if (capture("git rev-parse --short HEAD 2>/dev/null", git_out, rc) && rc == 0) {
+    meta.git = first_line(git_out);
+  }
+  if (meta.git.empty()) meta.git = "unknown";
+  meta.profile = profile;
+  return meta;
+}
+
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+RunResult run_experiment(const ExperimentConfig& config, const RunnerOptions& options) {
+  RunResult result;
+  const Profile& profile = options.smoke ? config.smoke : config.profile;
+  result.history.bench = config.name;
+  result.history.meta = collect_meta(options.smoke ? "smoke" : "full");
+
+  // Merged records in first-seen order, so history files diff cleanly.
+  std::vector<RunRecord> merged;
+  std::map<std::string, std::size_t> index;
+
+  for (const auto& combo : expand_grid(profile.grid)) {
+    std::map<std::string, std::string> args = profile.args;
+    for (const auto& [k, v] : combo) args[k] = v;
+
+    std::string command;
+    if (options.capture_obs) command += "ESCA_BENCH_OBS=1 ";
+    command += shell_quote(options.bench_dir + "/" + config.binary);
+    for (const auto& [k, v] : args) command += " " + shell_quote(k + "=" + v);
+    command += " 2>&1";
+
+    for (int rep = 0; rep < profile.repetitions; ++rep) {
+      std::string output;
+      int exit_code = -1;
+      if (!capture(command, output, exit_code)) {
+        result.error = "cannot exec: " + command;
+        return result;
+      }
+      ++result.invocations;
+
+      std::set<std::string> seen_this_rep;
+      int bench_lines = 0;
+      std::size_t pos = 0;
+      while (pos <= output.size()) {
+        const std::size_t nl = output.find('\n', pos);
+        const std::string_view line(output.data() + pos,
+                                    (nl == std::string::npos ? output.size() : nl) - pos);
+        pos = nl == std::string::npos ? output.size() + 1 : nl + 1;
+
+        const LineKind kind = classify_line(line);
+        if (kind == LineKind::kOther) {
+          if (options.echo && !line.empty()) std::printf("  | %.*s\n",
+                                                         static_cast<int>(line.size()),
+                                                         line.data());
+          continue;
+        }
+        RunRecord rec;
+        std::string parse_error;
+        const bool parsed = kind == LineKind::kBench
+                                ? parse_bench_line(line, rec, parse_error)
+                                : parse_obs_line(line, rec, parse_error);
+        if (!parsed) {
+          result.error = config.name + ": " + parse_error + " in line: " + std::string(line);
+          return result;
+        }
+        rec.args = args;
+        if (kind == LineKind::kBench) ++bench_lines;
+
+        const std::string id = point_id(rec, config);
+        if (!seen_this_rep.insert(id).second) {
+          result.warnings.push_back(
+              config.name + ": duplicate point within one invocation (key fields too coarse?): " +
+              id);
+        }
+        const auto it = index.find(id);
+        if (it == index.end()) {
+          index.emplace(id, merged.size());
+          merged.push_back(std::move(rec));
+        } else {
+          merge_record(merged[it->second], rec, config, id, result.warnings);
+        }
+      }
+
+      if (exit_code != 0) {
+        result.error = str::format("%s exited with code %d (command: %s)\n%s",
+                                   config.binary.c_str(), exit_code, command.c_str(),
+                                   output.c_str());
+        return result;
+      }
+      if (bench_lines == 0) {
+        result.error = config.name + ": no BENCH lines in output of: " + command;
+        return result;
+      }
+    }
+  }
+
+  result.history.runs = std::move(merged);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace esca::xp

@@ -1,0 +1,46 @@
+// esca::xp — the experiment runner.
+//
+// run_experiment() execs the configured bench binary once per parameter-grid
+// combination per repetition, captures stdout, parses every BENCH line (and
+// the BENCHOBS registry snapshot the bench emits when ESCA_BENCH_OBS=1 —
+// the runner arms that env var), and folds the records of all repetitions
+// into one merged BenchHistory: per declared metric the direction-aware
+// best-of-N (min for lower-is-better, max for higher-is-better, first for
+// equal — with a warning if repetitions of an "equal" metric ever
+// disagree, which is nondeterminism worth hearing about), stamped with
+// host/date/git provenance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xp/config.hpp"
+#include "xp/record.hpp"
+
+namespace esca::xp {
+
+struct RunnerOptions {
+  std::string bench_dir{"bench"};  ///< directory holding the bench binaries
+  bool smoke{false};               ///< run the smoke profile instead of full
+  bool capture_obs{true};          ///< arm ESCA_BENCH_OBS=1 for the child
+  bool echo{false};                ///< stream non-BENCH child output through
+};
+
+struct RunResult {
+  bool ok{false};
+  std::string error;                  ///< first fatal problem
+  std::vector<std::string> warnings;  ///< non-fatal oddities (rep disagreement)
+  BenchHistory history;
+  int invocations{0};
+};
+
+/// Host/date/git provenance for a history document.
+HistoryMeta collect_meta(const std::string& profile);
+
+/// Shell-quote one argv token (single quotes, ' -> '\'' ).
+std::string shell_quote(const std::string& s);
+
+/// Execute one experiment end to end; see file comment.
+RunResult run_experiment(const ExperimentConfig& config, const RunnerOptions& options);
+
+}  // namespace esca::xp

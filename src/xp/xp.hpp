@@ -1,0 +1,20 @@
+// esca::xp — declarative experiment harness and perf-regression gate.
+//
+// The layer that consumes what every bench already produces: structured
+// BENCH lines plus the esca::obs registry. One config file under
+// configs/xp/ describes an experiment (binary, parameter grid, repetitions,
+// smoke profile, metric rules); the runner execs the sweep and folds the
+// output into a schema-versioned history document; the comparator diffs two
+// histories and gates on regressions. tools/bench_gate drives the five
+// gated benches in CI against the baselines checked into bench/history/.
+//
+//   record.hpp   RunRecord, BENCH/BENCHOBS line parsing, BenchHistory I/O
+//   config.hpp   ExperimentConfig schema, metric rules, grid expansion
+//   runner.hpp   exec + capture + best-of-N merge + provenance
+//   compare.hpp  verdict table and the gate decision
+#pragma once
+
+#include "xp/compare.hpp"  // IWYU pragma: export
+#include "xp/config.hpp"   // IWYU pragma: export
+#include "xp/record.hpp"   // IWYU pragma: export
+#include "xp/runner.hpp"   // IWYU pragma: export

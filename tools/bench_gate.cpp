@@ -1,0 +1,218 @@
+// bench_gate — the perf-regression gate over the esca::xp harness.
+//
+// For every experiment config under --configs, run the bench (smoke profile
+// with --smoke), fold the output into a merged history document, and judge
+// it against the baseline checked into --history with the xp comparator.
+// Stable (counter-derived) metric violations fail the gate with a nonzero
+// exit and a verdict table; wall-clock violations warn — the CI host class
+// is 1-core and noisy, so timing gates would cry wolf (pass --strict on a
+// quiet machine to promote warnings to failures).
+//
+// --update refreshes the baselines in --history from this run instead of
+// comparing — the documented way to intentionally move a baseline; commit
+// the rewritten BENCH_<name>.json files with the PR that moved the numbers.
+//
+// Usage:
+//   bench_gate [--smoke] [--configs DIR] [--bench-dir DIR] [--history DIR]
+//              [--out DIR] [--only NAME[,NAME...]] [--update] [--strict]
+//              [--echo]
+//
+// Defaults assume the repo layout seen from the build directory:
+//   --configs ../configs/xp   --bench-dir bench   --history ../bench/history
+//   --out xp_out              (merged current histories, kept as CI artifact)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "xp/xp.hpp"
+
+namespace {
+
+using namespace esca;  // NOLINT(google-build-using-namespace): tool main
+namespace fs = std::filesystem;
+
+struct Options {
+  std::string configs{"../configs/xp"};
+  std::string bench_dir{"bench"};
+  std::string history{"../bench/history"};
+  std::string out{"xp_out"};
+  std::vector<std::string> only;
+  bool smoke{false};
+  bool update{false};
+  bool strict{false};
+  bool echo{false};
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate [--smoke] [--configs DIR] [--bench-dir DIR]\n"
+               "                  [--history DIR] [--out DIR] [--only NAME[,NAME...]]\n"
+               "                  [--update] [--strict] [--echo]\n");
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--update") {
+      opt.update = true;
+    } else if (arg == "--strict") {
+      opt.strict = true;
+    } else if (arg == "--echo") {
+      opt.echo = true;
+    } else if (arg == "--configs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.configs = v;
+    } else if (arg == "--bench-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.bench_dir = v;
+    } else if (arg == "--history") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.history = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.out = v;
+    } else if (arg == "--only") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      std::string token;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!token.empty()) opt.only.push_back(token);
+          token.clear();
+          if (*p == '\0') break;
+        } else {
+          token += *p;
+        }
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool selected(const Options& opt, const std::string& name) {
+  if (opt.only.empty()) return true;
+  return std::find(opt.only.begin(), opt.only.end(), name) != opt.only.end();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  std::error_code ec;
+  std::vector<fs::path> config_paths;
+  for (const auto& entry : fs::directory_iterator(opt.configs, ec)) {
+    if (entry.path().extension() == ".json") config_paths.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot list %s: %s\n", opt.configs.c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::sort(config_paths.begin(), config_paths.end());
+  if (config_paths.empty()) {
+    std::fprintf(stderr, "no experiment configs in %s\n", opt.configs.c_str());
+    return 2;
+  }
+  fs::create_directories(opt.out, ec);
+
+  int gate_failures = 0;
+  int gate_warnings = 0;
+  int experiments = 0;
+  for (const fs::path& path : config_paths) {
+    xp::ExperimentConfig config;
+    std::string error;
+    if (!xp::ExperimentConfig::load(path.string(), config, error)) {
+      std::fprintf(stderr, "FAIL %s: %s\n", path.c_str(), error.c_str());
+      ++gate_failures;
+      continue;
+    }
+    if (!selected(opt, config.name)) continue;
+    ++experiments;
+
+    std::printf("=== %s (%s profile, binary %s) ===\n", config.name.c_str(),
+                opt.smoke ? "smoke" : "full", config.binary.c_str());
+    xp::RunnerOptions run_opt;
+    run_opt.bench_dir = opt.bench_dir;
+    run_opt.smoke = opt.smoke;
+    run_opt.echo = opt.echo;
+    const xp::RunResult run = xp::run_experiment(config, run_opt);
+    for (const std::string& w : run.warnings) std::printf("  warn: %s\n", w.c_str());
+    if (!run.ok) {
+      std::fprintf(stderr, "FAIL %s: %s\n", config.name.c_str(), run.error.c_str());
+      ++gate_failures;
+      continue;
+    }
+    std::printf("  %d invocation(s), %zu record(s)\n", run.invocations,
+                run.history.runs.size());
+
+    const std::string current_path = opt.out + "/BENCH_" + config.name + ".json";
+    if (!run.history.save(current_path, error)) {
+      std::fprintf(stderr, "FAIL %s: %s\n", config.name.c_str(), error.c_str());
+      ++gate_failures;
+      continue;
+    }
+
+    const std::string baseline_path = opt.history + "/BENCH_" + config.name + ".json";
+    if (opt.update) {
+      if (!run.history.save(baseline_path, error)) {
+        std::fprintf(stderr, "FAIL %s: %s\n", config.name.c_str(), error.c_str());
+        ++gate_failures;
+        continue;
+      }
+      std::printf("  baseline refreshed: %s\n\n", baseline_path.c_str());
+      continue;
+    }
+
+    xp::BenchHistory baseline;
+    if (!xp::BenchHistory::load(baseline_path, baseline, error)) {
+      std::fprintf(stderr,
+                   "FAIL %s: no baseline (%s)\n"
+                   "  run `bench_gate --update` and commit the history file\n",
+                   config.name.c_str(), error.c_str());
+      ++gate_failures;
+      continue;
+    }
+
+    const xp::CompareReport report = xp::compare(baseline, run.history, config, opt.strict);
+    std::fputs(report.table("PERF GATE: " + config.name + " vs " + baseline.meta.git +
+                            " (" + baseline.meta.date + ")")
+                   .c_str(),
+               stdout);
+    std::printf("  %s\n\n", report.summary().c_str());
+    if (!report.pass()) ++gate_failures;
+    gate_warnings += static_cast<int>(report.warnings);
+  }
+
+  if (experiments == 0) {
+    std::fprintf(stderr, "no experiment matched --only\n");
+    return 2;
+  }
+  if (gate_failures > 0) {
+    std::printf("bench_gate: FAIL — %d experiment(s) gated\n", gate_failures);
+    return 1;
+  }
+  std::printf("bench_gate: PASS — %d experiment(s), %d warning(s)\n", experiments,
+              gate_warnings);
+  return 0;
+}
